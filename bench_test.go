@@ -1,0 +1,424 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one Benchmark per figure; see DESIGN.md §4 for the
+// experiment index) plus the ablation studies of DESIGN.md §5.
+//
+// The paper plots response time against growing data prefixes; here each
+// figure's benchmark times the three competing stores on a fixed-size
+// load (the cmd/hexbench tool produces the full prefix sweeps). Shapes,
+// not absolute numbers, are the reproduction target: Hexastore ≤ COVP2 ≤
+// COVP1 throughout, with the gaps the paper reports.
+package hexastore_test
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hexastore"
+	"hexastore/internal/barton"
+	"hexastore/internal/core"
+	"hexastore/internal/idlist"
+	"hexastore/internal/lubm"
+	"hexastore/internal/queries"
+	"hexastore/internal/query"
+	"hexastore/internal/sparql"
+	"hexastore/internal/vp"
+)
+
+// Shared fixtures, built once.
+var (
+	bartonOnce sync.Once
+	bartonSt   *queries.Stores
+	bartonIDs  queries.BartonIDs
+
+	lubmOnce sync.Once
+	lubmSt   *queries.Stores
+	lubmIDs  queries.LUBMIDs
+)
+
+func bartonFixture(b *testing.B) (*queries.Stores, queries.BartonIDs) {
+	b.Helper()
+	bartonOnce.Do(func() {
+		data := barton.Config{Records: 20_000, Seed: 1}.GenerateAll()
+		bartonSt = queries.Load(data)
+		bartonIDs = queries.ResolveBarton(bartonSt.Dict)
+	})
+	return bartonSt, bartonIDs
+}
+
+func lubmFixture(b *testing.B) (*queries.Stores, queries.LUBMIDs) {
+	b.Helper()
+	lubmOnce.Do(func() {
+		data := lubm.Config{
+			Universities: 5, Seed: 1, DeptsPerUniv: 8,
+			UndergradPerDept: 60, GradPerDept: 15, CoursesPerDept: 15,
+		}.GenerateAll()
+		lubmSt = queries.Load(data)
+		lubmIDs = queries.ResolveLUBM(lubmSt.Dict)
+	})
+	return lubmSt, lubmIDs
+}
+
+// run3 benchmarks the three store variants of one figure.
+func run3(b *testing.B, hexa, covp1, covp2 func()) {
+	b.Run("Hexastore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hexa()
+		}
+	})
+	b.Run("COVP1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			covp1()
+		}
+	})
+	b.Run("COVP2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			covp2()
+		}
+	})
+}
+
+func BenchmarkFig03BartonQ1(b *testing.B) {
+	s, ids := bartonFixture(b)
+	run3(b,
+		func() { queries.BQ1Hexa(s.Hexa, ids) },
+		func() { queries.BQ1COVP(s.C1, ids) },
+		func() { queries.BQ1COVP(s.C2, ids) })
+}
+
+// benchRestricted runs the six series of the 28-property figures.
+func benchRestricted(b *testing.B, s *queries.Stores, ids queries.BartonIDs,
+	hexa func(props []queries.ID), covp func(st *vp.Store, props []queries.ID)) {
+	b.Run("Hexastore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hexa(nil)
+		}
+	})
+	b.Run("COVP1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			covp(s.C1, nil)
+		}
+	})
+	b.Run("COVP2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			covp(s.C2, nil)
+		}
+	})
+	b.Run("Hexastore_28", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hexa(ids.Restricted28)
+		}
+	})
+	b.Run("COVP1_28", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			covp(s.C1, ids.Restricted28)
+		}
+	})
+	b.Run("COVP2_28", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			covp(s.C2, ids.Restricted28)
+		}
+	})
+}
+
+func BenchmarkFig04BartonQ2(b *testing.B) {
+	s, ids := bartonFixture(b)
+	benchRestricted(b, s, ids,
+		func(props []queries.ID) { queries.BQ2Hexa(s.Hexa, ids, props) },
+		func(st *vp.Store, props []queries.ID) { queries.BQ2COVP(st, ids, props) })
+}
+
+func BenchmarkFig05BartonQ3(b *testing.B) {
+	s, ids := bartonFixture(b)
+	benchRestricted(b, s, ids,
+		func(props []queries.ID) { queries.BQ3Hexa(s.Hexa, ids, props) },
+		func(st *vp.Store, props []queries.ID) { queries.BQ3COVP(st, ids, props) })
+}
+
+func BenchmarkFig06BartonQ4(b *testing.B) {
+	s, ids := bartonFixture(b)
+	benchRestricted(b, s, ids,
+		func(props []queries.ID) { queries.BQ4Hexa(s.Hexa, ids, props) },
+		func(st *vp.Store, props []queries.ID) { queries.BQ4COVP(st, ids, props) })
+}
+
+func BenchmarkFig07BartonQ5(b *testing.B) {
+	s, ids := bartonFixture(b)
+	run3(b,
+		func() { queries.BQ5Hexa(s.Hexa, ids) },
+		func() { queries.BQ5COVP(s.C1, ids) },
+		func() { queries.BQ5COVP(s.C2, ids) })
+}
+
+func BenchmarkFig08BartonQ6(b *testing.B) {
+	s, ids := bartonFixture(b)
+	benchRestricted(b, s, ids,
+		func(props []queries.ID) { queries.BQ6Hexa(s.Hexa, ids, props) },
+		func(st *vp.Store, props []queries.ID) { queries.BQ6COVP(st, ids, props) })
+}
+
+func BenchmarkFig09BartonQ7(b *testing.B) {
+	s, ids := bartonFixture(b)
+	run3(b,
+		func() { queries.BQ7Hexa(s.Hexa, ids) },
+		func() { queries.BQ7COVP(s.C1, ids) },
+		func() { queries.BQ7COVP(s.C2, ids) })
+}
+
+func BenchmarkFig10LUBMQ1(b *testing.B) {
+	s, ids := lubmFixture(b)
+	run3(b,
+		func() { queries.RelatedHexa(s.Hexa, ids.Course10) },
+		func() { queries.RelatedCOVP(s.C1, ids.Course10) },
+		func() { queries.RelatedCOVP(s.C2, ids.Course10) })
+}
+
+func BenchmarkFig11LUBMQ2(b *testing.B) {
+	s, ids := lubmFixture(b)
+	run3(b,
+		func() { queries.RelatedHexa(s.Hexa, ids.University0) },
+		func() { queries.RelatedCOVP(s.C1, ids.University0) },
+		func() { queries.RelatedCOVP(s.C2, ids.University0) })
+}
+
+func BenchmarkFig12LUBMQ3(b *testing.B) {
+	s, ids := lubmFixture(b)
+	run3(b,
+		func() { queries.LQ3Hexa(s.Hexa, ids.AssocProf10) },
+		func() { queries.LQ3COVP(s.C1, ids.AssocProf10) },
+		func() { queries.LQ3COVP(s.C2, ids.AssocProf10) })
+}
+
+func BenchmarkFig13LUBMQ4(b *testing.B) {
+	s, ids := lubmFixture(b)
+	run3(b,
+		func() { queries.LQ4Hexa(s.Hexa, ids) },
+		func() { queries.LQ4COVP(s.C1, ids) },
+		func() { queries.LQ4COVP(s.C2, ids) })
+}
+
+func BenchmarkFig14LUBMQ5(b *testing.B) {
+	s, ids := lubmFixture(b)
+	run3(b,
+		func() { queries.LQ5Hexa(s.Hexa, ids) },
+		func() { queries.LQ5COVP(s.C1, ids) },
+		func() { queries.LQ5COVP(s.C2, ids) })
+}
+
+// BenchmarkFig15Memory reports index bytes per store as custom metrics
+// (bytes/triple), reproducing the memory-consumption comparison.
+func BenchmarkFig15Memory(b *testing.B) {
+	for _, panel := range []struct {
+		name    string
+		fixture func(*testing.B) (*queries.Stores, int)
+	}{
+		{"Barton", func(b *testing.B) (*queries.Stores, int) {
+			s, _ := bartonFixture(b)
+			return s, s.Hexa.Len()
+		}},
+		{"LUBM", func(b *testing.B) (*queries.Stores, int) {
+			s, _ := lubmFixture(b)
+			return s, s.Hexa.Len()
+		}},
+	} {
+		b.Run(panel.name, func(b *testing.B) {
+			s, n := panel.fixture(b)
+			for i := 0; i < b.N; i++ {
+				_ = s.Hexa.Stats()
+			}
+			b.ReportMetric(float64(s.Hexa.Stats().SizeBytes())/float64(n), "hexa-B/triple")
+			b.ReportMetric(float64(s.C1.Stats().SizeBytes())/float64(n), "covp1-B/triple")
+			b.ReportMetric(float64(s.C2.Stats().SizeBytes())/float64(n), "covp2-B/triple")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §5).
+
+// BenchmarkAblationMergeVsHashJoin: §4.2 claims first-step pairwise
+// joins being merge-joins is a win; compare against a hash join on the
+// same sorted inputs.
+func BenchmarkAblationMergeVsHashJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	var ba, bb idlist.Builder
+	for i := 0; i < 200_000; i++ {
+		ba.Add(idlist.ID(rng.Intn(1_000_000) + 1))
+		bb.Add(idlist.ID(rng.Intn(1_000_000) + 1))
+	}
+	la, lb := ba.Finish(), bb.Finish()
+	b.Run("MergeJoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			idlist.MergeJoin(la, lb, func(idlist.ID) { n++ })
+		}
+	})
+	b.Run("HashJoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			idlist.HashJoin(la, lb, func(idlist.ID) { n++ })
+		}
+	})
+}
+
+// BenchmarkAblationCyclicVsSextuple: Kowari-style cyclic orderings
+// ({spo, pos, osp}) cannot provide a sorted subject list per property
+// (pso); they must assemble it from the pos index. Sextuple indexing
+// reads it directly.
+func BenchmarkAblationCyclicVsSextuple(b *testing.B) {
+	s, ids := lubmFixture(b)
+	p := ids.DegreeProps[0]
+	b.Run("SextuplePSO", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = s.Hexa.Head(core.PSO, p).Keys()
+		}
+	})
+	b.Run("CyclicViaPOS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var lists []*idlist.List
+			s.Hexa.Head(core.POS, p).Range(func(_ core.ID, subjs *idlist.List) bool {
+				lists = append(lists, subjs)
+				return true
+			})
+			_ = idlist.UnionAll(lists)
+		}
+	})
+}
+
+// BenchmarkAblationPathExpression: §4.3 — with pso and pos the first
+// path join is a merge-join; a subject-sorted-only store must collect
+// an unsorted frontier and sort it.
+func BenchmarkAblationPathExpression(b *testing.B) {
+	s, ids := lubmFixture(b)
+	advisorID, _ := s.Dict.Lookup(lubm.PropAdvisor)
+	teacherID := ids.TeacherOf
+	path := []query.ID{advisorID, teacherID} // advisee → advisor → course
+	eng := query.NewEngine(s.Hexa)
+	b.Run("HexastorePsoPos", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = eng.PathEndpoints(path)
+		}
+	})
+	b.Run("SubjectSortedOnly", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// COVP1-style: frontier assembled unsorted from the pso
+			// table of the first property, deduped and sorted, then
+			// joined per hop.
+			var fb idlist.Builder
+			s.C1.SubjectVec(path[0]).Range(func(_ vp.ID, objs *idlist.List) bool {
+				objs.Range(func(o vp.ID) bool {
+					fb.Add(o)
+					return true
+				})
+				return true
+			})
+			frontier := fb.Finish()
+			for _, p := range path[1:] {
+				sv := s.C1.SubjectVec(p)
+				var nb idlist.Builder
+				idlist.MergeJoin(frontier, sv.KeyList(), func(node vp.ID) {
+					objs, _ := sv.Find(node)
+					objs.Range(func(o vp.ID) bool {
+						nb.Add(o)
+						return true
+					})
+				})
+				frontier = nb.Finish()
+			}
+		}
+	})
+}
+
+// BenchmarkUpdateCost: single-triple insert+delete maintains six indices
+// in a Hexastore versus one table in COVP1 (§4.2's noted deficiency).
+func BenchmarkUpdateCost(b *testing.B) {
+	data := lubm.Config{Universities: 2, Seed: 3}.GenerateAll()
+	s := queries.Load(data)
+	b.Run("HexastoreAddRemove", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			id := core.ID(1_000_000 + i)
+			s.Hexa.Add(id, 1, id+1)
+			s.Hexa.Remove(id, 1, id+1)
+		}
+	})
+	b.Run("COVP1AddRemove", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			id := vp.ID(1_000_000 + i)
+			s.C1.Add(id, 1, id+1)
+			s.C1.Remove(id, 1, id+1)
+		}
+	})
+}
+
+// BenchmarkBulkLoadVsIncremental quantifies the Builder's advantage.
+func BenchmarkBulkLoadVsIncremental(b *testing.B) {
+	data := lubm.Config{Universities: 1, Seed: 4}.GenerateAll()
+	dict := hexastore.NewDictionary()
+	encoded := make([][3]core.ID, len(data))
+	for i, t := range data {
+		s, p, o := dict.EncodeTriple(t)
+		encoded[i] = [3]core.ID{s, p, o}
+	}
+	b.Run("Builder", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bl := core.NewBuilder(dict)
+			for _, t := range encoded {
+				bl.Add(t[0], t[1], t[2])
+			}
+			_ = bl.Build()
+		}
+	})
+	b.Run("IncrementalAdd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := hexastore.NewWithDictionary(dict)
+			for _, t := range encoded {
+				st.Add(t[0], t[1], t[2])
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotRestore measures the disk-image future-work feature.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	s, _ := lubmFixture(b)
+	var buf bytes.Buffer
+	if err := s.Hexa.Snapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.Run("Snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var w bytes.Buffer
+			if err := s.Hexa.Snapshot(&w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Restore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Restore(bytes.NewReader(raw)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSPARQLJoin times the general-purpose BGP evaluator.
+func BenchmarkSPARQLJoin(b *testing.B) {
+	s, _ := lubmFixture(b)
+	q, err := sparql.Parse(`
+		SELECT ?student ?course WHERE {
+			?student <lubm:advisor> ?prof .
+			?prof <lubm:teacherOf> ?course .
+			?student <lubm:takesCourse> ?course
+		}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sparql.Eval(s.Hexa, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

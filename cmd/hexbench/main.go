@@ -1,0 +1,103 @@
+// Command hexbench regenerates the tables behind every figure of the
+// Hexastore paper's evaluation section (Figures 3–15).
+//
+// Usage:
+//
+//	hexbench -all                        # every figure, default scale
+//	hexbench -fig fig10                  # one figure
+//	hexbench -fig fig04,fig05 -records 60000 -steps 6 -repeats 3
+//
+// Output is one aligned table per figure: rows are data-prefix sizes,
+// columns are the competing stores (response time in seconds, memory in
+// MB for fig15a/fig15b). The paper plots these series on log axes; the
+// reproduction target is the shape — who wins and by how many orders of
+// magnitude — not absolute numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hexastore/internal/bench"
+)
+
+func main() {
+	var (
+		figFlag  = flag.String("fig", "", "comma-separated figure ids (e.g. fig03,fig10); empty with -all for everything")
+		all      = flag.Bool("all", false, "run every figure")
+		records  = flag.Int("records", 30000, "Barton catalog records to generate")
+		univs    = flag.Int("universities", 10, "LUBM universities to generate")
+		steps    = flag.Int("steps", 6, "prefix points per figure")
+		repeats  = flag.Int("repeats", 3, "timing repeats per point (best-of)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+		listFlag = flag.Bool("list", false, "list known figure ids and exit")
+		ablation = flag.String("ablation", "", "comma-separated extension ablations (disk,cracking,kowari) or 'all'")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, id := range bench.FigureIDs {
+			fmt.Println(id)
+		}
+		for _, id := range bench.AblationIDs {
+			fmt.Println("ablation-" + id)
+		}
+		return
+	}
+
+	var ids []string
+	if *figFlag != "" {
+		ids = strings.Split(*figFlag, ",")
+	} else if !*all && *ablation == "" {
+		fmt.Fprintln(os.Stderr, "hexbench: pass -all, -fig <ids>, or -ablation <ids>; see -list for ids")
+		os.Exit(2)
+	}
+
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, msg)
+		}
+	}
+
+	cfg := bench.Config{
+		BartonRecords:    *records,
+		LUBMUniversities: *univs,
+		Steps:            *steps,
+		Repeats:          *repeats,
+		Seed:             *seed,
+	}
+	if *all || *figFlag != "" {
+		figs, err := bench.Run(cfg, ids, progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			if err := f.WriteTable(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *ablation != "" {
+		var abl []string
+		if *ablation != "all" {
+			abl = strings.Split(*ablation, ",")
+		}
+		figs, err := bench.RunAblations(cfg, abl, progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			if err := f.WriteTable(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

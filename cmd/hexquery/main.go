@@ -1,0 +1,116 @@
+// Command hexquery loads RDF data and runs SPARQL-subset queries
+// against a Hexastore.
+//
+// Usage:
+//
+//	hexquery -f data.nt 'SELECT ?s WHERE { ?s <type> <Text> } LIMIT 10'
+//	hexquery -turtle data.ttl 'ASK { <alice> <knows> <bob> }'
+//	hexquery -restore data.hex 'SELECT DISTINCT ?p WHERE { <alice> ?p ?o }'
+//	hexquery -disk /path/to/store 'SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 5'
+//
+// With no query argument the query text is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hexastore"
+	"hexastore/internal/disk"
+	"hexastore/internal/sparql"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "N-Triples file to load")
+		turtle  = flag.String("turtle", "", "Turtle file to load instead of -f")
+		restore = flag.String("restore", "", "binary snapshot to load instead of -f")
+		diskDir = flag.String("disk", "", "query an existing disk-based Hexastore directory")
+	)
+	flag.Parse()
+
+	var (
+		st      *hexastore.Store
+		diskSt  *disk.Store
+		err     error
+		triples int
+	)
+	switch {
+	case *diskDir != "":
+		diskSt, err = disk.Open(*diskDir, disk.Options{CacheSize: 4096})
+	case *restore != "":
+		var f *os.File
+		if f, err = os.Open(*restore); err == nil {
+			st, err = hexastore.Restore(f)
+			f.Close()
+		}
+	case *turtle != "":
+		var f *os.File
+		if f, err = os.Open(*turtle); err == nil {
+			st, err = hexastore.LoadTurtle(f)
+			f.Close()
+		}
+	case *file != "":
+		var f *os.File
+		if f, err = os.Open(*file); err == nil {
+			st, err = hexastore.LoadNTriples(f)
+			f.Close()
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "hexquery: pass -f data.nt, -turtle data.ttl, -restore data.hex, or -disk dir")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hexquery: %v\n", err)
+		os.Exit(1)
+	}
+
+	src := ""
+	if flag.NArg() > 0 {
+		src = flag.Arg(0)
+	} else {
+		raw, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hexquery: reading stdin: %v\n", err)
+			os.Exit(1)
+		}
+		src = string(raw)
+	}
+
+	start := time.Now()
+	var res *hexastore.Result
+	if diskSt != nil {
+		res, err = sparql.ExecSource(diskSt, src)
+		triples = diskSt.Len()
+		defer diskSt.Close()
+	} else {
+		res, err = hexastore.Query(st, src)
+		triples = st.Len()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hexquery: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	if res.IsAsk {
+		fmt.Println(res.Answer)
+		fmt.Fprintf(os.Stderr, "answered in %v over %d triples\n", elapsed, triples)
+		return
+	}
+	res.SortRows()
+	for _, v := range res.Vars {
+		fmt.Printf("?%s\t", v)
+	}
+	fmt.Println()
+	for _, row := range res.Rows {
+		for _, v := range res.Vars {
+			fmt.Printf("%s\t", row[v])
+		}
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "%d rows in %v over %d triples\n", len(res.Rows), elapsed, triples)
+}

@@ -1,0 +1,77 @@
+// Command hexserver serves a Hexastore over HTTP: a SPARQL-subset query
+// endpoint (SPARQL 1.1 JSON results), bulk N-Triples/Turtle ingestion,
+// and index statistics.
+//
+// Usage:
+//
+//	hexserver [-addr :8751] [-load data.nt] [-turtle data.ttl]
+//
+// Endpoints:
+//
+//	GET/POST /sparql?query=SELECT...   run a query
+//	POST     /triples                  ingest N-Triples (or text/turtle)
+//	GET      /stats                    index statistics
+//	GET      /healthz                  liveness probe
+//
+// Example session:
+//
+//	hexserver -load university.nt &
+//	curl 'localhost:8751/sparql?query=SELECT+?s+WHERE+{?s+?p+?o}+LIMIT+5'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"hexastore/internal/core"
+	"hexastore/internal/rdf"
+	"hexastore/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8751", "listen address")
+	load := flag.String("load", "", "N-Triples file to load at startup")
+	turtle := flag.String("turtle", "", "Turtle file to load at startup")
+	flag.Parse()
+
+	st := core.New()
+	if *load != "" {
+		if err := loadFile(st, *load, false); err != nil {
+			log.Fatalf("hexserver: %v", err)
+		}
+	}
+	if *turtle != "" {
+		if err := loadFile(st, *turtle, true); err != nil {
+			log.Fatalf("hexserver: %v", err)
+		}
+	}
+	log.Printf("hexserver: %d triples loaded, listening on %s", st.Len(), *addr)
+	srv := server.New(st)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatalf("hexserver: %v", err)
+	}
+}
+
+func loadFile(st *core.Store, path string, asTurtle bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var triples []rdf.Triple
+	if asTurtle {
+		triples, err = rdf.NewTurtleReader(f).ReadAll()
+	} else {
+		triples, err = rdf.NewReader(f).ReadAll()
+	}
+	if err != nil {
+		return fmt.Errorf("load %s: %w", path, err)
+	}
+	for _, t := range triples {
+		st.AddTriple(t)
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+// Package hexastore is a production-quality, in-memory RDF triple store
+// implementing the sextuple-indexing architecture of Weiss, Karras and
+// Bernstein, "Hexastore: Sextuple Indexing for Semantic Web Data
+// Management" (VLDB 2008).
+//
+// A Hexastore materializes all six orderings of the RDF triple elements
+// (spo, sop, pso, pos, osp, ops), sharing terminal lists between index
+// pairs so the worst-case space overhead over a plain triples table is
+// five-fold, not six-fold. In exchange, every statement pattern — with
+// any combination of bound subject, predicate and object — is answered
+// from a purpose-built index, and all first-step pairwise joins are
+// linear merge-joins over sorted vectors.
+//
+// # Quick start
+//
+//	st := hexastore.New()
+//	st.AddTriple(hexastore.T(
+//	    hexastore.IRI("alice"), hexastore.IRI("knows"), hexastore.IRI("bob")))
+//
+//	res, err := hexastore.Query(st, `SELECT ?who WHERE { <alice> <knows> ?who }`)
+//
+// Bulk loads should use NewBuilder (sort-once construction) or
+// LoadNTriples for N-Triples streams. See the examples directory for
+// complete programs, and DESIGN.md / EXPERIMENTS.md for the paper
+// reproduction.
+package hexastore
+
+import (
+	"io"
+
+	"hexastore/internal/core"
+	"hexastore/internal/dictionary"
+	"hexastore/internal/idlist"
+	"hexastore/internal/query"
+	"hexastore/internal/rdf"
+	"hexastore/internal/sparql"
+)
+
+// Core data-model types.
+type (
+	// Store is the six-index Hexastore.
+	Store = core.Store
+	// Builder bulk-loads a Store (sort-once, much faster than repeated Add).
+	Builder = core.Builder
+	// Stats reports index sizes and the §4.1 space-expansion factor.
+	Stats = core.Stats
+	// Index names one of the six orderings (SPO … OPS).
+	Index = core.Index
+	// Vec is a sorted key vector with terminal lists, one level of an index.
+	Vec = core.Vec
+	// List is a sorted id list, the merge-join substrate.
+	List = idlist.List
+	// ID is a dictionary-encoded resource identifier.
+	ID = dictionary.ID
+	// Dictionary maps RDF terms to IDs and back.
+	Dictionary = dictionary.Dictionary
+	// Term is an RDF term (IRI, literal, or blank node).
+	Term = rdf.Term
+	// Triple is one RDF statement.
+	Triple = rdf.Triple
+	// Engine evaluates patterns, joins and path expressions over a Store.
+	Engine = query.Engine
+	// Pattern is a triple pattern with None as the wildcard.
+	Pattern = query.Pattern
+	// Result holds SPARQL-subset query solutions.
+	Result = sparql.Result
+	// Row is one query solution.
+	Row = sparql.Row
+)
+
+// None is the unbound/wildcard marker in patterns.
+const None = dictionary.None
+
+// The six index orderings.
+const (
+	SPO = core.SPO
+	SOP = core.SOP
+	PSO = core.PSO
+	POS = core.POS
+	OSP = core.OSP
+	OPS = core.OPS
+)
+
+// New returns an empty Hexastore with a fresh dictionary.
+func New() *Store { return core.New() }
+
+// NewWithDictionary returns an empty Hexastore sharing dict.
+func NewWithDictionary(dict *Dictionary) *Store { return core.NewShared(dict) }
+
+// NewDictionary returns an empty term dictionary.
+func NewDictionary() *Dictionary { return dictionary.New() }
+
+// NewBuilder returns a bulk loader producing a Store that shares dict
+// (pass nil for a fresh dictionary).
+func NewBuilder(dict *Dictionary) *Builder { return core.NewBuilder(dict) }
+
+// NewEngine returns a query engine over st.
+func NewEngine(st *Store) *Engine { return query.NewEngine(st) }
+
+// IRI returns an IRI term.
+func IRI(iri string) Term { return rdf.NewIRI(iri) }
+
+// Literal returns a literal term.
+func Literal(value string) Term { return rdf.NewLiteral(value) }
+
+// Blank returns a blank-node term.
+func Blank(label string) Term { return rdf.NewBlank(label) }
+
+// T assembles a triple from three terms.
+func T(s, p, o Term) Triple { return rdf.T(s, p, o) }
+
+// ParseTriple parses one N-Triples line.
+func ParseTriple(line string) (Triple, error) { return rdf.ParseTriple(line) }
+
+// LoadNTriples bulk-loads an N-Triples stream into a new Store.
+func LoadNTriples(r io.Reader) (*Store, error) {
+	b := core.NewBuilder(nil)
+	rd := rdf.NewReader(r)
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			return b.Build(), nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		b.AddTriple(t)
+	}
+}
+
+// WriteNTriples serializes every triple of st to w in N-Triples syntax.
+func WriteNTriples(st *Store, w io.Writer) error {
+	nw := rdf.NewWriter(w)
+	var werr error
+	if err := st.DecodeMatch(None, None, None, func(t Triple) bool {
+		werr = nw.Write(t)
+		return werr == nil
+	}); err != nil {
+		return err
+	}
+	if werr != nil {
+		return werr
+	}
+	return nw.Flush()
+}
+
+// Query parses and evaluates a SPARQL-subset SELECT query against st.
+// See package sparql for the supported grammar (PREFIX, FILTER,
+// OPTIONAL, UNION, ORDER BY, LIMIT, OFFSET).
+func Query(st *Store, src string) (*Result, error) { return sparql.Exec(st, src) }
+
+// Planner evaluates queries with cost-based pattern ordering driven by
+// dataset statistics. Build one per store and reuse it across queries.
+type Planner = sparql.Planner
+
+// NewPlanner builds dataset statistics for st and returns a cost-based
+// query planner.
+func NewPlanner(st *Store) *Planner { return sparql.NewPlanner(st) }
+
+// LoadTurtle bulk-loads a Turtle stream into a new Store. The supported
+// Turtle subset covers @prefix/@base, prefixed names, 'a', predicate and
+// object lists, and literal suffixes; see rdf.TurtleReader.
+func LoadTurtle(r io.Reader) (*Store, error) {
+	b := core.NewBuilder(nil)
+	rd := rdf.NewTurtleReader(r)
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			return b.Build(), nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		b.AddTriple(t)
+	}
+}
+
+// ParseTurtle parses a complete Turtle document.
+func ParseTurtle(src string) ([]Triple, error) { return rdf.ParseTurtle(src) }
+
+// WriteTurtle serializes every triple of st to w in Turtle syntax,
+// compacting IRIs against the given prefix map and grouping triples by
+// subject (the spo iteration order makes the grouping maximal).
+func WriteTurtle(st *Store, w io.Writer, prefixes map[string]string) error {
+	var triples []Triple
+	if err := st.DecodeMatch(None, None, None, func(t Triple) bool {
+		triples = append(triples, t)
+		return true
+	}); err != nil {
+		return err
+	}
+	return rdf.WriteTurtle(w, prefixes, triples)
+}
+
+// Restore reads a snapshot written with (*Store).Snapshot.
+func Restore(r io.Reader) (*Store, error) { return core.Restore(r) }

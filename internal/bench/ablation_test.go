@@ -1,0 +1,43 @@
+package bench
+
+import "testing"
+
+func TestRunAblationsProducesAllTables(t *testing.T) {
+	cfg := Config{LUBMUniversities: 1, Steps: 2, Repeats: 1, Seed: 1}
+	figs, err := RunAblations(cfg, nil, nil)
+	if err != nil {
+		t.Fatalf("RunAblations: %v", err)
+	}
+	if len(figs) != len(AblationIDs) {
+		t.Fatalf("figures = %d, want %d", len(figs), len(AblationIDs))
+	}
+	for _, f := range figs {
+		if len(f.Series) != 2 {
+			t.Fatalf("%s: series = %d, want 2", f.ID, len(f.Series))
+		}
+		for _, s := range f.Series {
+			if len(s.Points) != 2 {
+				t.Fatalf("%s/%s: points = %d, want 2", f.ID, s.Name, len(s.Points))
+			}
+			for _, p := range s.Points {
+				if p.Value < 0 {
+					t.Fatalf("%s/%s: negative timing %f", f.ID, s.Name, p.Value)
+				}
+			}
+		}
+	}
+}
+
+func TestRunAblationsSubsetAndUnknown(t *testing.T) {
+	cfg := Config{LUBMUniversities: 1, Steps: 2, Repeats: 1, Seed: 1}
+	figs, err := RunAblations(cfg, []string{"kowari"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 || figs[0].ID != "ablation-kowari" {
+		t.Fatalf("figs = %v", figs)
+	}
+	if _, err := RunAblations(cfg, []string{"bogus"}, nil); err == nil {
+		t.Fatal("unknown ablation id accepted")
+	}
+}

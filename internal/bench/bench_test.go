@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinyConfig() Config {
+	return Config{BartonRecords: 1500, LUBMUniversities: 2, Steps: 3, Repeats: 1, Seed: 2}
+}
+
+func TestRunAllFiguresSmoke(t *testing.T) {
+	figs, err := Run(tinyConfig(), nil, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(figs) != len(FigureIDs) {
+		t.Fatalf("Run produced %d figures, want %d", len(figs), len(FigureIDs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		seen[f.ID] = true
+		if len(f.Series) == 0 {
+			t.Errorf("%s has no series", f.ID)
+			continue
+		}
+		for _, s := range f.Series {
+			if len(s.Points) != 3 {
+				t.Errorf("%s/%s has %d points, want 3", f.ID, s.Name, len(s.Points))
+			}
+			for _, p := range s.Points {
+				if p.Triples <= 0 || p.Value < 0 {
+					t.Errorf("%s/%s has bad point %+v", f.ID, s.Name, p)
+				}
+			}
+			// Prefix sizes must be increasing.
+			for i := 1; i < len(s.Points); i++ {
+				if s.Points[i].Triples <= s.Points[i-1].Triples {
+					t.Errorf("%s/%s non-increasing prefixes", f.ID, s.Name)
+				}
+			}
+		}
+	}
+	for _, id := range FigureIDs {
+		if !seen[id] {
+			t.Errorf("figure %s missing from results", id)
+		}
+	}
+}
+
+func TestSeriesCounts(t *testing.T) {
+	figs, err := Run(tinyConfig(), []string{"fig04", "fig07", "fig15b"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"fig04": 6, "fig07": 3, "fig15b": 3}
+	if len(figs) != len(want) {
+		t.Fatalf("got %d figures, want %d", len(figs), len(want))
+	}
+	for _, f := range figs {
+		if len(f.Series) != want[f.ID] {
+			t.Errorf("%s has %d series, want %d", f.ID, len(f.Series), want[f.ID])
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := Run(tinyConfig(), []string{"fig99"}, nil); err == nil {
+		t.Error("Run with unknown figure id succeeded")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	figs, err := Run(tinyConfig(), []string{"fig10"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := figs[0].WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig10", "LUBM data set, Query 1", "Hexastore", "COVP1", "COVP2", "triples"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 5 {
+		t.Errorf("table has only %d lines:\n%s", lines, out)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var msgs []string
+	_, err := Run(tinyConfig(), []string{"fig10"}, func(m string) { msgs = append(msgs, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 {
+		t.Errorf("progress called %d times, want 3 (one per prefix)", len(msgs))
+	}
+}
+
+func TestPrefixSizes(t *testing.T) {
+	got := prefixSizes(100, 4)
+	want := []int{25, 50, 75, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prefixSizes(100,4) = %v, want %v", got, want)
+		}
+	}
+	if got := prefixSizes(10, 0); len(got) != 1 || got[0] != 10 {
+		t.Errorf("prefixSizes(10,0) = %v", got)
+	}
+}
+
+// TestExpectedPerformanceShape checks the reproduction target at a small
+// scale: on the object-bound LUBM queries the Hexastore must beat COVP1,
+// and memory must order Hexastore > COVP2 > COVP1 (paper §5.3.3).
+func TestExpectedPerformanceShape(t *testing.T) {
+	cfg := Config{BartonRecords: 1500, LUBMUniversities: 3, Steps: 1, Repeats: 3, Seed: 2}
+	figs, err := Run(cfg, []string{"fig10", "fig15b"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]*Figure{}
+	for _, f := range figs {
+		byID[f.ID] = f
+	}
+	last := func(f *Figure, series string) float64 {
+		for _, s := range f.Series {
+			if s.Name == series {
+				return s.Points[len(s.Points)-1].Value
+			}
+		}
+		t.Fatalf("%s: series %q missing", f.ID, series)
+		return 0
+	}
+
+	lq1 := byID["fig10"]
+	if h, c1 := last(lq1, "Hexastore"), last(lq1, "COVP1"); h >= c1 {
+		t.Errorf("LQ1: Hexastore (%.6fs) not faster than COVP1 (%.6fs)", h, c1)
+	}
+
+	mem := byID["fig15b"]
+	h, c1, c2 := last(mem, "Hexastore"), last(mem, "COVP1"), last(mem, "COVP2")
+	if !(h > c2 && c2 > c1) {
+		t.Errorf("memory ordering hexa=%.2f covp2=%.2f covp1=%.2f MB; want hexa > covp2 > covp1", h, c2, c1)
+	}
+}

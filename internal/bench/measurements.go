@@ -1,0 +1,95 @@
+package bench
+
+import "hexastore/internal/queries"
+
+// bartonMeasurements builds the timed query closures for the requested
+// Barton figures on the loaded stores. Figures with 28-property variants
+// get six series (paper Figures 4, 5, 6, 8); the others get three.
+func bartonMeasurements(s *queries.Stores, want map[string]bool) []measurement {
+	ids := queries.ResolveBarton(s.Dict)
+	var ms []measurement
+	add := func(figID, series string, run func()) {
+		if want[figID] {
+			ms = append(ms, measurement{figID: figID, series: series, run: run})
+		}
+	}
+
+	add("fig03", "Hexastore", func() { queries.BQ1Hexa(s.Hexa, ids) })
+	add("fig03", "COVP1", func() { queries.BQ1COVP(s.C1, ids) })
+	add("fig03", "COVP2", func() { queries.BQ1COVP(s.C2, ids) })
+
+	// The four non-property-bound queries, run both unrestricted and
+	// restricted to the pre-selected 28 properties (suffix "_28").
+	restricted := ids.Restricted28
+	add("fig04", "Hexastore", func() { queries.BQ2Hexa(s.Hexa, ids, nil) })
+	add("fig04", "COVP1", func() { queries.BQ2COVP(s.C1, ids, nil) })
+	add("fig04", "COVP2", func() { queries.BQ2COVP(s.C2, ids, nil) })
+	add("fig04", "Hexastore_28", func() { queries.BQ2Hexa(s.Hexa, ids, restricted) })
+	add("fig04", "COVP1_28", func() { queries.BQ2COVP(s.C1, ids, restricted) })
+	add("fig04", "COVP2_28", func() { queries.BQ2COVP(s.C2, ids, restricted) })
+
+	add("fig05", "Hexastore", func() { queries.BQ3Hexa(s.Hexa, ids, nil) })
+	add("fig05", "COVP1", func() { queries.BQ3COVP(s.C1, ids, nil) })
+	add("fig05", "COVP2", func() { queries.BQ3COVP(s.C2, ids, nil) })
+	add("fig05", "Hexastore_28", func() { queries.BQ3Hexa(s.Hexa, ids, restricted) })
+	add("fig05", "COVP1_28", func() { queries.BQ3COVP(s.C1, ids, restricted) })
+	add("fig05", "COVP2_28", func() { queries.BQ3COVP(s.C2, ids, restricted) })
+
+	add("fig06", "Hexastore", func() { queries.BQ4Hexa(s.Hexa, ids, nil) })
+	add("fig06", "COVP1", func() { queries.BQ4COVP(s.C1, ids, nil) })
+	add("fig06", "COVP2", func() { queries.BQ4COVP(s.C2, ids, nil) })
+	add("fig06", "Hexastore_28", func() { queries.BQ4Hexa(s.Hexa, ids, restricted) })
+	add("fig06", "COVP1_28", func() { queries.BQ4COVP(s.C1, ids, restricted) })
+	add("fig06", "COVP2_28", func() { queries.BQ4COVP(s.C2, ids, restricted) })
+
+	add("fig07", "Hexastore", func() { queries.BQ5Hexa(s.Hexa, ids) })
+	add("fig07", "COVP1", func() { queries.BQ5COVP(s.C1, ids) })
+	add("fig07", "COVP2", func() { queries.BQ5COVP(s.C2, ids) })
+
+	add("fig08", "Hexastore", func() { queries.BQ6Hexa(s.Hexa, ids, nil) })
+	add("fig08", "COVP1", func() { queries.BQ6COVP(s.C1, ids, nil) })
+	add("fig08", "COVP2", func() { queries.BQ6COVP(s.C2, ids, nil) })
+	add("fig08", "Hexastore_28", func() { queries.BQ6Hexa(s.Hexa, ids, restricted) })
+	add("fig08", "COVP1_28", func() { queries.BQ6COVP(s.C1, ids, restricted) })
+	add("fig08", "COVP2_28", func() { queries.BQ6COVP(s.C2, ids, restricted) })
+
+	add("fig09", "Hexastore", func() { queries.BQ7Hexa(s.Hexa, ids) })
+	add("fig09", "COVP1", func() { queries.BQ7COVP(s.C1, ids) })
+	add("fig09", "COVP2", func() { queries.BQ7COVP(s.C2, ids) })
+
+	return ms
+}
+
+// lubmMeasurements builds the timed query closures for the requested
+// LUBM figures.
+func lubmMeasurements(s *queries.Stores, want map[string]bool) []measurement {
+	ids := queries.ResolveLUBM(s.Dict)
+	var ms []measurement
+	add := func(figID, series string, run func()) {
+		if want[figID] {
+			ms = append(ms, measurement{figID: figID, series: series, run: run})
+		}
+	}
+
+	add("fig10", "Hexastore", func() { queries.RelatedHexa(s.Hexa, ids.Course10) })
+	add("fig10", "COVP1", func() { queries.RelatedCOVP(s.C1, ids.Course10) })
+	add("fig10", "COVP2", func() { queries.RelatedCOVP(s.C2, ids.Course10) })
+
+	add("fig11", "Hexastore", func() { queries.RelatedHexa(s.Hexa, ids.University0) })
+	add("fig11", "COVP1", func() { queries.RelatedCOVP(s.C1, ids.University0) })
+	add("fig11", "COVP2", func() { queries.RelatedCOVP(s.C2, ids.University0) })
+
+	add("fig12", "Hexastore", func() { queries.LQ3Hexa(s.Hexa, ids.AssocProf10) })
+	add("fig12", "COVP1", func() { queries.LQ3COVP(s.C1, ids.AssocProf10) })
+	add("fig12", "COVP2", func() { queries.LQ3COVP(s.C2, ids.AssocProf10) })
+
+	add("fig13", "Hexastore", func() { queries.LQ4Hexa(s.Hexa, ids) })
+	add("fig13", "COVP1", func() { queries.LQ4COVP(s.C1, ids) })
+	add("fig13", "COVP2", func() { queries.LQ4COVP(s.C2, ids) })
+
+	add("fig14", "Hexastore", func() { queries.LQ5Hexa(s.Hexa, ids) })
+	add("fig14", "COVP1", func() { queries.LQ5COVP(s.C1, ids) })
+	add("fig14", "COVP2", func() { queries.LQ5COVP(s.C2, ids) })
+
+	return ms
+}

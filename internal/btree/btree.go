@@ -1,0 +1,656 @@
+// Package btree implements an on-disk B+-tree over fixed-width triple
+// keys, the index structure of the disk-based Hexastore (paper §7 future
+// work). Each of the six orderings of a disk Hexastore is one Tree whose
+// keys are the triples permuted into that ordering, so every statement
+// pattern becomes a prefix range scan.
+//
+// Keys are 24-byte [3]uint64 values compared lexicographically. Leaves
+// are chained for range scans. Deletion is lazy (keys are removed from
+// leaves without rebalancing), which keeps the write path simple and
+// matches the paper's observation that RDF workloads are read-heavy.
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hexastore/internal/pagefile"
+)
+
+// Key is a lexicographically ordered triple of ids.
+type Key [3]uint64
+
+// Compare returns -1, 0, or +1 ordering a against b lexicographically.
+func Compare(a, b Key) int {
+	for i := 0; i < 3; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports a < b.
+func Less(a, b Key) bool { return Compare(a, b) < 0 }
+
+// MaxKey is the largest possible key, useful as an inclusive scan bound.
+var MaxKey = Key{^uint64(0), ^uint64(0), ^uint64(0)}
+
+// Page layout. Both node kinds begin with a one-byte type tag and a
+// two-byte key count.
+//
+//	leaf:     [0]=tagLeaf  [2:4]=count [4:8]=next leaf id   [8:]=keys
+//	internal: [0]=tagInner [2:4]=count [8:8+4*(maxInnerKeys+1)]=children
+//	          [innerKeysOff:]=keys
+const (
+	tagLeaf  = 1
+	tagInner = 2
+
+	keySize = 24
+
+	leafKeysOff = 8
+	// MaxLeafKeys is the leaf fanout.
+	MaxLeafKeys = (pagefile.PayloadSize - leafKeysOff) / keySize
+
+	// MaxInnerKeys is the internal fanout minus one.
+	MaxInnerKeys = (pagefile.PayloadSize - 8 - 4) / (keySize + 4)
+	childrenOff  = 8
+	innerKeysOff = childrenOff + 4*(MaxInnerKeys+1)
+)
+
+// Tree is a B+-tree stored in a pagefile. It persists its root page id
+// and key count in two root slots of the pagefile, so a Tree survives
+// closing and reopening the file. A Tree is not safe for concurrent use;
+// the disk store provides synchronization.
+type Tree struct {
+	pf        *pagefile.File
+	rootSlot  int
+	countSlot int
+	root      pagefile.PageID
+	count     uint64
+}
+
+// New attaches to the tree whose state lives in the given root slots of
+// pf, creating an empty tree if the slots are zero.
+func New(pf *pagefile.File, rootSlot, countSlot int) *Tree {
+	return &Tree{
+		pf:        pf,
+		rootSlot:  rootSlot,
+		countSlot: countSlot,
+		root:      pagefile.PageID(pf.Root(rootSlot)),
+		count:     pf.Root(countSlot),
+	}
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() uint64 { return t.count }
+
+func (t *Tree) setRoot(id pagefile.PageID) {
+	t.root = id
+	t.pf.SetRoot(t.rootSlot, uint64(id))
+}
+
+func (t *Tree) setCount(n uint64) {
+	t.count = n
+	t.pf.SetRoot(t.countSlot, n)
+}
+
+// node accessors over a raw page payload.
+
+func nodeTag(d []byte) byte  { return d[0] }
+func nodeCount(d []byte) int { return int(binary.LittleEndian.Uint16(d[2:4])) }
+func setNodeCount(d []byte, n int) {
+	binary.LittleEndian.PutUint16(d[2:4], uint16(n))
+}
+
+func leafNext(d []byte) pagefile.PageID {
+	return pagefile.PageID(binary.LittleEndian.Uint32(d[4:8]))
+}
+func setLeafNext(d []byte, id pagefile.PageID) {
+	binary.LittleEndian.PutUint32(d[4:8], uint32(id))
+}
+
+func keyAt(d []byte, off, i int) Key {
+	p := off + i*keySize
+	return Key{
+		binary.LittleEndian.Uint64(d[p:]),
+		binary.LittleEndian.Uint64(d[p+8:]),
+		binary.LittleEndian.Uint64(d[p+16:]),
+	}
+}
+
+func putKeyAt(d []byte, off, i int, k Key) {
+	p := off + i*keySize
+	binary.LittleEndian.PutUint64(d[p:], k[0])
+	binary.LittleEndian.PutUint64(d[p+8:], k[1])
+	binary.LittleEndian.PutUint64(d[p+16:], k[2])
+}
+
+func childAt(d []byte, i int) pagefile.PageID {
+	return pagefile.PageID(binary.LittleEndian.Uint32(d[childrenOff+4*i:]))
+}
+func putChildAt(d []byte, i int, id pagefile.PageID) {
+	binary.LittleEndian.PutUint32(d[childrenOff+4*i:], uint32(id))
+}
+
+// searchKeys returns the index of the first key at off >= k.
+func searchKeys(d []byte, off, count int, k Key) int {
+	lo, hi := 0, count
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if Less(keyAt(d, off, mid), k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// insertKeyAt shifts keys right and writes k at index i.
+func insertKeyAt(d []byte, off, count, i int, k Key) {
+	copy(d[off+(i+1)*keySize:off+(count+1)*keySize], d[off+i*keySize:off+count*keySize])
+	putKeyAt(d, off, i, k)
+}
+
+// removeKeyAt shifts keys left over index i.
+func removeKeyAt(d []byte, off, count, i int) {
+	copy(d[off+i*keySize:off+(count-1)*keySize], d[off+(i+1)*keySize:off+count*keySize])
+}
+
+// Contains reports whether k is in the tree.
+func (t *Tree) Contains(k Key) (bool, error) {
+	if t.root == pagefile.NilPage {
+		return false, nil
+	}
+	id := t.root
+	for {
+		p, err := t.pf.Get(id)
+		if err != nil {
+			return false, err
+		}
+		d := p.Data()
+		if nodeTag(d) == tagLeaf {
+			n := nodeCount(d)
+			i := searchKeys(d, leafKeysOff, n, k)
+			found := i < n && Compare(keyAt(d, leafKeysOff, i), k) == 0
+			t.pf.Release(p)
+			return found, nil
+		}
+		n := nodeCount(d)
+		i := searchKeys(d, innerKeysOff, n, k)
+		if i < n && Compare(keyAt(d, innerKeysOff, i), k) == 0 {
+			i++
+		}
+		id = childAt(d, i)
+		t.pf.Release(p)
+	}
+}
+
+// Insert adds k, reporting whether the tree changed (false if k was
+// already present).
+func (t *Tree) Insert(k Key) (bool, error) {
+	if t.root == pagefile.NilPage {
+		p, err := t.pf.Allocate()
+		if err != nil {
+			return false, err
+		}
+		d := p.Data()
+		d[0] = tagLeaf
+		setNodeCount(d, 1)
+		putKeyAt(d, leafKeysOff, 0, k)
+		p.MarkDirty()
+		t.setRoot(p.ID())
+		t.pf.Release(p)
+		t.setCount(1)
+		return true, nil
+	}
+	added, split, sep, right, err := t.insert(t.root, k)
+	if err != nil {
+		return false, err
+	}
+	if split {
+		// Grow a new root.
+		p, err := t.pf.Allocate()
+		if err != nil {
+			return false, err
+		}
+		d := p.Data()
+		d[0] = tagInner
+		setNodeCount(d, 1)
+		putKeyAt(d, innerKeysOff, 0, sep)
+		putChildAt(d, 0, t.root)
+		putChildAt(d, 1, right)
+		p.MarkDirty()
+		t.setRoot(p.ID())
+		t.pf.Release(p)
+	}
+	if added {
+		t.setCount(t.count + 1)
+	}
+	return added, nil
+}
+
+// insert descends into page id. When the child splits it returns
+// split=true with the separator key and the new right sibling's id.
+func (t *Tree) insert(id pagefile.PageID, k Key) (added, split bool, sep Key, right pagefile.PageID, err error) {
+	p, err := t.pf.Get(id)
+	if err != nil {
+		return false, false, Key{}, 0, err
+	}
+	defer t.pf.Release(p)
+	d := p.Data()
+
+	if nodeTag(d) == tagLeaf {
+		n := nodeCount(d)
+		i := searchKeys(d, leafKeysOff, n, k)
+		if i < n && Compare(keyAt(d, leafKeysOff, i), k) == 0 {
+			return false, false, Key{}, 0, nil
+		}
+		if n < MaxLeafKeys {
+			insertKeyAt(d, leafKeysOff, n, i, k)
+			setNodeCount(d, n+1)
+			p.MarkDirty()
+			return true, false, Key{}, 0, nil
+		}
+		// Split the leaf: left keeps [0:mid), right takes [mid:n); then
+		// insert k into the proper half.
+		rp, err := t.pf.Allocate()
+		if err != nil {
+			return false, false, Key{}, 0, err
+		}
+		defer t.pf.Release(rp)
+		rd := rp.Data()
+		rd[0] = tagLeaf
+		mid := n / 2
+		moved := n - mid
+		copy(rd[leafKeysOff:leafKeysOff+moved*keySize], d[leafKeysOff+mid*keySize:leafKeysOff+n*keySize])
+		setNodeCount(rd, moved)
+		setNodeCount(d, mid)
+		setLeafNext(rd, leafNext(d))
+		setLeafNext(d, rp.ID())
+		sep = keyAt(rd, leafKeysOff, 0)
+		if Less(k, sep) {
+			insertKeyAt(d, leafKeysOff, mid, searchKeys(d, leafKeysOff, mid, k), k)
+			setNodeCount(d, mid+1)
+		} else {
+			i := searchKeys(rd, leafKeysOff, moved, k)
+			insertKeyAt(rd, leafKeysOff, moved, i, k)
+			setNodeCount(rd, moved+1)
+		}
+		p.MarkDirty()
+		rp.MarkDirty()
+		return true, true, sep, rp.ID(), nil
+	}
+
+	// Internal node.
+	n := nodeCount(d)
+	ci := searchKeys(d, innerKeysOff, n, k)
+	if ci < n && Compare(keyAt(d, innerKeysOff, ci), k) == 0 {
+		ci++
+	}
+	added, csplit, csep, cright, err := t.insert(childAt(d, ci), k)
+	if err != nil || !csplit {
+		return added, false, Key{}, 0, err
+	}
+	if n < MaxInnerKeys {
+		insertKeyAt(d, innerKeysOff, n, ci, csep)
+		copy(d[childrenOff+4*(ci+2):childrenOff+4*(n+2)], d[childrenOff+4*(ci+1):childrenOff+4*(n+1)])
+		putChildAt(d, ci+1, cright)
+		setNodeCount(d, n+1)
+		p.MarkDirty()
+		return added, false, Key{}, 0, nil
+	}
+	// Split the internal node. Conceptually insert (csep, cright) then
+	// push up the median. Materialize the widened arrays first.
+	keys := make([]Key, 0, n+1)
+	children := make([]pagefile.PageID, 0, n+2)
+	for i := 0; i < n; i++ {
+		keys = append(keys, keyAt(d, innerKeysOff, i))
+	}
+	for i := 0; i <= n; i++ {
+		children = append(children, childAt(d, i))
+	}
+	keys = append(keys[:ci], append([]Key{csep}, keys[ci:]...)...)
+	children = append(children[:ci+1], append([]pagefile.PageID{cright}, children[ci+1:]...)...)
+
+	midI := len(keys) / 2
+	sep = keys[midI]
+	rp, err := t.pf.Allocate()
+	if err != nil {
+		return false, false, Key{}, 0, err
+	}
+	defer t.pf.Release(rp)
+	rd := rp.Data()
+	rd[0] = tagInner
+	rightKeys := keys[midI+1:]
+	rightChildren := children[midI+1:]
+	for i, kk := range rightKeys {
+		putKeyAt(rd, innerKeysOff, i, kk)
+	}
+	for i, c := range rightChildren {
+		putChildAt(rd, i, c)
+	}
+	setNodeCount(rd, len(rightKeys))
+	for i, kk := range keys[:midI] {
+		putKeyAt(d, innerKeysOff, i, kk)
+	}
+	for i, c := range children[:midI+1] {
+		putChildAt(d, i, c)
+	}
+	setNodeCount(d, midI)
+	p.MarkDirty()
+	rp.MarkDirty()
+	return added, true, sep, rp.ID(), nil
+}
+
+// Delete removes k, reporting whether the tree changed. Leaves are not
+// rebalanced or reclaimed (lazy deletion): scans skip empty leaves via
+// the leaf chain.
+func (t *Tree) Delete(k Key) (bool, error) {
+	if t.root == pagefile.NilPage {
+		return false, nil
+	}
+	id := t.root
+	for {
+		p, err := t.pf.Get(id)
+		if err != nil {
+			return false, err
+		}
+		d := p.Data()
+		if nodeTag(d) == tagLeaf {
+			n := nodeCount(d)
+			i := searchKeys(d, leafKeysOff, n, k)
+			if i >= n || Compare(keyAt(d, leafKeysOff, i), k) != 0 {
+				t.pf.Release(p)
+				return false, nil
+			}
+			removeKeyAt(d, leafKeysOff, n, i)
+			setNodeCount(d, n-1)
+			p.MarkDirty()
+			t.pf.Release(p)
+			t.setCount(t.count - 1)
+			return true, nil
+		}
+		n := nodeCount(d)
+		i := searchKeys(d, innerKeysOff, n, k)
+		if i < n && Compare(keyAt(d, innerKeysOff, i), k) == 0 {
+			i++
+		}
+		id = childAt(d, i)
+		t.pf.Release(p)
+	}
+}
+
+// Scan streams every key in [lo, hi] to fn in ascending order, stopping
+// early when fn returns false.
+func (t *Tree) Scan(lo, hi Key, fn func(Key) bool) error {
+	if t.root == pagefile.NilPage || Less(hi, lo) {
+		return nil
+	}
+	// Descend to the leaf that would contain lo.
+	id := t.root
+	for {
+		p, err := t.pf.Get(id)
+		if err != nil {
+			return err
+		}
+		d := p.Data()
+		if nodeTag(d) == tagLeaf {
+			t.pf.Release(p)
+			break
+		}
+		n := nodeCount(d)
+		i := searchKeys(d, innerKeysOff, n, lo)
+		if i < n && Compare(keyAt(d, innerKeysOff, i), lo) == 0 {
+			i++
+		}
+		id = childAt(d, i)
+		t.pf.Release(p)
+	}
+	// Walk the leaf chain.
+	for id != pagefile.NilPage {
+		p, err := t.pf.Get(id)
+		if err != nil {
+			return err
+		}
+		d := p.Data()
+		n := nodeCount(d)
+		i := searchKeys(d, leafKeysOff, n, lo)
+		for ; i < n; i++ {
+			k := keyAt(d, leafKeysOff, i)
+			if Less(hi, k) {
+				t.pf.Release(p)
+				return nil
+			}
+			if !fn(k) {
+				t.pf.Release(p)
+				return nil
+			}
+		}
+		id = leafNext(d)
+		t.pf.Release(p)
+	}
+	return nil
+}
+
+// ScanPrefix1 streams keys whose first component equals a.
+func (t *Tree) ScanPrefix1(a uint64, fn func(Key) bool) error {
+	return t.Scan(Key{a, 0, 0}, Key{a, ^uint64(0), ^uint64(0)}, fn)
+}
+
+// ScanPrefix2 streams keys whose first two components equal (a, b).
+func (t *Tree) ScanPrefix2(a, b uint64, fn func(Key) bool) error {
+	return t.Scan(Key{a, b, 0}, Key{a, b, ^uint64(0)}, fn)
+}
+
+// BulkBuild replaces the tree contents with the given strictly increasing
+// key sequence, building leaves and internal levels bottom-up without
+// per-key descents. It returns an error if keys are not strictly
+// increasing or the tree is not empty.
+func (t *Tree) BulkBuild(keys []Key) error {
+	if t.root != pagefile.NilPage {
+		return fmt.Errorf("btree: BulkBuild on non-empty tree")
+	}
+	for i := 1; i < len(keys); i++ {
+		if Compare(keys[i-1], keys[i]) >= 0 {
+			return fmt.Errorf("btree: BulkBuild keys not strictly increasing at %d", i)
+		}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+
+	type nodeRef struct {
+		id  pagefile.PageID
+		min Key // smallest key under this node, used as parent separator
+	}
+
+	// Fill leaves to ~90% so subsequent inserts do not immediately split.
+	target := MaxLeafKeys * 9 / 10
+	if target < 1 {
+		target = 1
+	}
+	var level []nodeRef
+	var prevLeaf *pagefile.Page
+	for start := 0; start < len(keys); start += target {
+		end := start + target
+		if end > len(keys) {
+			end = len(keys)
+		}
+		p, err := t.pf.Allocate()
+		if err != nil {
+			return err
+		}
+		d := p.Data()
+		d[0] = tagLeaf
+		for i, k := range keys[start:end] {
+			putKeyAt(d, leafKeysOff, i, k)
+		}
+		setNodeCount(d, end-start)
+		p.MarkDirty()
+		if prevLeaf != nil {
+			setLeafNext(prevLeaf.Data(), p.ID())
+			prevLeaf.MarkDirty()
+			t.pf.Release(prevLeaf)
+		}
+		prevLeaf = p
+		level = append(level, nodeRef{id: p.ID(), min: keys[start]})
+	}
+	if prevLeaf != nil {
+		t.pf.Release(prevLeaf)
+	}
+
+	// Build internal levels until a single root remains.
+	fanout := (MaxInnerKeys + 1) * 9 / 10
+	if fanout < 2 {
+		fanout = 2
+	}
+	for len(level) > 1 {
+		// Precompute group boundaries so no group has a single child (an
+		// internal node needs at least one separator key). If the final
+		// group would be a singleton, it borrows one node from the group
+		// before it; fanout is large enough that the donor stays valid.
+		var starts []int
+		for s := 0; s < len(level); s += fanout {
+			starts = append(starts, s)
+		}
+		if len(starts) > 1 && len(level)-starts[len(starts)-1] == 1 {
+			starts[len(starts)-1]--
+		}
+		var next []nodeRef
+		for gi, start := range starts {
+			end := len(level)
+			if gi+1 < len(starts) {
+				end = starts[gi+1]
+			}
+			p, err := t.pf.Allocate()
+			if err != nil {
+				return err
+			}
+			d := p.Data()
+			d[0] = tagInner
+			group := level[start:end]
+			putChildAt(d, 0, group[0].id)
+			for i := 1; i < len(group); i++ {
+				putKeyAt(d, innerKeysOff, i-1, group[i].min)
+				putChildAt(d, i, group[i].id)
+			}
+			setNodeCount(d, len(group)-1)
+			p.MarkDirty()
+			next = append(next, nodeRef{id: p.ID(), min: group[0].min})
+			t.pf.Release(p)
+		}
+		level = next
+	}
+	t.setRoot(level[0].id)
+	t.setCount(uint64(len(keys)))
+	return nil
+}
+
+// Depth returns the height of the tree (0 when empty, 1 for a lone leaf).
+// It is used by tests and diagnostics.
+func (t *Tree) Depth() (int, error) {
+	if t.root == pagefile.NilPage {
+		return 0, nil
+	}
+	depth := 0
+	id := t.root
+	for {
+		p, err := t.pf.Get(id)
+		if err != nil {
+			return 0, err
+		}
+		depth++
+		d := p.Data()
+		if nodeTag(d) == tagLeaf {
+			t.pf.Release(p)
+			return depth, nil
+		}
+		id = childAt(d, 0)
+		t.pf.Release(p)
+	}
+}
+
+// CheckInvariants validates structural invariants — key ordering within
+// nodes, separator correctness, leaf-chain ordering, and the persisted
+// count — returning a descriptive error on the first violation. Tests and
+// the disk store's integrity checker call this.
+func (t *Tree) CheckInvariants() error {
+	if t.root == pagefile.NilPage {
+		if t.count != 0 {
+			return fmt.Errorf("btree: empty tree but count = %d", t.count)
+		}
+		return nil
+	}
+	var (
+		seen    uint64
+		last    Key
+		hasLast bool
+	)
+	var walk func(id pagefile.PageID, lo, hi *Key) error
+	walk = func(id pagefile.PageID, lo, hi *Key) error {
+		p, err := t.pf.Get(id)
+		if err != nil {
+			return err
+		}
+		defer t.pf.Release(p)
+		d := p.Data()
+		n := nodeCount(d)
+		switch nodeTag(d) {
+		case tagLeaf:
+			for i := 0; i < n; i++ {
+				k := keyAt(d, leafKeysOff, i)
+				if hasLast && Compare(last, k) >= 0 {
+					return fmt.Errorf("btree: leaf %d key %d out of order", id, i)
+				}
+				if lo != nil && Less(k, *lo) {
+					return fmt.Errorf("btree: leaf %d key %d below separator", id, i)
+				}
+				if hi != nil && !Less(k, *hi) {
+					return fmt.Errorf("btree: leaf %d key %d above separator", id, i)
+				}
+				last, hasLast = k, true
+				seen++
+			}
+			return nil
+		case tagInner:
+			if n < 1 {
+				return fmt.Errorf("btree: internal node %d has no keys", id)
+			}
+			for i := 0; i < n; i++ {
+				k := keyAt(d, innerKeysOff, i)
+				if i > 0 && Compare(keyAt(d, innerKeysOff, i-1), k) >= 0 {
+					return fmt.Errorf("btree: internal %d keys out of order at %d", id, i)
+				}
+			}
+			for i := 0; i <= n; i++ {
+				clo, chi := lo, hi
+				if i > 0 {
+					k := keyAt(d, innerKeysOff, i-1)
+					clo = &k
+				}
+				if i < n {
+					k := keyAt(d, innerKeysOff, i)
+					chi = &k
+				}
+				if err := walk(childAt(d, i), clo, chi); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("btree: page %d has unknown tag %d", id, nodeTag(d))
+		}
+	}
+	if err := walk(t.root, nil, nil); err != nil {
+		return err
+	}
+	if seen != t.count {
+		return fmt.Errorf("btree: count = %d but tree holds %d keys", t.count, seen)
+	}
+	return nil
+}

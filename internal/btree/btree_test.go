@@ -1,0 +1,520 @@
+package btree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hexastore/internal/pagefile"
+)
+
+func newTree(t *testing.T) (*Tree, *pagefile.File) {
+	t.Helper()
+	pf, err := pagefile.Create(filepath.Join(t.TempDir(), "btree.db"), pagefile.Options{CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return New(pf, 0, 1), pf
+}
+
+func mustInsert(t *testing.T, tr *Tree, k Key) {
+	t.Helper()
+	added, err := tr.Insert(k)
+	if err != nil {
+		t.Fatalf("Insert(%v): %v", k, err)
+	}
+	if !added {
+		t.Fatalf("Insert(%v) = false, want true", k)
+	}
+}
+
+func collect(t *testing.T, tr *Tree, lo, hi Key) []Key {
+	t.Helper()
+	var out []Key
+	if err := tr.Scan(lo, hi, func(k Key) bool {
+		out = append(out, k)
+		return true
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, _ := newTree(t)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	ok, err := tr.Contains(Key{1, 2, 3})
+	if err != nil || ok {
+		t.Fatalf("Contains on empty = (%v, %v)", ok, err)
+	}
+	if got := collect(t, tr, Key{}, MaxKey); len(got) != 0 {
+		t.Fatalf("Scan on empty returned %d keys", len(got))
+	}
+	if d, _ := tr.Depth(); d != 0 {
+		t.Fatalf("Depth = %d, want 0", d)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertContainsSmall(t *testing.T) {
+	tr, _ := newTree(t)
+	keys := []Key{{3, 1, 4}, {1, 5, 9}, {2, 6, 5}, {3, 5, 8}, {1, 5, 3}}
+	for _, k := range keys {
+		mustInsert(t, tr, k)
+	}
+	if tr.Len() != uint64(len(keys)) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
+	}
+	for _, k := range keys {
+		ok, err := tr.Contains(k)
+		if err != nil || !ok {
+			t.Fatalf("Contains(%v) = (%v, %v)", k, ok, err)
+		}
+	}
+	ok, _ := tr.Contains(Key{9, 9, 9})
+	if ok {
+		t.Fatal("Contains of absent key = true")
+	}
+}
+
+func TestInsertDuplicateIsNoop(t *testing.T) {
+	tr, _ := newTree(t)
+	mustInsert(t, tr, Key{1, 2, 3})
+	added, err := tr.Insert(Key{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added {
+		t.Fatal("duplicate Insert = true")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate insert, want 1", tr.Len())
+	}
+}
+
+func TestScanIsSortedAndComplete(t *testing.T) {
+	tr, _ := newTree(t)
+	rng := rand.New(rand.NewSource(42))
+	want := make(map[Key]bool)
+	// Enough keys to force several leaf and internal splits.
+	for i := 0; i < 5000; i++ {
+		k := Key{uint64(rng.Intn(50)), uint64(rng.Intn(50)), uint64(rng.Intn(50))}
+		if !want[k] {
+			want[k] = true
+			mustInsert(t, tr, k)
+		}
+	}
+	got := collect(t, tr, Key{}, MaxKey)
+	if len(got) != len(want) {
+		t.Fatalf("Scan returned %d keys, want %d", len(got), len(want))
+	}
+	for i := 1; i < len(got); i++ {
+		if !Less(got[i-1], got[i]) {
+			t.Fatalf("Scan output not strictly increasing at %d: %v !< %v", i, got[i-1], got[i])
+		}
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Fatalf("Scan produced unexpected key %v", k)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanRangeBounds(t *testing.T) {
+	tr, _ := newTree(t)
+	for i := uint64(0); i < 100; i++ {
+		mustInsert(t, tr, Key{i, 0, 0})
+	}
+	got := collect(t, tr, Key{10, 0, 0}, Key{20, 0, 0})
+	if len(got) != 11 {
+		t.Fatalf("range [10,20] returned %d keys, want 11 (inclusive both ends)", len(got))
+	}
+	if got[0] != (Key{10, 0, 0}) || got[len(got)-1] != (Key{20, 0, 0}) {
+		t.Fatalf("range endpoints wrong: %v .. %v", got[0], got[len(got)-1])
+	}
+	if got := collect(t, tr, Key{50, 1, 0}, Key{50, 2, 0}); len(got) != 0 {
+		t.Fatalf("empty interior range returned %d keys", len(got))
+	}
+	if got := collect(t, tr, Key{20, 0, 0}, Key{10, 0, 0}); len(got) != 0 {
+		t.Fatalf("inverted range returned %d keys", len(got))
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr, _ := newTree(t)
+	for i := uint64(0); i < 1000; i++ {
+		mustInsert(t, tr, Key{i, 0, 0})
+	}
+	n := 0
+	if err := tr.Scan(Key{}, MaxKey, func(Key) bool {
+		n++
+		return n < 7
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Fatalf("early-stopped scan visited %d keys, want 7", n)
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	tr, _ := newTree(t)
+	for a := uint64(1); a <= 5; a++ {
+		for b := uint64(1); b <= 4; b++ {
+			for c := uint64(1); c <= 3; c++ {
+				mustInsert(t, tr, Key{a, b, c})
+			}
+		}
+	}
+	var got []Key
+	if err := tr.ScanPrefix1(3, func(k Key) bool { got = append(got, k); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 12 {
+		t.Fatalf("ScanPrefix1(3) returned %d keys, want 12", len(got))
+	}
+	for _, k := range got {
+		if k[0] != 3 {
+			t.Fatalf("ScanPrefix1(3) produced %v", k)
+		}
+	}
+	got = nil
+	if err := tr.ScanPrefix2(2, 4, func(k Key) bool { got = append(got, k); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("ScanPrefix2(2,4) returned %d keys, want 3", len(got))
+	}
+	for _, k := range got {
+		if k[0] != 2 || k[1] != 4 {
+			t.Fatalf("ScanPrefix2(2,4) produced %v", k)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr, _ := newTree(t)
+	for i := uint64(0); i < 500; i++ {
+		mustInsert(t, tr, Key{i, i % 7, i % 3})
+	}
+	for i := uint64(0); i < 500; i += 2 {
+		removed, err := tr.Delete(Key{i, i % 7, i % 3})
+		if err != nil || !removed {
+			t.Fatalf("Delete(%d) = (%v, %v)", i, removed, err)
+		}
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("Len = %d after deletes, want 250", tr.Len())
+	}
+	for i := uint64(0); i < 500; i++ {
+		ok, err := tr.Contains(Key{i, i % 7, i % 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Contains(%d) = %v, want %v", i, ok, want)
+		}
+	}
+	removed, err := tr.Delete(Key{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed {
+		t.Fatal("Delete of already-deleted key = true")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanSkipsEmptiedLeaves(t *testing.T) {
+	tr, _ := newTree(t)
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		mustInsert(t, tr, Key{i, 0, 0})
+	}
+	// Empty a contiguous stretch spanning whole leaves.
+	for i := uint64(200); i < 800; i++ {
+		if _, err := tr.Delete(Key{i, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, tr, Key{}, MaxKey)
+	if len(got) != n-600 {
+		t.Fatalf("Scan returned %d keys, want %d", len(got), n-600)
+	}
+	for i := 1; i < len(got); i++ {
+		if !Less(got[i-1], got[i]) {
+			t.Fatal("scan output not sorted after leaf-emptying deletes")
+		}
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "persist.db")
+	pf, err := pagefile.Create(path, pagefile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(pf, 0, 1)
+	rng := rand.New(rand.NewSource(7))
+	var keys []Key
+	for i := 0; i < 3000; i++ {
+		k := Key{rng.Uint64() % 1000, rng.Uint64() % 1000, rng.Uint64() % 1000}
+		added, err := tr.Insert(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added {
+			keys = append(keys, k)
+		}
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pf2, err := pagefile.Open(path, pagefile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	tr2 := New(pf2, 0, 1)
+	if tr2.Len() != uint64(len(keys)) {
+		t.Fatalf("reopened Len = %d, want %d", tr2.Len(), len(keys))
+	}
+	for _, k := range keys {
+		ok, err := tr2.Contains(k)
+		if err != nil || !ok {
+			t.Fatalf("reopened Contains(%v) = (%v, %v)", k, ok, err)
+		}
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkBuild(t *testing.T) {
+	tr, _ := newTree(t)
+	var keys []Key
+	for i := uint64(0); i < 30000; i++ {
+		keys = append(keys, Key{i / 100, i % 100, i % 7})
+	}
+	sort.Slice(keys, func(i, j int) bool { return Less(keys[i], keys[j]) })
+	// Dedupe.
+	w := 1
+	for r := 1; r < len(keys); r++ {
+		if Compare(keys[r], keys[w-1]) != 0 {
+			keys[w] = keys[r]
+			w++
+		}
+	}
+	keys = keys[:w]
+
+	if err := tr.BulkBuild(keys); err != nil {
+		t.Fatalf("BulkBuild: %v", err)
+	}
+	if tr.Len() != uint64(len(keys)) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, tr, Key{}, MaxKey)
+	if len(got) != len(keys) {
+		t.Fatalf("Scan returned %d, want %d", len(got), len(keys))
+	}
+	for i := range got {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d = %v, want %v", i, got[i], keys[i])
+		}
+	}
+	// Tree must remain usable for subsequent inserts.
+	mustInsert(t, tr, Key{1 << 40, 0, 0})
+	ok, err := tr.Contains(Key{1 << 40, 0, 0})
+	if err != nil || !ok {
+		t.Fatalf("Contains after post-bulk insert = (%v, %v)", ok, err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkBuildRejectsUnsorted(t *testing.T) {
+	tr, _ := newTree(t)
+	if err := tr.BulkBuild([]Key{{2, 0, 0}, {1, 0, 0}}); err == nil {
+		t.Fatal("BulkBuild of unsorted keys succeeded")
+	}
+	tr2, _ := newTree(t)
+	if err := tr2.BulkBuild([]Key{{1, 0, 0}, {1, 0, 0}}); err == nil {
+		t.Fatal("BulkBuild with duplicates succeeded")
+	}
+}
+
+func TestBulkBuildRejectsNonEmptyTree(t *testing.T) {
+	tr, _ := newTree(t)
+	mustInsert(t, tr, Key{1, 1, 1})
+	if err := tr.BulkBuild([]Key{{2, 0, 0}}); err == nil {
+		t.Fatal("BulkBuild on non-empty tree succeeded")
+	}
+}
+
+func TestBulkBuildSingleKey(t *testing.T) {
+	tr, _ := newTree(t)
+	if err := tr.BulkBuild([]Key{{5, 5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := tr.Contains(Key{5, 5, 5})
+	if err != nil || !ok {
+		t.Fatalf("Contains = (%v, %v)", ok, err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkBuildEmpty(t *testing.T) {
+	tr, _ := newTree(t)
+	if err := tr.BulkBuild(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+}
+
+func TestDepthGrowsLogarithmically(t *testing.T) {
+	tr, _ := newTree(t)
+	for i := uint64(0); i < 60000; i++ {
+		mustInsert(t, tr, Key{i, 0, 0})
+	}
+	d, err := tr.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 60000 keys / 170 per leaf ≈ 353 leaves → height 3 suffices with
+	// fanout 146; allow up to 4 for split slack.
+	if d < 2 || d > 4 {
+		t.Fatalf("Depth = %d, want 2..4 for 60k sequential keys", d)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Key
+		want int
+	}{
+		{Key{1, 2, 3}, Key{1, 2, 3}, 0},
+		{Key{1, 2, 3}, Key{1, 2, 4}, -1},
+		{Key{1, 2, 3}, Key{1, 3, 0}, -1},
+		{Key{2, 0, 0}, Key{1, 9, 9}, 1},
+		{Key{0, 0, 0}, MaxKey, -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestQuickAgainstMap drives the tree with random insert/delete/lookup
+// operations and checks it against a reference map.
+func TestQuickAgainstMap(t *testing.T) {
+	tr, _ := newTree(t)
+	ref := make(map[Key]bool)
+	rng := rand.New(rand.NewSource(99))
+	for op := 0; op < 20000; op++ {
+		k := Key{uint64(rng.Intn(30)), uint64(rng.Intn(30)), uint64(rng.Intn(30))}
+		switch rng.Intn(3) {
+		case 0:
+			added, err := tr.Insert(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if added == ref[k] {
+				t.Fatalf("op %d: Insert(%v) = %v but ref has %v", op, k, added, ref[k])
+			}
+			ref[k] = true
+		case 1:
+			removed, err := tr.Delete(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if removed != ref[k] {
+				t.Fatalf("op %d: Delete(%v) = %v but ref has %v", op, k, removed, ref[k])
+			}
+			delete(ref, k)
+		default:
+			ok, err := tr.Contains(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != ref[k] {
+				t.Fatalf("op %d: Contains(%v) = %v but ref has %v", op, k, ok, ref[k])
+			}
+		}
+	}
+	if tr.Len() != uint64(len(ref)) {
+		t.Fatalf("final Len = %d, want %d", tr.Len(), len(ref))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScanMatchesSortedRef property-tests that Scan over random key
+// sets reproduces the sorted reference exactly.
+func TestQuickScanMatchesSortedRef(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%800 + 1
+		pf, err := pagefile.Create(filepath.Join(t.TempDir(), "quick.db"), pagefile.Options{CacheSize: 32})
+		if err != nil {
+			return false
+		}
+		defer pf.Close()
+		tr := New(pf, 0, 1)
+		rng := rand.New(rand.NewSource(seed))
+		set := make(map[Key]bool, n)
+		for i := 0; i < n; i++ {
+			k := Key{uint64(rng.Intn(40)), uint64(rng.Intn(40)), uint64(rng.Intn(40))}
+			set[k] = true
+			if _, err := tr.Insert(k); err != nil {
+				return false
+			}
+		}
+		want := make([]Key, 0, len(set))
+		for k := range set {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return Less(want[i], want[j]) })
+		var got []Key
+		if err := tr.Scan(Key{}, MaxKey, func(k Key) bool { got = append(got, k); return true }); err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

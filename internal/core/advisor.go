@@ -1,0 +1,48 @@
+package core
+
+import "sync/atomic"
+
+// Advisor records per-index access counts. The paper's discussion section
+// (§6) observes that "some indices may not contribute to query efficiency
+// based on a given workload" (their experiments seldom used ops) and
+// poses workload-driven index selection as future work; Advisor provides
+// the measurement side of that: run a workload, read Hits, and decide
+// which indices a deployment could drop.
+//
+// Counters are atomic so they can be bumped under the store's read lock.
+type Advisor struct {
+	hits [6]atomic.Uint64
+}
+
+func (a *Advisor) hit(ix Index) { a.hits[ix].Add(1) }
+
+// Hits returns the access count per index, keyed by Index order.
+func (a *Advisor) Hits() [6]uint64 {
+	var out [6]uint64
+	for i := range a.hits {
+		out[i] = a.hits[i].Load()
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (a *Advisor) Reset() {
+	for i := range a.hits {
+		a.hits[i].Store(0)
+	}
+}
+
+// ColdIndexes returns the indices whose hit count is at most threshold,
+// in Index order — candidates for dropping under the observed workload.
+func (a *Advisor) ColdIndexes(threshold uint64) []Index {
+	var cold []Index
+	for _, ix := range AllIndexes {
+		if a.hits[ix].Load() <= threshold {
+			cold = append(cold, ix)
+		}
+	}
+	return cold
+}
+
+// Advisor returns the store's access advisor.
+func (st *Store) Advisor() *Advisor { return &st.advisor }

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hexastore/internal/dictionary"
+	"hexastore/internal/rdf"
+)
+
+func TestBuilderMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	inc := New()
+	b := NewBuilder(inc.Dictionary())
+	for i := 0; i < 3000; i++ {
+		s := ID(rng.Intn(30) + 1)
+		p := ID(rng.Intn(10) + 1)
+		o := ID(rng.Intn(40) + 1)
+		inc.Add(s, p, o)
+		b.Add(s, p, o)
+	}
+	bulk := b.Build()
+
+	if inc.Len() != bulk.Len() {
+		t.Fatalf("incremental Len=%d, bulk Len=%d", inc.Len(), bulk.Len())
+	}
+	incViews := allSixViews(inc)
+	bulkViews := allSixViews(bulk)
+	for ix := range incViews {
+		if len(incViews[ix]) != len(bulkViews[ix]) {
+			t.Fatalf("index %v: incremental %d triples, bulk %d",
+				Index(ix), len(incViews[ix]), len(bulkViews[ix]))
+		}
+		for tr := range incViews[ix] {
+			if !bulkViews[ix][tr] {
+				t.Fatalf("index %v: bulk store missing %v", Index(ix), tr)
+			}
+		}
+	}
+
+	incStats, bulkStats := inc.Stats(), bulk.Stats()
+	if incStats != bulkStats {
+		t.Errorf("stats differ: incremental %+v, bulk %+v", incStats, bulkStats)
+	}
+}
+
+func TestBuilderDedupes(t *testing.T) {
+	b := NewBuilder(nil)
+	for i := 0; i < 5; i++ {
+		b.Add(1, 2, 3)
+	}
+	if b.Len() != 5 {
+		t.Errorf("Builder.Len = %d, want 5 (pre-dedupe)", b.Len())
+	}
+	st := b.Build()
+	if st.Len() != 1 {
+		t.Errorf("built store Len = %d, want 1", st.Len())
+	}
+}
+
+func TestBuilderIgnoresNone(t *testing.T) {
+	b := NewBuilder(nil)
+	b.Add(None, 1, 2)
+	b.Add(1, None, 2)
+	b.Add(1, 2, None)
+	if st := b.Build(); st.Len() != 0 {
+		t.Errorf("store Len = %d, want 0", st.Len())
+	}
+}
+
+func TestBuilderSharesTerminalLists(t *testing.T) {
+	b := NewBuilder(nil)
+	b.Add(1, 2, 3)
+	b.Add(1, 2, 4)
+	st := b.Build()
+	spoList, _ := st.Head(SPO, 1).Find(2)
+	psoList, _ := st.Head(PSO, 2).Find(1)
+	if spoList == nil || spoList != psoList {
+		t.Error("bulk-built spo and pso do not share object lists")
+	}
+	sopList, _ := st.Head(SOP, 1).Find(3)
+	ospList, _ := st.Head(OSP, 3).Find(1)
+	if sopList == nil || sopList != ospList {
+		t.Error("bulk-built sop and osp do not share property lists")
+	}
+	posList, _ := st.Head(POS, 2).Find(3)
+	opsList, _ := st.Head(OPS, 3).Find(2)
+	if posList == nil || posList != opsList {
+		t.Error("bulk-built pos and ops do not share subject lists")
+	}
+}
+
+func TestBuilderAddTriple(t *testing.T) {
+	b := NewBuilder(nil)
+	if !b.AddTriple(rdf.T(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewIRI("o"))) {
+		t.Error("AddTriple rejected valid triple")
+	}
+	if b.AddTriple(rdf.Triple{}) {
+		t.Error("AddTriple accepted invalid triple")
+	}
+	if st := b.Build(); st.Len() != 1 {
+		t.Errorf("Len = %d, want 1", st.Len())
+	}
+}
+
+// Property: building from any random multiset of triples yields a store
+// whose Match(·,·,·) set equals the deduplicated input.
+func TestBuilderEquivalenceProperty(t *testing.T) {
+	f := func(raw [][3]uint8) bool {
+		b := NewBuilder(nil)
+		want := make(map[[3]ID]bool)
+		for _, r := range raw {
+			s, p, o := ID(r[0])+1, ID(r[1])+1, ID(r[2])+1
+			b.Add(s, p, o)
+			want[[3]ID{s, p, o}] = true
+		}
+		st := b.Build()
+		if st.Len() != len(want) {
+			return false
+		}
+		ok := true
+		st.Match(None, None, None, func(s, p, o ID) bool {
+			if !want[[3]ID{s, p, o}] {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewBuilderNilDictionary(t *testing.T) {
+	b := NewBuilder(nil)
+	if b.dict == nil {
+		t.Fatal("NewBuilder(nil) left dictionary nil")
+	}
+	var _ *dictionary.Dictionary = b.dict
+}

@@ -1,0 +1,68 @@
+package core
+
+// Stats describes the physical size of a Hexastore in index entries, the
+// unit the paper's space argument (§4.1) is phrased in: each resource of
+// a worst-case triple contributes two header entries, two vector entries
+// and one terminal-list entry — five entries versus one triples-table
+// cell, hence the quintuple worst-case bound.
+type Stats struct {
+	Triples int // distinct triples stored
+
+	Headers       int // head resources summed over the six indices
+	VectorEntries int // (key, list-pointer) pairs summed over the six indices
+	ListEntries   int // ids summed over the three shared terminal-list tables
+
+	// TripleTableEntries is the baseline: 3 cells per triple.
+	TripleTableEntries int
+}
+
+// TotalEntries returns all resource-key slots the six indices occupy.
+func (s Stats) TotalEntries() int { return s.Headers + s.VectorEntries + s.ListEntries }
+
+// ExpansionFactor returns TotalEntries divided by the triples-table
+// entries — the paper's space-overhead metric, ≤ 5 in the worst case.
+func (s Stats) ExpansionFactor() float64 {
+	if s.TripleTableEntries == 0 {
+		return 0
+	}
+	return float64(s.TotalEntries()) / float64(s.TripleTableEntries)
+}
+
+// entryBytes is the size of one dictionary key in every physical layout
+// of this repository (IDs are uint64).
+const entryBytes = 8
+
+// SizeBytes estimates the index memory footprint (excluding the
+// dictionary): one 8-byte slot per entry plus per-vector and per-list
+// header overheads. Used by the Figure 15 experiment.
+func (s Stats) SizeBytes() int64 {
+	return int64(s.TotalEntries()) * entryBytes
+}
+
+// Stats computes the current sizes. It is O(#vectors) — the per-list
+// lengths are summed from the shared tables.
+func (st *Store) Stats() Stats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+
+	var out Stats
+	out.Triples = st.size
+	out.TripleTableEntries = st.size * 3
+
+	for i := range st.idx {
+		out.Headers += len(st.idx[i])
+		for _, vec := range st.idx[i] {
+			out.VectorEntries += vec.Len()
+		}
+	}
+	for _, l := range st.objLists {
+		out.ListEntries += l.Len()
+	}
+	for _, l := range st.propLists {
+		out.ListEntries += l.Len()
+	}
+	for _, l := range st.subjLists {
+		out.ListEntries += l.Len()
+	}
+	return out
+}

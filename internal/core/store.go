@@ -1,0 +1,291 @@
+// Package core implements the Hexastore of Weiss, Karras and Bernstein
+// (VLDB 2008): an in-memory RDF store that materializes all 3! = 6
+// orderings of the triple elements — spo, sop, pso, pos, osp, ops.
+//
+// Each index associates a head resource with a sorted vector of
+// second-position keys; each vector entry points to a sorted terminal
+// list of third-position resources. Following §4.1 of the paper, the
+// three index pairs that end in the same element share a single physical
+// copy of their terminal lists:
+//
+//	spo & pso share the object  lists, keyed by (subject, property)
+//	sop & osp share the property lists, keyed by (subject, object)
+//	pos & ops share the subject lists, keyed by (property, object)
+//
+// This sharing yields the paper's worst-case five-fold (not six-fold)
+// space bound relative to a plain triples table.
+package core
+
+import (
+	"sync"
+
+	"hexastore/internal/dictionary"
+	"hexastore/internal/idlist"
+)
+
+// ID is a dictionary-encoded resource identifier.
+type ID = dictionary.ID
+
+// None is the wildcard / unbound marker in pattern lookups.
+const None = dictionary.None
+
+// Index names one of the six materialized orderings.
+type Index uint8
+
+// The six orderings, named by the order of precedence of the triple
+// elements (paper §4.1).
+const (
+	SPO Index = iota
+	SOP
+	PSO
+	POS
+	OSP
+	OPS
+)
+
+// String returns the lower-case acronym of the ordering.
+func (ix Index) String() string {
+	switch ix {
+	case SPO:
+		return "spo"
+	case SOP:
+		return "sop"
+	case PSO:
+		return "pso"
+	case POS:
+		return "pos"
+	case OSP:
+		return "osp"
+	case OPS:
+		return "ops"
+	default:
+		return "invalid"
+	}
+}
+
+// AllIndexes lists the six orderings in declaration order.
+var AllIndexes = [6]Index{SPO, SOP, PSO, POS, OSP, OPS}
+
+// Vec is a sorted association vector of an index; see idlist.Vec.
+type Vec = idlist.Vec
+
+// pairKey identifies a shared terminal list by its two leading resources.
+type pairKey struct{ a, b ID }
+
+// Store is a Hexastore. The zero value is not usable; call New.
+//
+// Store is safe for concurrent use: reads take a shared lock, mutations an
+// exclusive one. Lists and slices returned by accessors alias internal
+// storage and are valid until the next mutation; callers must not modify
+// them.
+type Store struct {
+	mu   sync.RWMutex
+	dict *dictionary.Dictionary
+
+	// Shared terminal lists (single physical copies, §4.1).
+	objLists  map[pairKey]*idlist.List // (s,p) → sorted objects
+	propLists map[pairKey]*idlist.List // (s,o) → sorted properties
+	subjLists map[pairKey]*idlist.List // (p,o) → sorted subjects
+
+	// Six head indices.
+	idx [6]map[ID]*Vec
+
+	size int
+
+	advisor Advisor
+}
+
+// New returns an empty Hexastore with its own private dictionary.
+func New() *Store { return NewShared(dictionary.New()) }
+
+// NewShared returns an empty Hexastore using dict, so that several stores
+// (e.g. a Hexastore and the COVP baselines) can be compared on identical
+// keys.
+func NewShared(dict *dictionary.Dictionary) *Store {
+	s := &Store{
+		dict:      dict,
+		objLists:  make(map[pairKey]*idlist.List),
+		propLists: make(map[pairKey]*idlist.List),
+		subjLists: make(map[pairKey]*idlist.List),
+	}
+	for i := range s.idx {
+		s.idx[i] = make(map[ID]*Vec)
+	}
+	return s
+}
+
+// Dictionary returns the store's dictionary.
+func (s *Store) Dictionary() *dictionary.Dictionary { return s.dict }
+
+// Len returns the number of distinct triples in the store.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}
+
+// Add inserts the triple ⟨s,p,o⟩, updating all six indices. It reports
+// whether the store changed (false if the triple was already present).
+// Insertion touches every index, which the paper (§4.2) notes is the
+// scheme's main write-path cost.
+func (st *Store) Add(s, p, o ID) bool {
+	if s == None || p == None || o == None {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	ol, olNew := getOrCreate(st.objLists, pairKey{s, p})
+	if !ol.Insert(o) {
+		return false // triple already present; nothing else to do
+	}
+	pl, plNew := getOrCreate(st.propLists, pairKey{s, o})
+	pl.Insert(p)
+	sl, slNew := getOrCreate(st.subjLists, pairKey{p, o})
+	sl.Insert(s)
+
+	if olNew {
+		st.headVec(SPO, s).Insert(p, ol)
+		st.headVec(PSO, p).Insert(s, ol)
+	}
+	if plNew {
+		st.headVec(SOP, s).Insert(o, pl)
+		st.headVec(OSP, o).Insert(s, pl)
+	}
+	if slNew {
+		st.headVec(POS, p).Insert(o, sl)
+		st.headVec(OPS, o).Insert(p, sl)
+	}
+	st.size++
+	return true
+}
+
+// Remove deletes the triple ⟨s,p,o⟩ from all six indices, pruning vectors
+// and terminal lists that become empty. It reports whether the store
+// changed.
+func (st *Store) Remove(s, p, o ID) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	ol := st.objLists[pairKey{s, p}]
+	if ol == nil || !ol.Remove(o) {
+		return false
+	}
+	if ol.Len() == 0 {
+		delete(st.objLists, pairKey{s, p})
+		st.dropVecKey(SPO, s, p)
+		st.dropVecKey(PSO, p, s)
+	}
+	if pl := st.propLists[pairKey{s, o}]; pl != nil {
+		pl.Remove(p)
+		if pl.Len() == 0 {
+			delete(st.propLists, pairKey{s, o})
+			st.dropVecKey(SOP, s, o)
+			st.dropVecKey(OSP, o, s)
+		}
+	}
+	if sl := st.subjLists[pairKey{p, o}]; sl != nil {
+		sl.Remove(s)
+		if sl.Len() == 0 {
+			delete(st.subjLists, pairKey{p, o})
+			st.dropVecKey(POS, p, o)
+			st.dropVecKey(OPS, o, p)
+		}
+	}
+	st.size--
+	return true
+}
+
+// Has reports whether the triple ⟨s,p,o⟩ is present.
+func (st *Store) Has(s, p, o ID) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.objLists[pairKey{s, p}].Contains(o)
+}
+
+// headVec returns (creating if needed) the vector for head in index ix.
+func (st *Store) headVec(ix Index, head ID) *Vec {
+	v := st.idx[ix][head]
+	if v == nil {
+		v = &Vec{}
+		st.idx[ix][head] = v
+	}
+	return v
+}
+
+// dropVecKey removes key from head's vector in ix, deleting the vector if
+// it becomes empty.
+func (st *Store) dropVecKey(ix Index, head, key ID) {
+	v := st.idx[ix][head]
+	if v == nil {
+		return
+	}
+	v.Remove(key)
+	if v.Len() == 0 {
+		delete(st.idx[ix], head)
+	}
+}
+
+func getOrCreate(m map[pairKey]*idlist.List, k pairKey) (l *idlist.List, created bool) {
+	l = m[k]
+	if l == nil {
+		l = &idlist.List{}
+		m[k] = l
+		created = true
+	}
+	return l, created
+}
+
+// Head returns the vector for head in ordering ix, or nil if head does
+// not occur in that position. For example, Head(SPO, s) is the sorted
+// property vector of subject s, and each vector entry's list holds the
+// objects of ⟨s, p, ·⟩.
+func (st *Store) Head(ix Index, head ID) *Vec {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	st.advisor.hit(ix)
+	return st.idx[ix][head]
+}
+
+// Heads returns the number of distinct head resources in ordering ix
+// (e.g. Heads(PSO) is the number of distinct properties).
+func (st *Store) Heads(ix Index) int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.idx[ix])
+}
+
+// HeadIDs returns the head resources of ordering ix in unspecified order.
+func (st *Store) HeadIDs(ix Index) []ID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]ID, 0, len(st.idx[ix]))
+	for id := range st.idx[ix] {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Objects returns the sorted shared object list of ⟨s, p, ·⟩, or nil.
+func (st *Store) Objects(s, p ID) *idlist.List {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	st.advisor.hit(SPO)
+	return st.objLists[pairKey{s, p}]
+}
+
+// Subjects returns the sorted shared subject list of ⟨·, p, o⟩, or nil.
+func (st *Store) Subjects(p, o ID) *idlist.List {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	st.advisor.hit(POS)
+	return st.subjLists[pairKey{p, o}]
+}
+
+// Properties returns the sorted shared property list of ⟨s, ·, o⟩, or nil.
+func (st *Store) Properties(s, o ID) *idlist.List {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	st.advisor.hit(SOP)
+	return st.propLists[pairKey{s, o}]
+}

@@ -1,0 +1,230 @@
+package cracking
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomData(seed int64, n int, heads, tails ID) []Triple {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Triple, n)
+	for i := range out {
+		out[i] = Triple{
+			ID(rng.Int63n(int64(heads)) + 1),
+			ID(rng.Int63n(int64(tails)) + 1),
+			ID(rng.Int63n(int64(tails)) + 1),
+		}
+	}
+	return out
+}
+
+func TestScanReturnsExactlyMatchingHeads(t *testing.T) {
+	data := randomData(1, 5000, 20, 40)
+	want := make(map[ID]int)
+	for _, tr := range data {
+		want[tr[0]]++
+	}
+	col := NewColumn(append([]Triple(nil), data...))
+	for head := ID(1); head <= 20; head++ {
+		n := 0
+		col.Scan(head, func(tr Triple) bool {
+			if tr[0] != head {
+				t.Fatalf("Scan(%d) produced head %d", head, tr[0])
+			}
+			n++
+			return true
+		})
+		if n != want[head] {
+			t.Fatalf("Scan(%d) visited %d, want %d", head, n, want[head])
+		}
+	}
+	if err := col.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanAbsentHead(t *testing.T) {
+	col := NewColumn(randomData(2, 100, 5, 5))
+	n := 0
+	col.Scan(99, func(Triple) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("Scan of absent head visited %d", n)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	data := make([]Triple, 100)
+	for i := range data {
+		data[i] = Triple{1, ID(i), ID(i)}
+	}
+	col := NewColumn(data)
+	n := 0
+	col.Scan(1, func(Triple) bool { n++; return n < 4 })
+	if n != 4 {
+		t.Fatalf("visited %d, want 4", n)
+	}
+}
+
+func TestCrackingConvergesToIndexLookups(t *testing.T) {
+	col := NewColumn(randomData(3, 10000, 50, 30))
+	// First pass over every head cracks the column.
+	for head := ID(1); head <= 50; head++ {
+		col.Scan(head, func(Triple) bool { return true })
+	}
+	after := col.Cracks()
+	if after == 0 {
+		t.Fatal("no cracks after first pass")
+	}
+	// Second pass must be pure lookups: no new cracks.
+	for head := ID(1); head <= 50; head++ {
+		col.Scan(head, func(Triple) bool { return true })
+	}
+	if col.Cracks() != after {
+		t.Fatalf("second pass added cracks: %d -> %d", after, col.Cracks())
+	}
+	// 50 heads × 2 cracks each at most; shared boundaries reduce it.
+	if pieces := col.Pieces(); pieces < 2 || pieces > 102 {
+		t.Fatalf("Pieces = %d, want 2..102", pieces)
+	}
+}
+
+func TestScanSorted(t *testing.T) {
+	data := randomData(4, 3000, 10, 25)
+	col := NewColumn(append([]Triple(nil), data...))
+	for head := ID(1); head <= 10; head++ {
+		var got []Triple
+		col.ScanSorted(head, func(tr Triple) bool {
+			got = append(got, tr)
+			return true
+		})
+		if !sort.SliceIsSorted(got, func(i, j int) bool {
+			if got[i][1] != got[j][1] {
+				return got[i][1] < got[j][1]
+			}
+			return got[i][2] < got[j][2]
+		}) {
+			t.Fatalf("ScanSorted(%d) output not sorted", head)
+		}
+		// Content must match a reference filter of the original data.
+		n := 0
+		for _, tr := range data {
+			if tr[0] == head {
+				n++
+			}
+		}
+		if len(got) != n {
+			t.Fatalf("ScanSorted(%d) returned %d, want %d", head, len(got), n)
+		}
+	}
+	if err := col.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanSortedIsStableAcrossCalls(t *testing.T) {
+	col := NewColumn(randomData(5, 2000, 8, 16))
+	var first []Triple
+	col.ScanSorted(3, func(tr Triple) bool { first = append(first, tr); return true })
+	// Crack elsewhere in between.
+	col.Scan(5, func(Triple) bool { return true })
+	var second []Triple
+	col.ScanSorted(3, func(tr Triple) bool { second = append(second, tr); return true })
+	if len(first) != len(second) {
+		t.Fatalf("lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("entry %d changed: %v vs %v", i, first[i], second[i])
+		}
+	}
+}
+
+func TestCountHead(t *testing.T) {
+	data := randomData(6, 4000, 15, 20)
+	want := make(map[ID]int)
+	for _, tr := range data {
+		want[tr[0]]++
+	}
+	col := NewColumn(data)
+	for head := ID(1); head <= 15; head++ {
+		if got := col.CountHead(head); got != want[head] {
+			t.Fatalf("CountHead(%d) = %d, want %d", head, got, want[head])
+		}
+	}
+}
+
+func TestEmptyColumn(t *testing.T) {
+	col := NewColumn(nil)
+	n := 0
+	col.Scan(1, func(Triple) bool { n++; return true })
+	if n != 0 || col.Len() != 0 {
+		t.Fatalf("empty column Scan visited %d, Len %d", n, col.Len())
+	}
+	if err := col.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPiecesGrowMonotonically(t *testing.T) {
+	col := NewColumn(randomData(7, 1000, 30, 10))
+	prev := col.Pieces()
+	if prev != 1 {
+		t.Fatalf("fresh column Pieces = %d, want 1", prev)
+	}
+	for head := ID(1); head <= 30; head += 3 {
+		col.Scan(head, func(Triple) bool { return true })
+		if p := col.Pieces(); p < prev {
+			t.Fatalf("Pieces shrank: %d -> %d", prev, p)
+		} else {
+			prev = p
+		}
+	}
+}
+
+// TestQuickRandomWorkload property-tests that any interleaving of Scan,
+// ScanSorted and CountHead preserves both content and the cracker-index
+// invariants.
+func TestQuickRandomWorkload(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := randomData(seed, 800, 12, 10)
+		ref := make(map[ID]int)
+		for _, tr := range data {
+			ref[tr[0]]++
+		}
+		col := NewColumn(data)
+		for op := 0; op < 60; op++ {
+			head := ID(rng.Intn(14)) // includes absent heads 0 and 13
+			switch rng.Intn(3) {
+			case 0:
+				n := 0
+				col.Scan(head, func(tr Triple) bool {
+					if tr[0] != head {
+						return false
+					}
+					n++
+					return true
+				})
+				if n != ref[head] {
+					return false
+				}
+			case 1:
+				n := 0
+				col.ScanSorted(head, func(Triple) bool { n++; return true })
+				if n != ref[head] {
+					return false
+				}
+			default:
+				if col.CountHead(head) != ref[head] {
+					return false
+				}
+			}
+		}
+		return col.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package dictionary implements the dictionary encoding described in §4.1
+// of the Hexastore paper: RDF terms (strings) are mapped to dense integer
+// identifiers, and the stores operate on identifiers only. A single
+// Dictionary instance is shared by all six indices of a Hexastore and by
+// the baseline stores so that cross-store comparisons use identical keys.
+package dictionary
+
+import (
+	"fmt"
+	"sync"
+
+	"hexastore/internal/rdf"
+)
+
+// ID is a dictionary-encoded term identifier. IDs are dense and start at
+// 1; 0 is reserved as "no term" / wildcard in pattern queries.
+type ID uint64
+
+// None is the zero ID, never assigned to a term. Pattern queries use it as
+// the unbound marker.
+const None ID = 0
+
+// Dictionary is a bidirectional, append-only mapping between RDF terms and
+// IDs. It is safe for concurrent use. Terms are never removed: stores that
+// delete triples may leave orphaned dictionary entries, which matches the
+// paper's architecture (the mapping table only grows).
+type Dictionary struct {
+	mu      sync.RWMutex
+	forward map[string]ID
+	reverse []string // reverse[id-1] = term key
+}
+
+// New returns an empty Dictionary.
+func New() *Dictionary {
+	return &Dictionary{forward: make(map[string]ID)}
+}
+
+// Encode returns the ID for term, assigning a fresh one if the term has
+// not been seen before.
+func (d *Dictionary) Encode(term rdf.Term) ID {
+	key := term.Key()
+	d.mu.RLock()
+	id, ok := d.forward[key]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok = d.forward[key]; ok {
+		return id
+	}
+	d.reverse = append(d.reverse, key)
+	id = ID(len(d.reverse))
+	d.forward[key] = id
+	return id
+}
+
+// EncodeTriple encodes all three terms of a triple.
+func (d *Dictionary) EncodeTriple(t rdf.Triple) (s, p, o ID) {
+	return d.Encode(t.Subject), d.Encode(t.Predicate), d.Encode(t.Object)
+}
+
+// Lookup returns the ID for term without assigning one. The second result
+// reports whether the term is present.
+func (d *Dictionary) Lookup(term rdf.Term) (ID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.forward[term.Key()]
+	return id, ok
+}
+
+// Decode returns the term for id.
+func (d *Dictionary) Decode(id ID) (rdf.Term, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == None || int(id) > len(d.reverse) {
+		return rdf.Term{}, fmt.Errorf("dictionary: unknown id %d", id)
+	}
+	return rdf.TermFromKey(d.reverse[id-1])
+}
+
+// MustDecode is Decode for callers that know the id is valid (e.g. ids
+// previously produced by Encode); it panics on unknown ids.
+func (d *Dictionary) MustDecode(id ID) rdf.Term {
+	t, err := d.Decode(id)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// DecodeTriple decodes three ids back into a triple.
+func (d *Dictionary) DecodeTriple(s, p, o ID) (rdf.Triple, error) {
+	st, err := d.Decode(s)
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	pt, err := d.Decode(p)
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	ot, err := d.Decode(o)
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	return rdf.Triple{Subject: st, Predicate: pt, Object: ot}, nil
+}
+
+// Len returns the number of distinct terms encoded so far.
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.reverse)
+}
+
+// SizeBytes estimates the memory footprint of the dictionary: the string
+// payloads plus per-entry bookkeeping (map bucket + reverse slice entry).
+// It is used by the memory-usage experiment (paper Figure 15).
+func (d *Dictionary) SizeBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var n int64
+	for _, s := range d.reverse {
+		// String payload counted twice (map key shares the backing array
+		// with the reverse entry in our construction, but a conservative
+		// store would not), plus ~48 bytes of map/slice overhead.
+		n += int64(len(s)) + 48
+	}
+	return n
+}

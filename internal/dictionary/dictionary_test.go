@@ -1,0 +1,177 @@
+package dictionary
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hexastore/internal/rdf"
+)
+
+func TestEncodeAssignsDenseIDsFromOne(t *testing.T) {
+	d := New()
+	a := d.Encode(rdf.NewIRI("a"))
+	b := d.Encode(rdf.NewIRI("b"))
+	c := d.Encode(rdf.NewLiteral("c"))
+	if a != 1 || b != 2 || c != 3 {
+		t.Errorf("ids = %d,%d,%d, want 1,2,3", a, b, c)
+	}
+	if d.Len() != 3 {
+		t.Errorf("Len = %d, want 3", d.Len())
+	}
+}
+
+func TestEncodeIsIdempotent(t *testing.T) {
+	d := New()
+	first := d.Encode(rdf.NewIRI("x"))
+	second := d.Encode(rdf.NewIRI("x"))
+	if first != second {
+		t.Errorf("Encode twice gave %d then %d", first, second)
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestKindsDoNotCollide(t *testing.T) {
+	d := New()
+	iri := d.Encode(rdf.NewIRI("same"))
+	lit := d.Encode(rdf.NewLiteral("same"))
+	blank := d.Encode(rdf.NewBlank("same"))
+	if iri == lit || lit == blank || iri == blank {
+		t.Errorf("ids collide: iri=%d lit=%d blank=%d", iri, lit, blank)
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	d := New()
+	terms := []rdf.Term{
+		rdf.NewIRI("http://ex/s"),
+		rdf.NewLiteral("a literal with spaces"),
+		rdf.NewBlank("b0"),
+	}
+	for _, term := range terms {
+		id := d.Encode(term)
+		got, err := d.Decode(id)
+		if err != nil {
+			t.Fatalf("Decode(%d): %v", id, err)
+		}
+		if got != term {
+			t.Errorf("Decode(Encode(%v)) = %v", term, got)
+		}
+	}
+}
+
+func TestDecodeUnknown(t *testing.T) {
+	d := New()
+	if _, err := d.Decode(None); err == nil {
+		t.Error("Decode(None) succeeded, want error")
+	}
+	if _, err := d.Decode(99); err == nil {
+		t.Error("Decode(99) on empty dictionary succeeded, want error")
+	}
+}
+
+func TestMustDecodePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustDecode(42) did not panic")
+		}
+	}()
+	New().MustDecode(42)
+}
+
+func TestLookupDoesNotAssign(t *testing.T) {
+	d := New()
+	if _, ok := d.Lookup(rdf.NewIRI("ghost")); ok {
+		t.Error("Lookup found unseen term")
+	}
+	if d.Len() != 0 {
+		t.Errorf("Lookup mutated dictionary: Len = %d", d.Len())
+	}
+	id := d.Encode(rdf.NewIRI("ghost"))
+	got, ok := d.Lookup(rdf.NewIRI("ghost"))
+	if !ok || got != id {
+		t.Errorf("Lookup after Encode = (%d,%v), want (%d,true)", got, ok, id)
+	}
+}
+
+func TestEncodeDecodeTriple(t *testing.T) {
+	d := New()
+	tr := rdf.T(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewLiteral("o"))
+	s, p, o := d.EncodeTriple(tr)
+	got, err := d.DecodeTriple(s, p, o)
+	if err != nil {
+		t.Fatalf("DecodeTriple: %v", err)
+	}
+	if got != tr {
+		t.Errorf("DecodeTriple = %v, want %v", got, tr)
+	}
+	if _, err := d.DecodeTriple(s, p, 999); err == nil {
+		t.Error("DecodeTriple with unknown object id succeeded")
+	}
+}
+
+func TestConcurrentEncode(t *testing.T) {
+	d := New()
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	ids := make([][]ID, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]ID, perG)
+			for i := 0; i < perG; i++ {
+				// Shared key space so goroutines race on the same terms.
+				ids[g][i] = d.Encode(rdf.NewIRI(fmt.Sprintf("term-%d", i%100)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", d.Len())
+	}
+	// Every goroutine must have observed identical ids for identical terms.
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d saw id %d for term %d, goroutine 0 saw %d",
+					g, ids[g][i], i%100, ids[0][i])
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	d := New()
+	f := func(kindSel uint8, value string) bool {
+		var term rdf.Term
+		switch kindSel % 3 {
+		case 0:
+			term = rdf.NewIRI(value)
+		case 1:
+			term = rdf.NewLiteral(value)
+		default:
+			term = rdf.NewBlank(value)
+		}
+		id := d.Encode(term)
+		got, err := d.Decode(id)
+		return err == nil && got == term
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeBytesGrows(t *testing.T) {
+	d := New()
+	before := d.SizeBytes()
+	d.Encode(rdf.NewIRI("http://example.org/some/long/term"))
+	after := d.SizeBytes()
+	if after <= before {
+		t.Errorf("SizeBytes did not grow: before=%d after=%d", before, after)
+	}
+}

@@ -1,0 +1,12 @@
+package disk
+
+import (
+	"sort"
+
+	"hexastore/internal/btree"
+)
+
+// sortSlice sorts keys lexicographically in place.
+func sortSlice(keys []btree.Key) {
+	sort.Slice(keys, func(i, j int) bool { return btree.Less(keys[i], keys[j]) })
+}

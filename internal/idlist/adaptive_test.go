@@ -1,0 +1,73 @@
+package idlist
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestMergeJoinAdaptiveMatchesMergeJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		a := randomList(rng, 30)
+		b := randomList(rng, 30)
+		var plain, adaptive []ID
+		MergeJoin(a, b, func(id ID) { plain = append(plain, id) })
+		MergeJoinAdaptive(a, b, func(id ID) { adaptive = append(adaptive, id) })
+		if !reflect.DeepEqual(plain, adaptive) {
+			t.Fatalf("trial %d: plain=%v adaptive=%v", trial, plain, adaptive)
+		}
+	}
+}
+
+func TestMergeJoinAdaptiveGallopPath(t *testing.T) {
+	// Force the galloping branch: |big| > 16*|small|.
+	big := make([]ID, 0, 2000)
+	for i := 1; i <= 2000; i++ {
+		big = append(big, ID(3*i))
+	}
+	small := FromUnsorted(ids(3, 6, 7, 2997, 6000, 6001))
+	var got []ID
+	MergeJoinAdaptive(small, FromSorted(big), func(id ID) { got = append(got, id) })
+	if !reflect.DeepEqual(got, ids(3, 6, 2997, 6000)) {
+		t.Errorf("adaptive gallop = %v, want [3 6 2997 6000]", got)
+	}
+	// Argument order must not matter.
+	got = nil
+	MergeJoinAdaptive(FromSorted(big), small, func(id ID) { got = append(got, id) })
+	if !reflect.DeepEqual(got, ids(3, 6, 2997, 6000)) {
+		t.Errorf("adaptive gallop (swapped) = %v", got)
+	}
+}
+
+func TestMergeJoinAdaptiveEmpty(t *testing.T) {
+	big := FromUnsorted(ids(1, 2, 3))
+	MergeJoinAdaptive(&List{}, big, func(ID) { t.Error("fn called on empty input") })
+	MergeJoinAdaptive(big, &List{}, func(ID) { t.Error("fn called on empty input") })
+	MergeJoinAdaptive(nil, big, func(ID) { t.Error("fn called on nil input") })
+}
+
+// Property: adaptive and plain merge-joins agree on arbitrary inputs,
+// including strongly lopsided ones.
+func TestMergeJoinAdaptiveProperty(t *testing.T) {
+	f := func(rawSmall []uint8, rawBig []uint16) bool {
+		small := fromRaw8(rawSmall)
+		big := fromRaw(rawBig)
+		var plain, adaptive []ID
+		MergeJoin(small, big, func(id ID) { plain = append(plain, id) })
+		MergeJoinAdaptive(small, big, func(id ID) { adaptive = append(adaptive, id) })
+		return reflect.DeepEqual(plain, adaptive)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func fromRaw8(raw []uint8) *List {
+	var b Builder
+	for _, v := range raw {
+		b.Add(ID(v) + 1)
+	}
+	return b.Finish()
+}

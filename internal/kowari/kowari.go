@@ -1,0 +1,343 @@
+// Package kowari implements the three-cyclic-ordering multiple-index
+// baseline that the paper attributes to the Kowari system of Wood et al.
+// (§2.2.2). Ignoring Kowari's meta (model) node, its six quad orderings
+// collapse to the three cyclic triple orderings
+//
+//	spo, pos, osp
+//
+// Each ordering is one compound index that independently contains every
+// statement, kept fully sorted, so any statement pattern can be answered
+// by a prefix range scan of one of the three.
+//
+// What the cyclic scheme cannot do — and what the paper's ablation
+// measures — is produce, for example, a sorted list of subjects for a
+// given property (that needs pso) or a sorted property vector for a
+// subject-object pair in one probe (that needs sop). Queries that want
+// those orders must sort, which is where the sextuple Hexastore wins.
+package kowari
+
+import (
+	"sort"
+	"sync"
+
+	"hexastore/internal/dictionary"
+	"hexastore/internal/rdf"
+)
+
+// ID re-exports the dictionary id type.
+type ID = dictionary.ID
+
+// None is the wildcard marker in patterns.
+const None = dictionary.None
+
+// Ordering names one of the three cyclic orderings.
+type Ordering uint8
+
+// The three cyclic orderings of Kowari (§2.2.2).
+const (
+	SPO Ordering = iota
+	POS
+	OSP
+)
+
+// String returns the ordering acronym.
+func (o Ordering) String() string {
+	switch o {
+	case SPO:
+		return "spo"
+	case POS:
+		return "pos"
+	case OSP:
+		return "osp"
+	default:
+		return "invalid"
+	}
+}
+
+// key is a triple permuted into one cyclic ordering.
+type key [3]ID
+
+func lessKey(a, b key) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return a[2] < b[2]
+}
+
+// permute rotates (s,p,o) into ordering ord.
+func permute(ord Ordering, s, p, o ID) key {
+	switch ord {
+	case SPO:
+		return key{s, p, o}
+	case POS:
+		return key{p, o, s}
+	default: // OSP
+		return key{o, s, p}
+	}
+}
+
+// unpermute recovers (s,p,o) from a key of ordering ord.
+func unpermute(ord Ordering, k key) (s, p, o ID) {
+	switch ord {
+	case SPO:
+		return k[0], k[1], k[2]
+	case POS:
+		return k[2], k[0], k[1]
+	default: // OSP
+		return k[1], k[2], k[0]
+	}
+}
+
+// Store is a triple store with the three cyclic compound indexes. It is
+// safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	dict *dictionary.Dictionary
+	idx  [3][]key // each sorted in its own permuted order
+}
+
+// New returns an empty store with a fresh dictionary.
+func New() *Store { return NewShared(dictionary.New()) }
+
+// NewShared returns an empty store using dict, so it can be compared with
+// other stores on identical keys.
+func NewShared(dict *dictionary.Dictionary) *Store {
+	return &Store{dict: dict}
+}
+
+// Dictionary returns the store's dictionary.
+func (st *Store) Dictionary() *dictionary.Dictionary { return st.dict }
+
+// Len returns the number of distinct triples.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.idx[SPO])
+}
+
+// search returns the position of the first key in ix that is >= k.
+func search(ix []key, k key) int {
+	return sort.Search(len(ix), func(i int) bool { return !lessKey(ix[i], k) })
+}
+
+// Add inserts the triple, keeping all three indexes sorted. It reports
+// whether the store changed.
+func (st *Store) Add(s, p, o ID) bool {
+	if s == None || p == None || o == None {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	k := permute(SPO, s, p, o)
+	i := search(st.idx[SPO], k)
+	if i < len(st.idx[SPO]) && st.idx[SPO][i] == k {
+		return false
+	}
+	for ord := SPO; ord <= OSP; ord++ {
+		k := permute(ord, s, p, o)
+		ix := st.idx[ord]
+		i := search(ix, k)
+		ix = append(ix, key{})
+		copy(ix[i+1:], ix[i:])
+		ix[i] = k
+		st.idx[ord] = ix
+	}
+	return true
+}
+
+// Remove deletes the triple from all three indexes. It reports whether
+// the store changed.
+func (st *Store) Remove(s, p, o ID) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	k := permute(SPO, s, p, o)
+	i := search(st.idx[SPO], k)
+	if i >= len(st.idx[SPO]) || st.idx[SPO][i] != k {
+		return false
+	}
+	for ord := SPO; ord <= OSP; ord++ {
+		k := permute(ord, s, p, o)
+		ix := st.idx[ord]
+		i := search(ix, k)
+		copy(ix[i:], ix[i+1:])
+		st.idx[ord] = ix[:len(ix)-1]
+	}
+	return true
+}
+
+// Has reports whether the triple is present.
+func (st *Store) Has(s, p, o ID) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	k := permute(SPO, s, p, o)
+	i := search(st.idx[SPO], k)
+	return i < len(st.idx[SPO]) && st.idx[SPO][i] == k
+}
+
+// Match streams every triple matching the pattern to fn, with None as
+// the wildcard. Each pattern shape maps onto the cyclic ordering whose
+// prefix covers the bound positions:
+//
+//	s p o → spo probe     s p ? → spo prefix    ? p o → pos prefix
+//	s ? o → osp prefix    s ? ? → spo prefix    ? p ? → pos prefix
+//	? ? o → osp prefix    ? ? ? → spo scan
+//
+// Every shape is covered — that is Kowari's strength — but the iteration
+// order within a shape is fixed by the cyclic ordering (e.g. ⟨?,p,?⟩
+// arrives sorted by object, not subject), which is its weakness.
+func (st *Store) Match(s, p, o ID, fn func(s, p, o ID) bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+
+	var (
+		ord      Ordering
+		lo       key
+		prefixes int
+	)
+	switch {
+	case s != None && p != None && o != None:
+		if st.hasLocked(s, p, o) {
+			fn(s, p, o)
+		}
+		return
+	case s != None && p != None:
+		ord, lo, prefixes = SPO, key{s, p, 0}, 2
+	case p != None && o != None:
+		ord, lo, prefixes = POS, key{p, o, 0}, 2
+	case s != None && o != None:
+		ord, lo, prefixes = OSP, key{o, s, 0}, 2
+	case s != None:
+		ord, lo, prefixes = SPO, key{s, 0, 0}, 1
+	case p != None:
+		ord, lo, prefixes = POS, key{p, 0, 0}, 1
+	case o != None:
+		ord, lo, prefixes = OSP, key{o, 0, 0}, 1
+	default:
+		ord, lo, prefixes = SPO, key{}, 0
+	}
+	ix := st.idx[ord]
+	for i := search(ix, lo); i < len(ix); i++ {
+		k := ix[i]
+		if prefixes >= 1 && k[0] != lo[0] {
+			return
+		}
+		if prefixes >= 2 && k[1] != lo[1] {
+			return
+		}
+		ms, mp, mo := unpermute(ord, k)
+		if !fn(ms, mp, mo) {
+			return
+		}
+	}
+}
+
+func (st *Store) hasLocked(s, p, o ID) bool {
+	k := permute(SPO, s, p, o)
+	i := search(st.idx[SPO], k)
+	return i < len(st.idx[SPO]) && st.idx[SPO][i] == k
+}
+
+// Count returns the number of triples matching the pattern.
+func (st *Store) Count(s, p, o ID) int {
+	n := 0
+	st.Match(s, p, o, func(_, _, _ ID) bool { n++; return true })
+	return n
+}
+
+// SubjectsForProperty returns the distinct subjects of property p in
+// sorted order. The cyclic pos index delivers them sorted by OBJECT
+// first, so this requires collecting and sorting — exactly the extra
+// work the paper's §2.2.2 critique predicts ("These indices cannot
+// provide, for example, a sorted list of the subjects defined for a
+// given property"). The sextuple Hexastore answers the same request by
+// walking its pso vector with no sort. The cyclic-vs-sextuple ablation
+// benchmarks this method.
+func (st *Store) SubjectsForProperty(p ID) []ID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	ix := st.idx[POS]
+	seen := make(map[ID]struct{})
+	for i := search(ix, key{p, 0, 0}); i < len(ix) && ix[i][0] == p; i++ {
+		seen[ix[i][2]] = struct{}{}
+	}
+	out := make([]ID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddTriple dictionary-encodes and inserts an rdf.Triple.
+func (st *Store) AddTriple(t rdf.Triple) bool {
+	if !t.Valid() {
+		return false
+	}
+	s, p, o := st.dict.EncodeTriple(t)
+	return st.Add(s, p, o)
+}
+
+// Builder bulk-loads a Store by appending everything and sorting once.
+type Builder struct {
+	dict    *dictionary.Dictionary
+	triples []key // in spo order
+}
+
+// NewBuilder returns a bulk loader (pass nil for a fresh dictionary).
+func NewBuilder(dict *dictionary.Dictionary) *Builder {
+	if dict == nil {
+		dict = dictionary.New()
+	}
+	return &Builder{dict: dict}
+}
+
+// Add buffers one triple.
+func (b *Builder) Add(s, p, o ID) {
+	if s == None || p == None || o == None {
+		return
+	}
+	b.triples = append(b.triples, key{s, p, o})
+}
+
+// AddTriple dictionary-encodes and buffers an rdf.Triple.
+func (b *Builder) AddTriple(t rdf.Triple) {
+	if !t.Valid() {
+		return
+	}
+	s, p, o := b.dict.EncodeTriple(t)
+	b.Add(s, p, o)
+}
+
+// Build sorts each index once and returns the store. The builder must
+// not be reused.
+func (b *Builder) Build() *Store {
+	st := NewShared(b.dict)
+	for ord := SPO; ord <= OSP; ord++ {
+		ix := make([]key, 0, len(b.triples))
+		for _, t := range b.triples {
+			ix = append(ix, permute(ord, t[0], t[1], t[2]))
+		}
+		sort.Slice(ix, func(i, j int) bool { return lessKey(ix[i], ix[j]) })
+		// Dedupe.
+		w := 0
+		for r := range ix {
+			if w == 0 || ix[r] != ix[w-1] {
+				ix[w] = ix[r]
+				w++
+			}
+		}
+		st.idx[ord] = ix[:w]
+	}
+	return st
+}
+
+// SizeBytes estimates the index memory footprint: three full copies of
+// every triple (24 bytes each).
+func (st *Store) SizeBytes() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return int64(len(st.idx[SPO])) * 3 * 24
+}

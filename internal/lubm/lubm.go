@@ -1,0 +1,334 @@
+// Package lubm generates a synthetic academic data set modeled on the
+// Lehigh University Benchmark (Guo, Heflin, Pan; ISWC 2003/2004), the
+// second data set of the Hexastore paper's evaluation (§5.1.2).
+//
+// The original LUBM generator is a Java tool; this is a from-scratch Go
+// implementation producing the same schema shape: universities contain
+// departments, departments employ faculty (full/associate/assistant
+// professors, lecturers) and enroll students; faculty teach courses and
+// hold degrees from universities; students take courses and have
+// advisors. Exactly 18 predicates are used, matching the paper's setup
+// ("ten universities with 18 different predicates").
+//
+// Entities are numbered globally (University0, AssociateProfessor10,
+// Course10, …) so the resources the paper's LUBM queries bind — Course10,
+// University0, AssociateProfessor10 — exist by construction.
+//
+// Generation is deterministic for a given Config.
+package lubm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hexastore/internal/rdf"
+)
+
+// Namespace prefixes all generated IRIs.
+const Namespace = "lubm:"
+
+// The 18 predicates (paper: "18 different predicates").
+var (
+	PropType              = rdf.NewIRI(Namespace + "type")
+	PropSubOrganization   = rdf.NewIRI(Namespace + "subOrganizationOf")
+	PropWorksFor          = rdf.NewIRI(Namespace + "worksFor")
+	PropMemberOf          = rdf.NewIRI(Namespace + "memberOf")
+	PropHeadOf            = rdf.NewIRI(Namespace + "headOf")
+	PropTeacherOf         = rdf.NewIRI(Namespace + "teacherOf")
+	PropTakesCourse       = rdf.NewIRI(Namespace + "takesCourse")
+	PropTeachingAssist    = rdf.NewIRI(Namespace + "teachingAssistantOf")
+	PropAdvisor           = rdf.NewIRI(Namespace + "advisor")
+	PropUndergradFrom     = rdf.NewIRI(Namespace + "undergraduateDegreeFrom")
+	PropMastersFrom       = rdf.NewIRI(Namespace + "mastersDegreeFrom")
+	PropDoctoralFrom      = rdf.NewIRI(Namespace + "doctoralDegreeFrom")
+	PropOfferedBy         = rdf.NewIRI(Namespace + "offeredBy")
+	PropName              = rdf.NewIRI(Namespace + "name")
+	PropEmail             = rdf.NewIRI(Namespace + "emailAddress")
+	PropTelephone         = rdf.NewIRI(Namespace + "telephone")
+	PropResearchInterest  = rdf.NewIRI(Namespace + "researchInterest")
+	PropPublicationAuthor = rdf.NewIRI(Namespace + "publicationAuthor")
+)
+
+// DegreeProps are the three degreeFrom predicates, which LQ5 unions over.
+var DegreeProps = []rdf.Term{PropUndergradFrom, PropMastersFrom, PropDoctoralFrom}
+
+// AllProps lists every predicate the generator emits.
+var AllProps = []rdf.Term{
+	PropType, PropSubOrganization, PropWorksFor, PropMemberOf, PropHeadOf,
+	PropTeacherOf, PropTakesCourse, PropTeachingAssist, PropAdvisor,
+	PropUndergradFrom, PropMastersFrom, PropDoctoralFrom, PropOfferedBy,
+	PropName, PropEmail, PropTelephone, PropResearchInterest,
+	PropPublicationAuthor,
+}
+
+// Class terms (objects of PropType).
+var (
+	ClassUniversity      = rdf.NewIRI(Namespace + "University")
+	ClassDepartment      = rdf.NewIRI(Namespace + "Department")
+	ClassFullProfessor   = rdf.NewIRI(Namespace + "FullProfessor")
+	ClassAssocProfessor  = rdf.NewIRI(Namespace + "AssociateProfessor")
+	ClassAssistProfessor = rdf.NewIRI(Namespace + "AssistantProfessor")
+	ClassLecturer        = rdf.NewIRI(Namespace + "Lecturer")
+	ClassUndergrad       = rdf.NewIRI(Namespace + "UndergraduateStudent")
+	ClassGradStudent     = rdf.NewIRI(Namespace + "GraduateStudent")
+	ClassCourse          = rdf.NewIRI(Namespace + "Course")
+	ClassPublication     = rdf.NewIRI(Namespace + "Publication")
+)
+
+// Entity constructors: globally numbered IRIs.
+
+// University returns the i-th university resource.
+func University(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sUniversity%d", Namespace, i)) }
+
+// Department returns the i-th department resource.
+func Department(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sDepartment%d", Namespace, i)) }
+
+// FullProfessor returns the i-th full professor.
+func FullProfessor(i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("%sFullProfessor%d", Namespace, i))
+}
+
+// AssociateProfessor returns the i-th associate professor (the paper's
+// LQ3–LQ5 bind AssociateProfessor10).
+func AssociateProfessor(i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("%sAssociateProfessor%d", Namespace, i))
+}
+
+// AssistantProfessor returns the i-th assistant professor.
+func AssistantProfessor(i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("%sAssistantProfessor%d", Namespace, i))
+}
+
+// Lecturer returns the i-th lecturer.
+func Lecturer(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sLecturer%d", Namespace, i)) }
+
+// UndergraduateStudent returns the i-th undergraduate.
+func UndergraduateStudent(i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("%sUndergraduateStudent%d", Namespace, i))
+}
+
+// GraduateStudent returns the i-th graduate student.
+func GraduateStudent(i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("%sGraduateStudent%d", Namespace, i))
+}
+
+// Course returns the i-th course (LQ1 binds Course10).
+func Course(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sCourse%d", Namespace, i)) }
+
+// Publication returns the i-th publication.
+func Publication(i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("%sPublication%d", Namespace, i))
+}
+
+// Config parameterizes the generator. The zero value is not useful;
+// DefaultConfig matches the paper's ten-university setup at a
+// laptop-friendly scale.
+type Config struct {
+	Universities int
+	Seed         int64
+
+	// Per-department population. Defaults (applied by withDefaults)
+	// approximate LUBM's proportions.
+	DeptsPerUniv     int
+	FullPerDept      int
+	AssocPerDept     int
+	AssistPerDept    int
+	LecturersPerDept int
+	UndergradPerDept int
+	GradPerDept      int
+	CoursesPerDept   int
+	PubsPerFaculty   int
+}
+
+// DefaultConfig returns the paper's ten-university configuration.
+func DefaultConfig() Config {
+	return Config{Universities: 10, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.DeptsPerUniv, 15)
+	def(&c.FullPerDept, 3)
+	def(&c.AssocPerDept, 4)
+	def(&c.AssistPerDept, 3)
+	def(&c.LecturersPerDept, 2)
+	def(&c.UndergradPerDept, 120)
+	def(&c.GradPerDept, 30)
+	def(&c.CoursesPerDept, 20)
+	def(&c.PubsPerFaculty, 2)
+	if c.Universities == 0 {
+		c.Universities = 10
+	}
+	return c
+}
+
+// Generate emits every triple of the data set to emit, in a fixed
+// deterministic order, stopping early if emit returns false.
+func (c Config) Generate(emit func(rdf.Triple) bool) {
+	c = c.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	g := &gen{cfg: c, rng: rng, emit: emit}
+	g.run()
+}
+
+// GenerateAll materializes the whole data set (convenience for tests and
+// small loads).
+func (c Config) GenerateAll() []rdf.Triple {
+	var out []rdf.Triple
+	c.Generate(func(t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+type gen struct {
+	cfg     Config
+	rng     *rand.Rand
+	emit    func(rdf.Triple) bool
+	stopped bool
+
+	// Global counters.
+	nDept, nFull, nAssoc, nAssist, nLect, nUg, nGrad, nCourse, nPub int
+}
+
+func (g *gen) t(s, p, o rdf.Term) {
+	if g.stopped {
+		return
+	}
+	if !g.emit(rdf.T(s, p, o)) {
+		g.stopped = true
+	}
+}
+
+func (g *gen) lit(format string, args ...any) rdf.Term {
+	return rdf.NewLiteral(fmt.Sprintf(format, args...))
+}
+
+var interests = []string{
+	"databases", "semantic web", "machine learning", "graphics",
+	"systems", "theory", "networks", "security",
+}
+
+func (g *gen) run() {
+	c := g.cfg
+	for u := 0; u < c.Universities && !g.stopped; u++ {
+		univ := University(u)
+		g.t(univ, PropType, ClassUniversity)
+		g.t(univ, PropName, g.lit("University %d", u))
+
+		for d := 0; d < c.DeptsPerUniv && !g.stopped; d++ {
+			g.department(u, univ)
+		}
+	}
+}
+
+// degreeUniversity picks a university for a degree: usually a different
+// one than the employer, occasionally the same, so every university
+// accumulates degree edges (needed by LQ2/LQ5).
+func (g *gen) degreeUniversity() rdf.Term {
+	return University(g.rng.Intn(g.cfg.Universities))
+}
+
+func (g *gen) department(u int, univ rdf.Term) {
+	c := g.cfg
+	dept := Department(g.nDept)
+	g.nDept++
+	g.t(dept, PropType, ClassDepartment)
+	g.t(dept, PropSubOrganization, univ)
+	g.t(dept, PropName, g.lit("Department %d", g.nDept-1))
+
+	// Courses first so faculty can teach them.
+	courses := make([]rdf.Term, c.CoursesPerDept)
+	for i := range courses {
+		courses[i] = Course(g.nCourse)
+		g.nCourse++
+		g.t(courses[i], PropType, ClassCourse)
+		g.t(courses[i], PropOfferedBy, dept)
+	}
+
+	var faculty []rdf.Term
+	addFaculty := func(term rdf.Term, class rdf.Term) {
+		g.t(term, PropType, class)
+		g.t(term, PropWorksFor, dept)
+		g.t(term, PropName, g.lit("%s", term.Value[len(Namespace):]))
+		g.t(term, PropEmail, g.lit("%s@example.edu", term.Value[len(Namespace):]))
+		g.t(term, PropTelephone, g.lit("+1-555-%04d", g.rng.Intn(10000)))
+		g.t(term, PropResearchInterest, g.lit("%s", interests[g.rng.Intn(len(interests))]))
+		g.t(term, PropUndergradFrom, g.degreeUniversity())
+		g.t(term, PropMastersFrom, g.degreeUniversity())
+		g.t(term, PropDoctoralFrom, g.degreeUniversity())
+		// Each faculty member teaches 1–2 courses.
+		nTeach := 1 + g.rng.Intn(2)
+		for k := 0; k < nTeach; k++ {
+			g.t(term, PropTeacherOf, courses[g.rng.Intn(len(courses))])
+		}
+		for k := 0; k < g.cfg.PubsPerFaculty; k++ {
+			pub := Publication(g.nPub)
+			g.nPub++
+			g.t(pub, PropType, ClassPublication)
+			g.t(pub, PropPublicationAuthor, term)
+		}
+		faculty = append(faculty, term)
+	}
+
+	for i := 0; i < c.FullPerDept; i++ {
+		prof := FullProfessor(g.nFull)
+		g.nFull++
+		addFaculty(prof, ClassFullProfessor)
+		if i == 0 {
+			g.t(prof, PropHeadOf, dept)
+		}
+	}
+	for i := 0; i < c.AssocPerDept; i++ {
+		addFaculty(AssociateProfessor(g.nAssoc), ClassAssocProfessor)
+		g.nAssoc++
+	}
+	for i := 0; i < c.AssistPerDept; i++ {
+		addFaculty(AssistantProfessor(g.nAssist), ClassAssistProfessor)
+		g.nAssist++
+	}
+	for i := 0; i < c.LecturersPerDept; i++ {
+		addFaculty(Lecturer(g.nLect), ClassLecturer)
+		g.nLect++
+	}
+
+	professors := faculty[:c.FullPerDept+c.AssocPerDept+c.AssistPerDept]
+
+	for i := 0; i < c.UndergradPerDept; i++ {
+		s := UndergraduateStudent(g.nUg)
+		g.nUg++
+		g.t(s, PropType, ClassUndergrad)
+		g.t(s, PropMemberOf, dept)
+		g.t(s, PropName, g.lit("UndergraduateStudent%d", g.nUg-1))
+		nCourses := 2 + g.rng.Intn(3)
+		for k := 0; k < nCourses; k++ {
+			g.t(s, PropTakesCourse, courses[g.rng.Intn(len(courses))])
+		}
+		// A fifth of undergraduates have a faculty advisor.
+		if g.rng.Intn(5) == 0 {
+			g.t(s, PropAdvisor, professors[g.rng.Intn(len(professors))])
+		}
+	}
+
+	for i := 0; i < c.GradPerDept; i++ {
+		s := GraduateStudent(g.nGrad)
+		g.nGrad++
+		g.t(s, PropType, ClassGradStudent)
+		g.t(s, PropMemberOf, dept)
+		g.t(s, PropName, g.lit("GraduateStudent%d", g.nGrad-1))
+		g.t(s, PropUndergradFrom, g.degreeUniversity())
+		g.t(s, PropAdvisor, professors[g.rng.Intn(len(professors))])
+		nCourses := 1 + g.rng.Intn(3)
+		for k := 0; k < nCourses; k++ {
+			g.t(s, PropTakesCourse, courses[g.rng.Intn(len(courses))])
+		}
+		if g.rng.Intn(3) == 0 {
+			g.t(s, PropTeachingAssist, courses[g.rng.Intn(len(courses))])
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package queries
+
+import (
+	"reflect"
+	"testing"
+
+	"hexastore/internal/barton"
+	"hexastore/internal/lubm"
+)
+
+// The differential tests below load the same data into all three stores
+// and assert that the per-store query plans produce identical results —
+// the essential precondition for the benchmark comparison (the paper
+// compares response times of equivalent plans).
+
+func bartonStores(t *testing.T) (*Stores, BartonIDs) {
+	t.Helper()
+	cfg := barton.Config{Records: 4000, Seed: 11}
+	s := Load(cfg.GenerateAll())
+	return s, ResolveBarton(s.Dict)
+}
+
+func lubmStores(t *testing.T) (*Stores, LUBMIDs) {
+	t.Helper()
+	cfg := lubm.Config{
+		Universities: 3, Seed: 5, DeptsPerUniv: 4,
+		UndergradPerDept: 30, GradPerDept: 10, CoursesPerDept: 10,
+	}
+	s := Load(cfg.GenerateAll())
+	return s, ResolveLUBM(s.Dict)
+}
+
+func TestLoadBuildsConsistentStores(t *testing.T) {
+	s, _ := bartonStores(t)
+	if s.Hexa.Len() == 0 {
+		t.Fatal("empty hexastore")
+	}
+	if s.Hexa.Len() != s.C1.Len() || s.C1.Len() != s.C2.Len() {
+		t.Fatalf("store sizes differ: hexa=%d covp1=%d covp2=%d",
+			s.Hexa.Len(), s.C1.Len(), s.C2.Len())
+	}
+}
+
+func TestResolveBartonRestricted28(t *testing.T) {
+	s, ids := bartonStores(t)
+	if len(ids.Restricted28) != 28 {
+		t.Fatalf("Restricted28 has %d properties, want 28", len(ids.Restricted28))
+	}
+	for _, p := range ids.Restricted28 {
+		if p == None {
+			t.Fatal("Restricted28 contains None")
+		}
+	}
+	_ = s
+}
+
+func TestBQ1Agreement(t *testing.T) {
+	s, ids := bartonStores(t)
+	hexa := BQ1Hexa(s.Hexa, ids)
+	c1 := BQ1COVP(s.C1, ids)
+	c2 := BQ1COVP(s.C2, ids)
+	if len(hexa) == 0 {
+		t.Fatal("BQ1 empty result")
+	}
+	if !reflect.DeepEqual(hexa, c1) || !reflect.DeepEqual(hexa, c2) {
+		t.Errorf("BQ1 results differ: hexa=%v covp1=%v covp2=%v", hexa, c1, c2)
+	}
+}
+
+func TestBQ2Agreement(t *testing.T) {
+	s, ids := bartonStores(t)
+	for _, props := range [][]ID{nil, ids.Restricted28} {
+		hexa := BQ2Hexa(s.Hexa, ids, props)
+		c1 := BQ2COVP(s.C1, ids, props)
+		c2 := BQ2COVP(s.C2, ids, props)
+		if len(hexa) == 0 {
+			t.Fatal("BQ2 empty result")
+		}
+		if !reflect.DeepEqual(hexa, c1) || !reflect.DeepEqual(hexa, c2) {
+			t.Errorf("BQ2 (restricted=%v) results differ", props != nil)
+		}
+	}
+}
+
+func TestBQ2RestrictionShrinksResult(t *testing.T) {
+	s, ids := bartonStores(t)
+	full := BQ2Hexa(s.Hexa, ids, nil)
+	restricted := BQ2Hexa(s.Hexa, ids, ids.Restricted28)
+	if len(restricted) > len(full) {
+		t.Errorf("restricted result (%d props) larger than full (%d)", len(restricted), len(full))
+	}
+	for p, c := range restricted {
+		if full[p] != c {
+			t.Errorf("property %d: restricted freq %d != full freq %d", p, c, full[p])
+		}
+	}
+}
+
+func TestBQ3Agreement(t *testing.T) {
+	s, ids := bartonStores(t)
+	for _, props := range [][]ID{nil, ids.Restricted28} {
+		hexa := BQ3Hexa(s.Hexa, ids, props)
+		c1 := BQ3COVP(s.C1, ids, props)
+		c2 := BQ3COVP(s.C2, ids, props)
+		if len(hexa) == 0 {
+			t.Fatal("BQ3 empty result")
+		}
+		if !reflect.DeepEqual(hexa, c1) || !reflect.DeepEqual(hexa, c2) {
+			t.Errorf("BQ3 (restricted=%v) results differ", props != nil)
+		}
+		// Every reported count must exceed one by construction.
+		for pair, c := range hexa {
+			if c <= 1 {
+				t.Errorf("BQ3 pair %v has count %d", pair, c)
+			}
+		}
+	}
+}
+
+func TestBQ4Agreement(t *testing.T) {
+	s, ids := bartonStores(t)
+	for _, props := range [][]ID{nil, ids.Restricted28} {
+		hexa := BQ4Hexa(s.Hexa, ids, props)
+		c1 := BQ4COVP(s.C1, ids, props)
+		c2 := BQ4COVP(s.C2, ids, props)
+		if !reflect.DeepEqual(hexa, c1) || !reflect.DeepEqual(hexa, c2) {
+			t.Errorf("BQ4 (restricted=%v) results differ", props != nil)
+		}
+	}
+	// BQ4's extra Language constraint can only shrink BQ3's result.
+	bq3 := BQ3Hexa(s.Hexa, ids, nil)
+	bq4 := BQ4Hexa(s.Hexa, ids, nil)
+	if len(bq4) > len(bq3) {
+		t.Errorf("BQ4 result (%d) larger than BQ3 (%d)", len(bq4), len(bq3))
+	}
+}
+
+func TestBQ5Agreement(t *testing.T) {
+	s, ids := bartonStores(t)
+	hexa := BQ5Hexa(s.Hexa, ids)
+	c1 := BQ5COVP(s.C1, ids)
+	c2 := BQ5COVP(s.C2, ids)
+	if len(hexa) == 0 {
+		t.Fatal("BQ5 empty result — generator must produce DLC→Records→Type chains")
+	}
+	if !reflect.DeepEqual(hexa, c1) || !reflect.DeepEqual(hexa, c2) {
+		t.Errorf("BQ5 results differ: hexa=%d covp1=%d covp2=%d pairs", len(hexa), len(c1), len(c2))
+	}
+	for pair := range hexa {
+		if pair[1] == ids.Text {
+			t.Errorf("BQ5 reported a Text inferred type for subject %d", pair[0])
+		}
+	}
+}
+
+func TestBQ6Agreement(t *testing.T) {
+	s, ids := bartonStores(t)
+	for _, props := range [][]ID{nil, ids.Restricted28} {
+		hexa := BQ6Hexa(s.Hexa, ids, props)
+		c1 := BQ6COVP(s.C1, ids, props)
+		c2 := BQ6COVP(s.C2, ids, props)
+		if len(hexa) == 0 {
+			t.Fatal("BQ6 empty result")
+		}
+		if !reflect.DeepEqual(hexa, c1) || !reflect.DeepEqual(hexa, c2) {
+			t.Errorf("BQ6 (restricted=%v) results differ", props != nil)
+		}
+	}
+	// BQ6 aggregates over a superset of BQ2's subjects.
+	bq2 := BQ2Hexa(s.Hexa, ids, nil)
+	bq6 := BQ6Hexa(s.Hexa, ids, nil)
+	for p, c := range bq2 {
+		if bq6[p] < c {
+			t.Errorf("BQ6 freq for property %d (%d) below BQ2's (%d)", p, bq6[p], c)
+		}
+	}
+}
+
+func TestBQ7Agreement(t *testing.T) {
+	s, ids := bartonStores(t)
+	hexa := BQ7Hexa(s.Hexa, ids)
+	c1 := BQ7COVP(s.C1, ids)
+	c2 := BQ7COVP(s.C2, ids)
+	if len(hexa) == 0 {
+		t.Fatal("BQ7 empty result")
+	}
+	if !reflect.DeepEqual(hexa, c1) || !reflect.DeepEqual(hexa, c2) {
+		t.Errorf("BQ7 results differ")
+	}
+	for tr := range hexa {
+		if tr[1] != ids.Encoding && tr[1] != ids.Type {
+			t.Errorf("BQ7 reported unrelated property %d", tr[1])
+		}
+	}
+}
+
+func TestLQ1LQ2Agreement(t *testing.T) {
+	s, ids := lubmStores(t)
+	for name, obj := range map[string]ID{"LQ1/Course10": ids.Course10, "LQ2/University0": ids.University0} {
+		hexa := RelatedHexa(s.Hexa, obj)
+		c1 := RelatedCOVP(s.C1, obj)
+		c2 := RelatedCOVP(s.C2, obj)
+		if len(hexa) == 0 {
+			t.Fatalf("%s: empty result", name)
+		}
+		if !reflect.DeepEqual(hexa, c1) || !reflect.DeepEqual(hexa, c2) {
+			t.Errorf("%s: results differ (hexa=%d covp1=%d covp2=%d)", name, len(hexa), len(c1), len(c2))
+		}
+	}
+}
+
+func TestLQ3Agreement(t *testing.T) {
+	s, ids := lubmStores(t)
+	hexa := LQ3Hexa(s.Hexa, ids.AssocProf10)
+	c1 := LQ3COVP(s.C1, ids.AssocProf10)
+	c2 := LQ3COVP(s.C2, ids.AssocProf10)
+	if len(hexa) == 0 {
+		t.Fatal("LQ3 empty result")
+	}
+	if !reflect.DeepEqual(hexa, c1) || !reflect.DeepEqual(hexa, c2) {
+		t.Errorf("LQ3 results differ")
+	}
+	// The professor must occur as subject (its own triples) and as
+	// object (advisor edges) for the query to be meaningful.
+	asSubj, asObj := 0, 0
+	for tr := range hexa {
+		if tr[0] == ids.AssocProf10 {
+			asSubj++
+		}
+		if tr[2] == ids.AssocProf10 {
+			asObj++
+		}
+	}
+	if asSubj == 0 || asObj == 0 {
+		t.Errorf("LQ3 coverage: %d as subject, %d as object; want both > 0", asSubj, asObj)
+	}
+}
+
+func TestLQ4Agreement(t *testing.T) {
+	s, ids := lubmStores(t)
+	hexa := LQ4Hexa(s.Hexa, ids)
+	c1 := LQ4COVP(s.C1, ids)
+	c2 := LQ4COVP(s.C2, ids)
+	if len(hexa) == 0 {
+		t.Fatal("LQ4 empty result — AssociateProfessor10 must teach")
+	}
+	if !reflect.DeepEqual(hexa, c1) || !reflect.DeepEqual(hexa, c2) {
+		t.Errorf("LQ4 results differ")
+	}
+}
+
+func TestLQ5Agreement(t *testing.T) {
+	s, ids := lubmStores(t)
+	hexa := LQ5Hexa(s.Hexa, ids)
+	c1 := LQ5COVP(s.C1, ids)
+	c2 := LQ5COVP(s.C2, ids)
+	if len(hexa) == 0 {
+		t.Fatal("LQ5 empty result — professor must be related to universities")
+	}
+	if len(hexa) != len(c1) || len(hexa) != len(c2) {
+		t.Fatalf("LQ5 university counts differ: %d/%d/%d", len(hexa), len(c1), len(c2))
+	}
+	for u, l := range hexa {
+		if !reflect.DeepEqual(l.IDs(), c1[u].IDs()) || !reflect.DeepEqual(l.IDs(), c2[u].IDs()) {
+			t.Errorf("LQ5 subjects for university %d differ", u)
+		}
+	}
+}
+
+func TestEmptyStoreQueriesAreEmpty(t *testing.T) {
+	s := Load(nil)
+	bids := ResolveBarton(s.Dict)
+	lids := ResolveLUBM(s.Dict)
+	if len(BQ1Hexa(s.Hexa, bids)) != 0 || len(BQ1COVP(s.C1, bids)) != 0 {
+		t.Error("BQ1 on empty store non-empty")
+	}
+	if len(BQ5Hexa(s.Hexa, bids)) != 0 || len(BQ5COVP(s.C1, bids)) != 0 {
+		t.Error("BQ5 on empty store non-empty")
+	}
+	if len(RelatedHexa(s.Hexa, lids.Course10)) != 0 {
+		t.Error("LQ1 on empty store non-empty")
+	}
+	if len(LQ5Hexa(s.Hexa, lids)) != 0 || len(LQ5COVP(s.C2, lids)) != 0 {
+		t.Error("LQ5 on empty store non-empty")
+	}
+}

@@ -1,0 +1,128 @@
+// Package query provides query processing over a Hexastore: triple
+// patterns, the paper's flagship join strategies (§4.2), and path
+// expression evaluation (§4.3).
+//
+// The package works on dictionary-encoded IDs; string-level querying is
+// provided by package sparql on top of this one.
+package query
+
+import (
+	"hexastore/internal/core"
+	"hexastore/internal/idlist"
+)
+
+// ID is a dictionary-encoded resource identifier.
+type ID = core.ID
+
+// None is the wildcard marker in patterns.
+const None = core.None
+
+// Pattern is a triple pattern; None in a position means unbound.
+type Pattern struct {
+	S, P, O ID
+}
+
+// Bound returns the number of bound positions (0–3).
+func (p Pattern) Bound() int {
+	n := 0
+	if p.S != None {
+		n++
+	}
+	if p.P != None {
+		n++
+	}
+	if p.O != None {
+		n++
+	}
+	return n
+}
+
+// Engine evaluates queries against a Hexastore.
+type Engine struct {
+	store *core.Store
+}
+
+// NewEngine returns an engine over st.
+func NewEngine(st *core.Store) *Engine { return &Engine{store: st} }
+
+// Store returns the underlying Hexastore.
+func (e *Engine) Store() *core.Store { return e.store }
+
+// Match streams the triples matching pat.
+func (e *Engine) Match(pat Pattern, fn func(s, p, o ID) bool) {
+	e.store.Match(pat.S, pat.P, pat.O, fn)
+}
+
+// Count returns the number of triples matching pat.
+func (e *Engine) Count(pat Pattern) int {
+	return e.store.Count(pat.S, pat.P, pat.O)
+}
+
+// Selectivity estimates the result cardinality of pat without scanning:
+// exact for 2–3 bound positions (terminal-list lengths), vector length ×
+// average for 1 bound, store size for 0 bound. Used by the sparql
+// planner to order patterns.
+func (e *Engine) Selectivity(pat Pattern) int {
+	st := e.store
+	switch {
+	case pat.S != None && pat.P != None && pat.O != None:
+		if st.Has(pat.S, pat.P, pat.O) {
+			return 1
+		}
+		return 0
+	case pat.S != None && pat.P != None:
+		return st.Objects(pat.S, pat.P).Len()
+	case pat.S != None && pat.O != None:
+		return st.Properties(pat.S, pat.O).Len()
+	case pat.P != None && pat.O != None:
+		return st.Subjects(pat.P, pat.O).Len()
+	case pat.S != None:
+		return vecCardinality(st.Head(core.SPO, pat.S))
+	case pat.P != None:
+		return vecCardinality(st.Head(core.PSO, pat.P))
+	case pat.O != None:
+		return vecCardinality(st.Head(core.OSP, pat.O))
+	default:
+		return st.Len()
+	}
+}
+
+func vecCardinality(v *core.Vec) int {
+	n := 0
+	v.Range(func(_ ID, list *idlist.List) bool {
+		n += list.Len()
+		return true
+	})
+	return n
+}
+
+// SubjectsRelatedToBothObjects returns the subjects related — by any
+// property — to both o1 and o2. This is the paper's §4.2 showcase
+// ("reduction of unions and joins"): the Hexastore answers it by linearly
+// merge-joining the two subject vectors in osp indexing, where
+// property-oriented schemes must union over every property table.
+func (e *Engine) SubjectsRelatedToBothObjects(o1, o2 ID) *idlist.List {
+	v1 := e.store.Head(core.OSP, o1)
+	v2 := e.store.Head(core.OSP, o2)
+	if v1.Len() == 0 || v2.Len() == 0 {
+		return &idlist.List{}
+	}
+	return idlist.Intersect(v1.KeyList(), v2.KeyList())
+}
+
+// RelatedResources returns every (property, subject) pair pointing at
+// object o — "a list of subjects or properties related to a given
+// object", the functionality §3 argues no prior scheme provides
+// directly. The ops index supplies it as a single vector walk.
+func (e *Engine) RelatedResources(o ID, fn func(p, s ID) bool) {
+	stop := false
+	e.store.Head(core.OPS, o).Range(func(p ID, subjs *idlist.List) bool {
+		subjs.Range(func(s ID) bool {
+			if !fn(p, s) {
+				stop = true
+			}
+			return !stop
+		})
+		return !stop
+	})
+}

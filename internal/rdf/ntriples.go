@@ -1,0 +1,210 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseError describes a syntax error at a specific line of an N-Triples
+// stream.
+type ParseError struct {
+	Line int    // 1-based line number
+	Text string // the offending line, trimmed
+	Err  error  // underlying cause
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rdf: line %d: %v (in %q)", e.Line, e.Err, e.Text)
+}
+
+// Unwrap returns the underlying cause.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Reader parses a stream in a pragmatic N-Triples subset: one triple per
+// line, `<iri>`, `"literal"` (with \" \\ \n \r \t escapes), `_:blank`
+// terms, `#` comment lines, and blank lines. Datatype/language suffixes on
+// literals (^^<iri>, @tag) are accepted and folded into the literal value.
+type Reader struct {
+	scanner *bufio.Scanner
+	line    int
+}
+
+// NewReader returns a Reader consuming r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{scanner: sc}
+}
+
+// Read returns the next triple. It returns io.EOF at end of stream and a
+// *ParseError on malformed input.
+func (r *Reader) Read() (Triple, error) {
+	for r.scanner.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseLine(line)
+		if err != nil {
+			return Triple{}, &ParseError{Line: r.line, Text: line, Err: err}
+		}
+		return t, nil
+	}
+	if err := r.scanner.Err(); err != nil {
+		return Triple{}, err
+	}
+	return Triple{}, io.EOF
+}
+
+// ReadAll parses every remaining triple in the stream.
+func (r *Reader) ReadAll() ([]Triple, error) {
+	var out []Triple
+	for {
+		t, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+// ParseTriple parses a single N-Triples line (with or without the
+// trailing dot).
+func ParseTriple(line string) (Triple, error) {
+	return parseLine(strings.TrimSpace(line))
+}
+
+func parseLine(line string) (Triple, error) {
+	line = strings.TrimSuffix(strings.TrimSpace(line), ".")
+	line = strings.TrimSpace(line)
+
+	s, rest, err := parseTerm(line)
+	if err != nil {
+		return Triple{}, fmt.Errorf("subject: %w", err)
+	}
+	p, rest, err := parseTerm(rest)
+	if err != nil {
+		return Triple{}, fmt.Errorf("predicate: %w", err)
+	}
+	o, rest, err := parseTerm(rest)
+	if err != nil {
+		return Triple{}, fmt.Errorf("object: %w", err)
+	}
+	if strings.TrimSpace(rest) != "" {
+		return Triple{}, fmt.Errorf("trailing content %q", strings.TrimSpace(rest))
+	}
+	t := Triple{Subject: s, Predicate: p, Object: o}
+	if !t.Valid() {
+		return Triple{}, fmt.Errorf("positionally invalid triple %s", t)
+	}
+	return t, nil
+}
+
+// parseTerm consumes one term from the front of s and returns it along
+// with the unconsumed remainder.
+func parseTerm(s string) (Term, string, error) {
+	s = strings.TrimLeft(s, " \t")
+	if s == "" {
+		return Term{}, "", fmt.Errorf("unexpected end of line")
+	}
+	switch s[0] {
+	case '<':
+		end := strings.IndexByte(s, '>')
+		if end < 0 {
+			return Term{}, "", fmt.Errorf("unterminated IRI")
+		}
+		return NewIRI(s[1:end]), s[end+1:], nil
+	case '_':
+		if len(s) < 2 || s[1] != ':' {
+			return Term{}, "", fmt.Errorf("malformed blank node")
+		}
+		end := strings.IndexAny(s, " \t")
+		if end < 0 {
+			end = len(s)
+		}
+		label := s[2:end]
+		if label == "" {
+			return Term{}, "", fmt.Errorf("empty blank node label")
+		}
+		return NewBlank(label), s[end:], nil
+	case '"':
+		end := closingQuote(s)
+		if end < 0 {
+			return Term{}, "", fmt.Errorf("unterminated literal")
+		}
+		value, err := unescapeLiteral(s[1:end])
+		if err != nil {
+			return Term{}, "", err
+		}
+		rest := s[end+1:]
+		// Fold a datatype or language suffix into the literal value so
+		// round-trips preserve information without a full datatype model.
+		if strings.HasPrefix(rest, "^^<") {
+			dtEnd := strings.IndexByte(rest, '>')
+			if dtEnd < 0 {
+				return Term{}, "", fmt.Errorf("unterminated datatype IRI")
+			}
+			value += rest[:dtEnd+1]
+			rest = rest[dtEnd+1:]
+		} else if strings.HasPrefix(rest, "@") {
+			tagEnd := strings.IndexAny(rest, " \t")
+			if tagEnd < 0 {
+				tagEnd = len(rest)
+			}
+			value += rest[:tagEnd]
+			rest = rest[tagEnd:]
+		}
+		return NewLiteral(value), rest, nil
+	default:
+		return Term{}, "", fmt.Errorf("unexpected character %q", s[0])
+	}
+}
+
+// closingQuote returns the index of the unescaped closing quote of a
+// literal beginning at s[0] == '"', or -1.
+func closingQuote(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}
+
+// Writer serializes triples in N-Triples syntax.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write emits one triple. After the first error all writes fail with it.
+func (w *Writer) Write(t Triple) error {
+	if w.err != nil {
+		return w.err
+	}
+	if !t.Valid() {
+		return fmt.Errorf("rdf: refusing to serialize invalid triple %s", t)
+	}
+	_, w.err = w.w.WriteString(t.String() + "\n")
+	return w.err
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}

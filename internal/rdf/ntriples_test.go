@@ -1,0 +1,262 @@
+package rdf
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTripleBasic(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want Triple
+	}{
+		{
+			name: "three IRIs",
+			in:   "<http://ex/s> <http://ex/p> <http://ex/o> .",
+			want: T(NewIRI("http://ex/s"), NewIRI("http://ex/p"), NewIRI("http://ex/o")),
+		},
+		{
+			name: "literal object",
+			in:   `<http://ex/s> <http://ex/p> "hello world" .`,
+			want: T(NewIRI("http://ex/s"), NewIRI("http://ex/p"), NewLiteral("hello world")),
+		},
+		{
+			name: "blank subject",
+			in:   `_:b0 <http://ex/p> <http://ex/o> .`,
+			want: T(NewBlank("b0"), NewIRI("http://ex/p"), NewIRI("http://ex/o")),
+		},
+		{
+			name: "blank object",
+			in:   `<http://ex/s> <http://ex/p> _:tail`,
+			want: T(NewIRI("http://ex/s"), NewIRI("http://ex/p"), NewBlank("tail")),
+		},
+		{
+			name: "no trailing dot",
+			in:   "<a> <b> <c>",
+			want: T(NewIRI("a"), NewIRI("b"), NewIRI("c")),
+		},
+		{
+			name: "escaped quotes in literal",
+			in:   `<a> <b> "say \"hi\"" .`,
+			want: T(NewIRI("a"), NewIRI("b"), NewLiteral(`say "hi"`)),
+		},
+		{
+			name: "escaped newline tab",
+			in:   `<a> <b> "line1\nline2\tend" .`,
+			want: T(NewIRI("a"), NewIRI("b"), NewLiteral("line1\nline2\tend")),
+		},
+		{
+			name: "extra whitespace",
+			in:   "  <a>\t<b>   <c>   .  ",
+			want: T(NewIRI("a"), NewIRI("b"), NewIRI("c")),
+		},
+		{
+			name: "datatype folded into literal",
+			in:   `<a> <b> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+			want: T(NewIRI("a"), NewIRI("b"), NewLiteral("42^^<http://www.w3.org/2001/XMLSchema#integer>")),
+		},
+		{
+			name: "language tag folded into literal",
+			in:   `<a> <b> "chat"@fr .`,
+			want: T(NewIRI("a"), NewIRI("b"), NewLiteral("chat@fr")),
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseTriple(tc.in)
+			if err != nil {
+				t.Fatalf("ParseTriple(%q): %v", tc.in, err)
+			}
+			if got != tc.want {
+				t.Errorf("ParseTriple(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseTripleErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"<a>",
+		"<a> <b>",
+		"<a> <b> <c> <d>",
+		"<a <b> <c>",
+		`<a> <b> "unterminated`,
+		"junk <b> <c>",
+		"_: <b> <c>",
+		`"literal subject" <b> <c>`, // literal not allowed as subject
+		`<a> "literal predicate" <c>`,
+		`<a> _:blankpred <c>`, // blank node not allowed as predicate
+		`<a> <b> "x\q" .`,     // bad escape
+	}
+	for _, in := range bad {
+		if _, err := ParseTriple(in); err == nil {
+			t.Errorf("ParseTriple(%q): expected error, got nil", in)
+		}
+	}
+}
+
+func TestReaderSkipsCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+<a> <b> <c> .
+
+# another
+<d> <e> "f" .
+`
+	r := NewReader(strings.NewReader(src))
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("ReadAll returned %d triples, want 2", len(got))
+	}
+	if got[0].Subject.Value != "a" || got[1].Object.Value != "f" {
+		t.Errorf("unexpected triples %v", got)
+	}
+}
+
+func TestReaderReportsLineNumbers(t *testing.T) {
+	src := "<a> <b> <c> .\nmalformed line\n"
+	r := NewReader(strings.NewReader(src))
+	if _, err := r.Read(); err != nil {
+		t.Fatalf("first Read: %v", err)
+	}
+	_, err := r.Read()
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("second Read error = %v, want *ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("ParseError.Line = %d, want 2", pe.Line)
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("Read on empty stream = %v, want io.EOF", err)
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	triples := []Triple{
+		T(NewIRI("http://ex/s"), NewIRI("http://ex/p"), NewIRI("http://ex/o")),
+		T(NewIRI("s2"), NewIRI("p2"), NewLiteral(`multi
+line "quoted" \ tabbed	value`)),
+		T(NewBlank("b1"), NewIRI("p3"), NewBlank("b2")),
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, tr := range triples {
+		if err := w.Write(tr); err != nil {
+			t.Fatalf("Write(%v): %v", tr, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(got) != len(triples) {
+		t.Fatalf("round trip returned %d triples, want %d", len(got), len(triples))
+	}
+	for i := range triples {
+		if got[i] != triples[i] {
+			t.Errorf("round trip[%d] = %v, want %v", i, got[i], triples[i])
+		}
+	}
+}
+
+func TestWriterRejectsInvalidTriple(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.Write(Triple{}); err == nil {
+		t.Error("Write(zero triple) succeeded, want error")
+	}
+}
+
+func TestLiteralRoundTripProperty(t *testing.T) {
+	f := func(value string) bool {
+		// The scanner is line-based; values are arbitrary otherwise.
+		tr := T(NewIRI("s"), NewIRI("p"), NewLiteral(value))
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(tr); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := NewReader(&buf).ReadAll()
+		return err == nil && len(got) == 1 && got[0] == tr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermKeyRoundTripProperty(t *testing.T) {
+	f := func(kindSel uint8, value string) bool {
+		var term Term
+		switch kindSel % 3 {
+		case 0:
+			term = NewIRI(value)
+		case 1:
+			term = NewLiteral(value)
+		default:
+			term = NewBlank(value)
+		}
+		got, err := TermFromKey(term.Key())
+		return err == nil && got == term
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	if s := NewIRI("http://x").String(); s != "<http://x>" {
+		t.Errorf("IRI String = %q", s)
+	}
+	if s := NewLiteral(`a"b`).String(); s != `"a\"b"` {
+		t.Errorf("Literal String = %q", s)
+	}
+	if s := NewBlank("n1").String(); s != "_:n1" {
+		t.Errorf("Blank String = %q", s)
+	}
+}
+
+func TestTripleValid(t *testing.T) {
+	valid := T(NewIRI("s"), NewIRI("p"), NewLiteral("o"))
+	if !valid.Valid() {
+		t.Error("valid triple reported invalid")
+	}
+	cases := []Triple{
+		{},
+		T(NewLiteral("s"), NewIRI("p"), NewIRI("o")),
+		T(NewIRI("s"), NewBlank("p"), NewIRI("o")),
+		T(NewIRI("s"), NewLiteral("p"), NewIRI("o")),
+	}
+	for _, tr := range cases {
+		if tr.Valid() {
+			t.Errorf("triple %v reported valid, want invalid", tr)
+		}
+	}
+}
+
+func TestTermFromKeyErrors(t *testing.T) {
+	if _, err := TermFromKey(""); err == nil {
+		t.Error("TermFromKey(\"\") succeeded, want error")
+	}
+	if _, err := TermFromKey("xabc"); err == nil {
+		t.Error("TermFromKey with unknown tag succeeded, want error")
+	}
+}

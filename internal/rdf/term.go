@@ -1,0 +1,168 @@
+// Package rdf provides the RDF data model used throughout the repository:
+// terms (IRIs, literals, blank nodes), triples, and an N-Triples subset
+// parser and serializer.
+//
+// The model is deliberately small. A term is a tagged string; a triple is
+// three terms with the usual subject/predicate/object positions. The
+// stores in this repository operate on dictionary-encoded integer keys
+// (see package dictionary); package rdf is the boundary where strings live.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the three kinds of RDF terms.
+type TermKind uint8
+
+const (
+	// IRI is an RDF IRI reference, e.g. <http://example.org/alice>.
+	IRI TermKind = iota
+	// Literal is an RDF literal, e.g. "Alice" (plain literals only;
+	// datatypes and language tags are carried verbatim in the value).
+	Literal
+	// Blank is a blank node, e.g. _:b0.
+	Blank
+)
+
+// String returns the kind name, for diagnostics.
+func (k TermKind) String() string {
+	switch k {
+	case IRI:
+		return "iri"
+	case Literal:
+		return "literal"
+	case Blank:
+		return "blank"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is one RDF term. The zero value is an empty IRI, which is not a
+// valid term; use the constructors.
+type Term struct {
+	Kind  TermKind
+	Value string
+}
+
+// NewIRI returns an IRI term with the given absolute or relative IRI text
+// (without angle brackets).
+func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
+
+// NewLiteral returns a plain literal term with the given lexical value
+// (without surrounding quotes).
+func NewLiteral(value string) Term { return Term{Kind: Literal, Value: value} }
+
+// NewBlank returns a blank-node term with the given label (without the
+// leading "_:").
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// IsZero reports whether t is the zero Term (empty IRI), which the data
+// model treats as invalid.
+func (t Term) IsZero() bool { return t.Kind == IRI && t.Value == "" }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Literal:
+		return `"` + escapeLiteral(t.Value) + `"`
+	case Blank:
+		return "_:" + t.Value
+	default:
+		return fmt.Sprintf("!invalid term kind %d!", t.Kind)
+	}
+}
+
+// Key returns a string that uniquely identifies the term across kinds.
+// Two distinct terms never share a key: the kind is encoded in the first
+// byte. Keys are used by the dictionary for encoding.
+func (t Term) Key() string {
+	switch t.Kind {
+	case Literal:
+		return "\"" + t.Value
+	case Blank:
+		return "_" + t.Value
+	default:
+		return "<" + t.Value
+	}
+}
+
+// TermFromKey reverses Term.Key.
+func TermFromKey(key string) (Term, error) {
+	if key == "" {
+		return Term{}, fmt.Errorf("rdf: empty term key")
+	}
+	switch key[0] {
+	case '"':
+		return NewLiteral(key[1:]), nil
+	case '_':
+		return NewBlank(key[1:]), nil
+	case '<':
+		return NewIRI(key[1:]), nil
+	default:
+		return Term{}, fmt.Errorf("rdf: malformed term key %q", key)
+	}
+}
+
+func escapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func unescapeLiteral(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("rdf: trailing backslash in literal %q", s)
+		}
+		switch s[i] {
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		case 't':
+			b.WriteByte('\t')
+		default:
+			return "", fmt.Errorf("rdf: unknown escape \\%c in literal %q", s[i], s)
+		}
+	}
+	return b.String(), nil
+}

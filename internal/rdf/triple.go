@@ -1,0 +1,31 @@
+package rdf
+
+import "fmt"
+
+// Triple is one RDF statement ⟨subject, predicate, object⟩.
+type Triple struct {
+	Subject   Term
+	Predicate Term
+	Object    Term
+}
+
+// T is a convenience constructor for a triple of three terms.
+func T(s, p, o Term) Triple { return Triple{Subject: s, Predicate: p, Object: o} }
+
+// String renders the triple in N-Triples syntax (with the trailing dot).
+func (t Triple) String() string {
+	return fmt.Sprintf("%s %s %s .", t.Subject, t.Predicate, t.Object)
+}
+
+// Valid reports whether the triple satisfies the RDF positional rules:
+// the subject is an IRI or blank node, the predicate is an IRI, and the
+// object is any term. Zero-valued terms are invalid everywhere.
+func (t Triple) Valid() bool {
+	if t.Subject.IsZero() || t.Predicate.IsZero() || t.Object.IsZero() {
+		return false
+	}
+	if t.Subject.Kind == Literal {
+		return false
+	}
+	return t.Predicate.Kind == IRI
+}

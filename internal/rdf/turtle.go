@@ -1,0 +1,569 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+)
+
+// TurtleReader parses a pragmatic Turtle subset, extending the N-Triples
+// reader with the directives and abbreviations real-world RDF dumps use:
+//
+//   - @prefix name: <iri> . and @base <iri> . directives
+//     (SPARQL-style PREFIX/BASE directives without the dot also accepted)
+//   - prefixed names (ex:alice) in any position
+//   - the 'a' keyword for rdf:type
+//   - predicate lists (s p1 o1 ; p2 o2 .) and object lists (s p o1, o2 .)
+//   - quoted literals with \" \\ \n \r \t escapes; language tags (@en)
+//     and datatypes (^^xsd:int / ^^<iri>) are folded into the literal
+//     value verbatim, matching the N-Triples reader's convention
+//   - bare integer, decimal, and boolean literals
+//   - '#' comments and arbitrary whitespace/newlines between tokens
+//
+// Unsupported Turtle features are reported with a clear error rather than
+// misparsed: collections ( ), anonymous/bracketed blank nodes [ ], and
+// multi-line """literals""".
+type TurtleReader struct {
+	r    *bufio.Reader
+	line int
+
+	base     string
+	prefixes map[string]string
+
+	// pending triples produced by predicate/object list expansion.
+	pending []Triple
+}
+
+// NewTurtleReader returns a TurtleReader consuming r.
+func NewTurtleReader(r io.Reader) *TurtleReader {
+	return &TurtleReader{
+		r:        bufio.NewReaderSize(r, 64*1024),
+		line:     1,
+		prefixes: make(map[string]string),
+	}
+}
+
+// TurtleError describes a syntax error at a line of a Turtle stream.
+type TurtleError struct {
+	Line int
+	Msg  string
+}
+
+func (e *TurtleError) Error() string {
+	return fmt.Sprintf("rdf: turtle line %d: %s", e.Line, e.Msg)
+}
+
+func (tr *TurtleReader) errf(format string, args ...any) error {
+	return &TurtleError{Line: tr.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Read returns the next triple, io.EOF at end of stream, or a
+// *TurtleError on malformed input.
+func (tr *TurtleReader) Read() (Triple, error) {
+	if len(tr.pending) > 0 {
+		t := tr.pending[0]
+		tr.pending = tr.pending[1:]
+		return t, nil
+	}
+	for {
+		if err := tr.skipSpace(); err != nil {
+			return Triple{}, err // io.EOF included
+		}
+		c, err := tr.peek()
+		if err != nil {
+			return Triple{}, err
+		}
+		if c == '@' {
+			if err := tr.parseDirective(); err != nil {
+				return Triple{}, err
+			}
+			continue
+		}
+		// SPARQL-style PREFIX/BASE directives (case-insensitive keywords).
+		if c == 'P' || c == 'p' || c == 'B' || c == 'b' {
+			word, err := tr.peekWord()
+			if err == nil && (strings.EqualFold(word, "PREFIX") || strings.EqualFold(word, "BASE")) {
+				if err := tr.parseDirective(); err != nil {
+					return Triple{}, err
+				}
+				continue
+			}
+		}
+		return tr.parseStatement()
+	}
+}
+
+// ReadAll parses every remaining triple.
+func (tr *TurtleReader) ReadAll() ([]Triple, error) {
+	var out []Triple
+	for {
+		t, err := tr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+// ParseTurtle parses a complete Turtle document held in a string.
+func ParseTurtle(src string) ([]Triple, error) {
+	return NewTurtleReader(strings.NewReader(src)).ReadAll()
+}
+
+// low-level character helpers
+
+func (tr *TurtleReader) peek() (byte, error) {
+	b, err := tr.r.Peek(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (tr *TurtleReader) readByte() (byte, error) {
+	c, err := tr.r.ReadByte()
+	if err == nil && c == '\n' {
+		tr.line++
+	}
+	return c, err
+}
+
+// skipSpace consumes whitespace and comments; io.EOF when exhausted.
+func (tr *TurtleReader) skipSpace() error {
+	for {
+		c, err := tr.peek()
+		if err != nil {
+			return err
+		}
+		switch {
+		case c == '#':
+			for {
+				c, err := tr.readByte()
+				if err != nil {
+					return err
+				}
+				if c == '\n' {
+					break
+				}
+			}
+		case unicode.IsSpace(rune(c)):
+			if _, err := tr.readByte(); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// peekWord returns the upcoming bare word without consuming it.
+func (tr *TurtleReader) peekWord() (string, error) {
+	for n := 16; ; n *= 2 {
+		buf, err := tr.r.Peek(n)
+		if err != nil && len(buf) == 0 {
+			return "", err
+		}
+		i := 0
+		for i < len(buf) && isTurtleNameByte(buf[i]) {
+			i++
+		}
+		if i < len(buf) || err != nil {
+			return string(buf[:i]), nil
+		}
+	}
+}
+
+func isTurtleNameByte(c byte) bool {
+	return c == '_' || c == '-' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// readWord consumes and returns a bare word.
+func (tr *TurtleReader) readWord() (string, error) {
+	var sb strings.Builder
+	for {
+		c, err := tr.peek()
+		if err != nil || !isTurtleNameByte(c) {
+			if sb.Len() == 0 {
+				return "", tr.errf("expected name")
+			}
+			return sb.String(), nil
+		}
+		tr.readByte()
+		sb.WriteByte(c)
+	}
+}
+
+// parseDirective handles @prefix/@base and PREFIX/BASE.
+func (tr *TurtleReader) parseDirective() error {
+	atForm := false
+	if c, _ := tr.peek(); c == '@' {
+		atForm = true
+		tr.readByte()
+	}
+	word, err := tr.readWord()
+	if err != nil {
+		return err
+	}
+	switch strings.ToLower(word) {
+	case "prefix":
+		if err := tr.skipSpace(); err != nil {
+			return tr.errf("unexpected end of input in @prefix")
+		}
+		name, err := tr.readPrefixName()
+		if err != nil {
+			return err
+		}
+		if err := tr.skipSpace(); err != nil {
+			return tr.errf("unexpected end of input in @prefix")
+		}
+		iri, err := tr.readIRIRef()
+		if err != nil {
+			return err
+		}
+		tr.prefixes[name] = iri
+	case "base":
+		if err := tr.skipSpace(); err != nil {
+			return tr.errf("unexpected end of input in @base")
+		}
+		iri, err := tr.readIRIRef()
+		if err != nil {
+			return err
+		}
+		tr.base = iri
+	default:
+		return tr.errf("unknown directive @%s", word)
+	}
+	if atForm {
+		// The @-form requires a terminating dot.
+		if err := tr.skipSpace(); err != nil {
+			return tr.errf("missing '.' after directive")
+		}
+		c, err := tr.readByte()
+		if err != nil || c != '.' {
+			return tr.errf("missing '.' after directive")
+		}
+	} else {
+		// SPARQL form: an optional dot is tolerated.
+		if err := tr.skipSpace(); err == nil {
+			if c, err := tr.peek(); err == nil && c == '.' {
+				tr.readByte()
+			}
+		}
+	}
+	return nil
+}
+
+// readPrefixName reads "name:" (possibly just ":").
+func (tr *TurtleReader) readPrefixName() (string, error) {
+	var sb strings.Builder
+	for {
+		c, err := tr.peek()
+		if err != nil {
+			return "", tr.errf("unterminated prefix name")
+		}
+		tr.readByte()
+		if c == ':' {
+			return sb.String(), nil
+		}
+		if !isTurtleNameByte(c) {
+			return "", tr.errf("bad character %q in prefix name", c)
+		}
+		sb.WriteByte(c)
+	}
+}
+
+// readIRIRef reads <...>.
+func (tr *TurtleReader) readIRIRef() (string, error) {
+	c, err := tr.readByte()
+	if err != nil || c != '<' {
+		return "", tr.errf("expected '<'")
+	}
+	var sb strings.Builder
+	for {
+		c, err := tr.readByte()
+		if err != nil {
+			return "", tr.errf("unterminated IRI")
+		}
+		if c == '>' {
+			return sb.String(), nil
+		}
+		if c == ' ' || c == '\n' {
+			return "", tr.errf("whitespace inside IRI")
+		}
+		sb.WriteByte(c)
+	}
+}
+
+// parseStatement parses subject predicate-object-list '.' and queues the
+// expanded triples.
+func (tr *TurtleReader) parseStatement() (Triple, error) {
+	subj, err := tr.parseTerm(true)
+	if err != nil {
+		return Triple{}, err
+	}
+	for {
+		if err := tr.skipSpace(); err != nil {
+			return Triple{}, tr.errf("unexpected end of statement")
+		}
+		pred, err := tr.parsePredicate()
+		if err != nil {
+			return Triple{}, err
+		}
+		// Object list: o1, o2, ...
+		for {
+			if err := tr.skipSpace(); err != nil {
+				return Triple{}, tr.errf("unexpected end of statement")
+			}
+			obj, err := tr.parseTerm(false)
+			if err != nil {
+				return Triple{}, err
+			}
+			tr.pending = append(tr.pending, T(subj, pred, obj))
+			if err := tr.skipSpace(); err != nil {
+				return Triple{}, tr.errf("statement not terminated with '.'")
+			}
+			c, err := tr.peek()
+			if err != nil {
+				return Triple{}, tr.errf("statement not terminated with '.'")
+			}
+			if c != ',' {
+				break
+			}
+			tr.readByte()
+		}
+		c, err := tr.readByte()
+		if err != nil {
+			return Triple{}, tr.errf("statement not terminated with '.'")
+		}
+		switch c {
+		case '.':
+			t := tr.pending[0]
+			tr.pending = tr.pending[1:]
+			return t, nil
+		case ';':
+			// A ';' may be followed by another ';', the '.', or a new
+			// predicate; trailing semicolons are legal Turtle.
+			if err := tr.skipSpace(); err != nil {
+				return Triple{}, tr.errf("statement not terminated with '.'")
+			}
+			if nc, err := tr.peek(); err == nil && nc == '.' {
+				tr.readByte()
+				t := tr.pending[0]
+				tr.pending = tr.pending[1:]
+				return t, nil
+			}
+			continue
+		default:
+			return Triple{}, tr.errf("expected '.', ';' or ',' after object, found %q", c)
+		}
+	}
+}
+
+// parsePredicate parses a verb: 'a', an IRI, or a prefixed name.
+func (tr *TurtleReader) parsePredicate() (Term, error) {
+	c, err := tr.peek()
+	if err != nil {
+		return Term{}, tr.errf("expected predicate")
+	}
+	if c == 'a' {
+		// 'a' only when followed by a non-name byte.
+		buf, _ := tr.r.Peek(2)
+		if len(buf) == 1 || !isTurtleNameByte(buf[1]) && buf[1] != ':' {
+			tr.readByte()
+			return NewIRI(rdfTypeIRI), nil
+		}
+	}
+	return tr.parseTerm(false)
+}
+
+// rdfTypeIRI is the expansion of the 'a' keyword.
+const rdfTypeIRI = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+// parseTerm parses an IRI, prefixed name, blank node, literal, or bare
+// numeric/boolean literal. asSubject restricts literals.
+func (tr *TurtleReader) parseTerm(asSubject bool) (Term, error) {
+	c, err := tr.peek()
+	if err != nil {
+		return Term{}, tr.errf("expected term")
+	}
+	switch {
+	case c == '<':
+		iri, err := tr.readIRIRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewIRI(tr.resolve(iri)), nil
+	case c == '_':
+		buf, _ := tr.r.Peek(2)
+		if len(buf) < 2 || buf[1] != ':' {
+			return Term{}, tr.errf("malformed blank node")
+		}
+		tr.readByte()
+		tr.readByte()
+		label, err := tr.readWord()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewBlank(label), nil
+	case c == '"':
+		if asSubject {
+			return Term{}, tr.errf("literal not allowed as subject")
+		}
+		return tr.parseLiteral()
+	case c == '[':
+		return Term{}, tr.errf("bracketed blank nodes [ ] are not supported")
+	case c == '(':
+		return Term{}, tr.errf("collections ( ) are not supported")
+	case c >= '0' && c <= '9' || c == '+' || c == '-':
+		if asSubject {
+			return Term{}, tr.errf("literal not allowed as subject")
+		}
+		return tr.parseNumber()
+	default:
+		word, err := tr.readWord()
+		if err != nil {
+			return Term{}, err
+		}
+		if !asSubject && (word == "true" || word == "false") {
+			if nc, err := tr.peek(); err != nil || nc != ':' {
+				return NewLiteral(word), nil
+			}
+		}
+		// Prefixed name: word ':' local.
+		nc, err := tr.peek()
+		if err != nil || nc != ':' {
+			return Term{}, tr.errf("expected ':' after prefix %q", word)
+		}
+		tr.readByte()
+		var local strings.Builder
+		for {
+			c, err := tr.peek()
+			if err != nil || !isTurtleNameByte(c) {
+				break
+			}
+			tr.readByte()
+			local.WriteByte(c)
+		}
+		base, ok := tr.prefixes[word]
+		if !ok {
+			return Term{}, tr.errf("undeclared prefix %q", word)
+		}
+		return NewIRI(base + local.String()), nil
+	}
+}
+
+// resolve applies @base to relative IRIs (those without a scheme).
+func (tr *TurtleReader) resolve(iri string) string {
+	if tr.base == "" || strings.Contains(iri, "://") || strings.HasPrefix(iri, "urn:") {
+		return iri
+	}
+	return tr.base + iri
+}
+
+// parseLiteral parses "..." with optional @lang or ^^datatype suffixes,
+// folding suffixes into the value verbatim (N-Triples reader convention).
+func (tr *TurtleReader) parseLiteral() (Term, error) {
+	tr.readByte() // opening quote
+	var sb strings.Builder
+	for {
+		c, err := tr.readByte()
+		if err != nil {
+			return Term{}, tr.errf("unterminated literal")
+		}
+		switch c {
+		case '\\':
+			e, err := tr.readByte()
+			if err != nil {
+				return Term{}, tr.errf("trailing backslash in literal")
+			}
+			switch e {
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			case 'n':
+				sb.WriteByte('\n')
+			case 'r':
+				sb.WriteByte('\r')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				return Term{}, tr.errf("unknown escape \\%c", e)
+			}
+		case '"':
+			value := sb.String()
+			// Optional suffixes.
+			if c, err := tr.peek(); err == nil {
+				switch c {
+				case '@':
+					tr.readByte()
+					tag, err := tr.readWord()
+					if err != nil {
+						return Term{}, err
+					}
+					value += "@" + tag
+				case '^':
+					tr.readByte()
+					if c2, err := tr.readByte(); err != nil || c2 != '^' {
+						return Term{}, tr.errf("malformed datatype suffix")
+					}
+					dt, err := tr.parseTerm(false)
+					if err != nil {
+						return Term{}, err
+					}
+					if dt.Kind != IRI {
+						return Term{}, tr.errf("datatype must be an IRI")
+					}
+					value += "^^<" + dt.Value + ">"
+				}
+			}
+			return NewLiteral(value), nil
+		case '\n':
+			return Term{}, tr.errf("newline inside literal (multi-line literals not supported)")
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+// parseNumber parses a bare numeric literal.
+func (tr *TurtleReader) parseNumber() (Term, error) {
+	var sb strings.Builder
+	if c, _ := tr.peek(); c == '+' || c == '-' {
+		tr.readByte()
+		sb.WriteByte(c)
+	}
+	digits := 0
+	for {
+		c, err := tr.peek()
+		if err != nil {
+			break
+		}
+		if c >= '0' && c <= '9' {
+			tr.readByte()
+			sb.WriteByte(c)
+			digits++
+			continue
+		}
+		if c == '.' {
+			// A dot is part of the number only when followed by a digit;
+			// otherwise it terminates the statement.
+			buf, _ := tr.r.Peek(2)
+			if len(buf) == 2 && buf[1] >= '0' && buf[1] <= '9' {
+				tr.readByte()
+				sb.WriteByte('.')
+				continue
+			}
+		}
+		break
+	}
+	if digits == 0 {
+		return Term{}, tr.errf("malformed number")
+	}
+	return NewLiteral(sb.String()), nil
+}

@@ -1,0 +1,286 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParseTurtle(t *testing.T, src string) []Triple {
+	t.Helper()
+	out, err := ParseTurtle(src)
+	if err != nil {
+		t.Fatalf("ParseTurtle: %v", err)
+	}
+	return out
+}
+
+func TestTurtleBasicTriple(t *testing.T) {
+	ts := mustParseTurtle(t, `<http://a> <http://p> <http://b> .`)
+	if len(ts) != 1 {
+		t.Fatalf("triples = %d, want 1", len(ts))
+	}
+	if ts[0].Subject.Value != "http://a" || ts[0].Object.Value != "http://b" {
+		t.Fatalf("triple = %v", ts[0])
+	}
+}
+
+func TestTurtlePrefixes(t *testing.T) {
+	ts := mustParseTurtle(t, `
+		@prefix ex: <http://example.org/> .
+		ex:alice ex:knows ex:bob .`)
+	if len(ts) != 1 {
+		t.Fatalf("triples = %d, want 1", len(ts))
+	}
+	if ts[0].Subject.Value != "http://example.org/alice" {
+		t.Fatalf("subject = %q", ts[0].Subject.Value)
+	}
+}
+
+func TestTurtleSPARQLStylePrefix(t *testing.T) {
+	ts := mustParseTurtle(t, `
+		PREFIX ex: <http://example.org/>
+		ex:a ex:p ex:b .`)
+	if len(ts) != 1 || ts[0].Predicate.Value != "http://example.org/p" {
+		t.Fatalf("triples = %v", ts)
+	}
+}
+
+func TestTurtleBase(t *testing.T) {
+	ts := mustParseTurtle(t, `
+		@base <http://example.org/> .
+		<alice> <knows> <bob> .`)
+	if ts[0].Subject.Value != "http://example.org/alice" {
+		t.Fatalf("base not applied: %q", ts[0].Subject.Value)
+	}
+	// Absolute IRIs must not be rebased.
+	ts2 := mustParseTurtle(t, `
+		@base <http://example.org/> .
+		<http://other.org/x> <p> <y> .`)
+	if ts2[0].Subject.Value != "http://other.org/x" {
+		t.Fatalf("absolute IRI rebased: %q", ts2[0].Subject.Value)
+	}
+}
+
+func TestTurtleAKeyword(t *testing.T) {
+	ts := mustParseTurtle(t, `
+		@prefix ex: <http://example.org/> .
+		ex:alice a ex:Person .`)
+	if ts[0].Predicate.Value != "http://www.w3.org/1999/02/22-rdf-syntax-ns#type" {
+		t.Fatalf("predicate = %q", ts[0].Predicate.Value)
+	}
+}
+
+func TestTurtlePredicateList(t *testing.T) {
+	ts := mustParseTurtle(t, `
+		@prefix ex: <http://ex/> .
+		ex:s ex:p1 ex:o1 ;
+		     ex:p2 ex:o2 ;
+		     ex:p3 ex:o3 .`)
+	if len(ts) != 3 {
+		t.Fatalf("triples = %d, want 3", len(ts))
+	}
+	for _, tr := range ts {
+		if tr.Subject.Value != "http://ex/s" {
+			t.Fatalf("subject changed mid-list: %v", tr)
+		}
+	}
+	if ts[2].Predicate.Value != "http://ex/p3" || ts[2].Object.Value != "http://ex/o3" {
+		t.Fatalf("third triple = %v", ts[2])
+	}
+}
+
+func TestTurtleObjectList(t *testing.T) {
+	ts := mustParseTurtle(t, `
+		@prefix ex: <http://ex/> .
+		ex:s ex:p ex:a, ex:b, ex:c .`)
+	if len(ts) != 3 {
+		t.Fatalf("triples = %d, want 3", len(ts))
+	}
+	for i, want := range []string{"http://ex/a", "http://ex/b", "http://ex/c"} {
+		if ts[i].Object.Value != want {
+			t.Fatalf("object %d = %q, want %q", i, ts[i].Object.Value, want)
+		}
+	}
+}
+
+func TestTurtleCombinedLists(t *testing.T) {
+	ts := mustParseTurtle(t, `
+		@prefix ex: <http://ex/> .
+		ex:s ex:p ex:a, ex:b ; ex:q ex:c .
+		ex:t ex:r ex:d .`)
+	if len(ts) != 4 {
+		t.Fatalf("triples = %d, want 4", len(ts))
+	}
+	if ts[3].Subject.Value != "http://ex/t" {
+		t.Fatalf("fourth triple = %v", ts[3])
+	}
+}
+
+func TestTurtleTrailingSemicolon(t *testing.T) {
+	ts := mustParseTurtle(t, `
+		@prefix ex: <http://ex/> .
+		ex:s ex:p ex:o ; .`)
+	if len(ts) != 1 {
+		t.Fatalf("triples = %d, want 1", len(ts))
+	}
+}
+
+func TestTurtleLiterals(t *testing.T) {
+	ts := mustParseTurtle(t, `
+		@prefix ex: <http://ex/> .
+		@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+		ex:s ex:name "Alice \"A\" Smith" ;
+		     ex:bio "line1\nline2" ;
+		     ex:tag "hello"@en ;
+		     ex:age "30"^^xsd:integer ;
+		     ex:score "9.5"^^<http://dt> .`)
+	if len(ts) != 5 {
+		t.Fatalf("triples = %d, want 5", len(ts))
+	}
+	if ts[0].Object.Value != `Alice "A" Smith` {
+		t.Fatalf("escaped literal = %q", ts[0].Object.Value)
+	}
+	if ts[1].Object.Value != "line1\nline2" {
+		t.Fatalf("newline literal = %q", ts[1].Object.Value)
+	}
+	if ts[2].Object.Value != "hello@en" {
+		t.Fatalf("lang literal = %q", ts[2].Object.Value)
+	}
+	if ts[3].Object.Value != "30^^<http://www.w3.org/2001/XMLSchema#integer>" {
+		t.Fatalf("typed literal = %q", ts[3].Object.Value)
+	}
+	if ts[4].Object.Value != "9.5^^<http://dt>" {
+		t.Fatalf("iri-typed literal = %q", ts[4].Object.Value)
+	}
+}
+
+func TestTurtleBareNumbersAndBooleans(t *testing.T) {
+	ts := mustParseTurtle(t, `
+		@prefix ex: <http://ex/> .
+		ex:s ex:count 42 ;
+		     ex:ratio 3.14 ;
+		     ex:neg -7 ;
+		     ex:ok true ;
+		     ex:no false .`)
+	want := []string{"42", "3.14", "-7", "true", "false"}
+	if len(ts) != len(want) {
+		t.Fatalf("triples = %d, want %d", len(ts), len(want))
+	}
+	for i, w := range want {
+		if ts[i].Object.Kind != Literal || ts[i].Object.Value != w {
+			t.Fatalf("object %d = %v, want literal %q", i, ts[i].Object, w)
+		}
+	}
+}
+
+func TestTurtleNumberFollowedByDot(t *testing.T) {
+	// "42 ." — the dot terminates the statement, it is not a decimal point.
+	ts := mustParseTurtle(t, `<s> <p> 42 . <s2> <p> 7.`)
+	if len(ts) != 2 {
+		t.Fatalf("triples = %d, want 2", len(ts))
+	}
+	if ts[1].Object.Value != "7" {
+		t.Fatalf("second object = %q, want 7", ts[1].Object.Value)
+	}
+}
+
+func TestTurtleBlankNodes(t *testing.T) {
+	ts := mustParseTurtle(t, `_:a <http://p> _:b .`)
+	if ts[0].Subject.Kind != Blank || ts[0].Subject.Value != "a" {
+		t.Fatalf("subject = %v", ts[0].Subject)
+	}
+	if ts[0].Object.Kind != Blank || ts[0].Object.Value != "b" {
+		t.Fatalf("object = %v", ts[0].Object)
+	}
+}
+
+func TestTurtleComments(t *testing.T) {
+	ts := mustParseTurtle(t, `
+		# leading comment
+		@prefix ex: <http://ex/> . # trailing comment
+		# between statements
+		ex:s ex:p ex:o . # done`)
+	if len(ts) != 1 {
+		t.Fatalf("triples = %d, want 1", len(ts))
+	}
+}
+
+func TestTurtleMultipleStatementsAcrossLines(t *testing.T) {
+	ts := mustParseTurtle(t, `
+		@prefix ex: <http://ex/> .
+		ex:a
+			ex:p
+				ex:b .
+		ex:c ex:q ex:d .`)
+	if len(ts) != 2 {
+		t.Fatalf("triples = %d, want 2", len(ts))
+	}
+}
+
+func TestTurtleErrors(t *testing.T) {
+	bad := map[string]string{
+		`ex:s ex:p ex:o .`:                            "undeclared prefix",
+		`@prefix ex: <http://ex/>`:                    "missing '.'",
+		`<s> <p> "unterminated`:                       "unterminated literal",
+		`<s> <p> [ <q> <r> ] .`:                       "bracketed",
+		`<s> <p> ( <a> <b> ) .`:                       "collections",
+		`<s> <p> <o>`:                                 "not terminated",
+		`"lit" <p> <o> .`:                             "subject",
+		`@nonsense <x> .`:                             "unknown directive",
+		`<s> <p> "a"^x .`:                             "datatype",
+		"<s> <p> \"line\nbreak\" .":                   "multi-line",
+		`<s> <unterminated iri> <o> .`:                "whitespace inside IRI",
+		`@prefix ex: <http://ex/> . ex:s ex:p "x"@ .`: "name",
+	}
+	for src, wantSubstr := range bad {
+		_, err := ParseTurtle(src)
+		if err == nil {
+			t.Errorf("ParseTurtle(%q) succeeded, want error containing %q", src, wantSubstr)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSubstr) {
+			t.Errorf("ParseTurtle(%q) error = %v, want substring %q", src, err, wantSubstr)
+		}
+	}
+}
+
+func TestTurtleErrorReportsLineNumber(t *testing.T) {
+	_, err := ParseTurtle("@prefix ex: <http://ex/> .\nex:s ex:p zzz:o .")
+	te, ok := err.(*TurtleError)
+	if !ok {
+		t.Fatalf("error type %T, want *TurtleError", err)
+	}
+	if te.Line != 2 {
+		t.Fatalf("error line = %d, want 2", te.Line)
+	}
+}
+
+func TestTurtleRoundTripThroughNTriples(t *testing.T) {
+	// Triples parsed from Turtle must serialize to N-Triples and parse
+	// back identically.
+	ts := mustParseTurtle(t, `
+		@prefix ex: <http://ex/> .
+		ex:s ex:p "v \"quoted\"", ex:o ; a ex:Thing .`)
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	for _, tr := range ts {
+		if err := w.Write(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ts) {
+		t.Fatalf("round trip lost triples: %d -> %d", len(ts), len(back))
+	}
+	for i := range ts {
+		if back[i] != ts[i] {
+			t.Fatalf("triple %d changed: %v -> %v", i, ts[i], back[i])
+		}
+	}
+}

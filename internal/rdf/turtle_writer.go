@@ -1,0 +1,218 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TurtleWriter serializes triples in Turtle syntax, compacting IRIs
+// against a set of declared prefixes and grouping consecutive triples
+// that share a subject into predicate lists (s p1 o1 ; p2 o2 .). It is
+// the inverse of TurtleReader for the supported subset.
+//
+// Literal values that carry folded language or datatype suffixes (the
+// convention of this repository's Term model, e.g. `hello@en` or
+// `30^^<iri>`) are re-expanded into proper Turtle suffix syntax.
+type TurtleWriter struct {
+	w        *bufio.Writer
+	prefixes []prefixDecl // longest-first for greedy compaction
+
+	headerDone  bool
+	haveSubject bool
+	lastSubject Term
+}
+
+type prefixDecl struct {
+	name string
+	iri  string
+}
+
+// NewTurtleWriter returns a TurtleWriter over w with no prefixes.
+func NewTurtleWriter(w io.Writer) *TurtleWriter {
+	return &TurtleWriter{w: bufio.NewWriter(w)}
+}
+
+// DeclarePrefix registers name: <iri> for compaction. All declarations
+// must happen before the first Write; later calls return an error.
+func (tw *TurtleWriter) DeclarePrefix(name, iri string) error {
+	if tw.headerDone {
+		return fmt.Errorf("rdf: turtle writer: DeclarePrefix after first Write")
+	}
+	for _, p := range tw.prefixes {
+		if p.name == name {
+			return fmt.Errorf("rdf: turtle writer: prefix %q declared twice", name)
+		}
+	}
+	tw.prefixes = append(tw.prefixes, prefixDecl{name: name, iri: iri})
+	// Longest IRI first so the most specific prefix wins.
+	sort.Slice(tw.prefixes, func(i, j int) bool {
+		return len(tw.prefixes[i].iri) > len(tw.prefixes[j].iri)
+	})
+	return nil
+}
+
+// writeHeader emits the @prefix block once.
+func (tw *TurtleWriter) writeHeader() error {
+	if tw.headerDone {
+		return nil
+	}
+	tw.headerDone = true
+	decls := append([]prefixDecl(nil), tw.prefixes...)
+	sort.Slice(decls, func(i, j int) bool { return decls[i].name < decls[j].name })
+	for _, p := range decls {
+		if _, err := fmt.Fprintf(tw.w, "@prefix %s: <%s> .\n", p.name, p.iri); err != nil {
+			return err
+		}
+	}
+	if len(decls) > 0 {
+		if err := tw.w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write emits one triple, folding it into the previous statement when
+// the subject repeats.
+func (tw *TurtleWriter) Write(t Triple) error {
+	if !t.Valid() {
+		return fmt.Errorf("rdf: turtle writer: invalid triple %v", t)
+	}
+	if err := tw.writeHeader(); err != nil {
+		return err
+	}
+	if tw.haveSubject && t.Subject == tw.lastSubject {
+		if _, err := tw.w.WriteString(" ;\n    "); err != nil {
+			return err
+		}
+	} else {
+		if tw.haveSubject {
+			if _, err := tw.w.WriteString(" .\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := tw.w.WriteString(tw.renderTerm(t.Subject)); err != nil {
+			return err
+		}
+		if err := tw.w.WriteByte(' '); err != nil {
+			return err
+		}
+		tw.haveSubject = true
+		tw.lastSubject = t.Subject
+	}
+	if _, err := tw.w.WriteString(tw.renderPredicate(t.Predicate)); err != nil {
+		return err
+	}
+	if err := tw.w.WriteByte(' '); err != nil {
+		return err
+	}
+	_, err := tw.w.WriteString(tw.renderTerm(t.Object))
+	return err
+}
+
+// Flush terminates the last statement and flushes buffered output.
+func (tw *TurtleWriter) Flush() error {
+	if tw.haveSubject {
+		if _, err := tw.w.WriteString(" .\n"); err != nil {
+			return err
+		}
+		tw.haveSubject = false
+	}
+	return tw.w.Flush()
+}
+
+// renderPredicate renders a verb, using 'a' for rdf:type.
+func (tw *TurtleWriter) renderPredicate(t Term) string {
+	if t.Kind == IRI && t.Value == rdfTypeIRI {
+		return "a"
+	}
+	return tw.renderTerm(t)
+}
+
+func (tw *TurtleWriter) renderTerm(t Term) string {
+	switch t.Kind {
+	case IRI:
+		for _, p := range tw.prefixes {
+			if local, ok := strings.CutPrefix(t.Value, p.iri); ok && isLocalName(local) {
+				return p.name + ":" + local
+			}
+		}
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	default:
+		return renderTurtleLiteral(tw, t.Value)
+	}
+}
+
+// isLocalName reports whether s can appear after a ':' unquoted.
+func isLocalName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isTurtleNameByte(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// renderTurtleLiteral expands folded @lang / ^^<iri> suffixes back into
+// Turtle suffix syntax.
+func renderTurtleLiteral(tw *TurtleWriter, value string) string {
+	// Datatype suffix: value^^<iri> (the reader always folds the IRI in
+	// angle-bracket form).
+	if i := strings.LastIndex(value, "^^<"); i >= 0 && strings.HasSuffix(value, ">") {
+		base, dt := value[:i], value[i+3:len(value)-1]
+		return quoteTurtle(base) + "^^" + tw.renderTerm(NewIRI(dt))
+	}
+	// Language suffix: value@tag, where tag must look like a language tag
+	// (letters, digits, hyphens) to avoid mangling email-like literals.
+	if i := strings.LastIndexByte(value, '@'); i > 0 {
+		tag := value[i+1:]
+		if tag != "" && isLangTag(tag) && !strings.ContainsAny(value[:i], "@") {
+			return quoteTurtle(value[:i]) + "@" + tag
+		}
+	}
+	return quoteTurtle(value)
+}
+
+func isLangTag(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c == '-' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	// Language tags start with a letter.
+	c := s[0]
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func quoteTurtle(s string) string {
+	return `"` + escapeLiteral(s) + `"`
+}
+
+// WriteTurtle serializes all triples to w with the given prefix map,
+// flushing at the end. Triples are written in input order; callers that
+// want maximal subject grouping should sort by subject first.
+func WriteTurtle(w io.Writer, prefixes map[string]string, triples []Triple) error {
+	tw := NewTurtleWriter(w)
+	names := make([]string, 0, len(prefixes))
+	for name := range prefixes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := tw.DeclarePrefix(name, prefixes[name]); err != nil {
+			return err
+		}
+	}
+	for _, t := range triples {
+		if err := tw.Write(t); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,212 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTurtleWriterBasic(t *testing.T) {
+	var sb strings.Builder
+	err := WriteTurtle(&sb, map[string]string{"ex": "http://ex/"}, []Triple{
+		T(NewIRI("http://ex/s"), NewIRI("http://ex/p"), NewIRI("http://ex/o")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "@prefix ex: <http://ex/> .") {
+		t.Fatalf("missing prefix declaration in %q", out)
+	}
+	if !strings.Contains(out, "ex:s ex:p ex:o .") {
+		t.Fatalf("triple not compacted: %q", out)
+	}
+}
+
+func TestTurtleWriterGroupsSubjects(t *testing.T) {
+	var sb strings.Builder
+	err := WriteTurtle(&sb, map[string]string{"ex": "http://ex/"}, []Triple{
+		T(NewIRI("http://ex/s"), NewIRI("http://ex/p1"), NewIRI("http://ex/a")),
+		T(NewIRI("http://ex/s"), NewIRI("http://ex/p2"), NewIRI("http://ex/b")),
+		T(NewIRI("http://ex/t"), NewIRI("http://ex/p1"), NewIRI("http://ex/c")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "ex:s") != 1 {
+		t.Fatalf("subject repeated instead of grouped:\n%s", out)
+	}
+	if !strings.Contains(out, ";") {
+		t.Fatalf("no predicate list separator:\n%s", out)
+	}
+}
+
+func TestTurtleWriterRDFTypeAsA(t *testing.T) {
+	var sb strings.Builder
+	err := WriteTurtle(&sb, nil, []Triple{
+		T(NewIRI("s"), NewIRI(rdfTypeIRI), NewIRI("T")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<s> a <T> .") {
+		t.Fatalf("rdf:type not rendered as 'a': %q", sb.String())
+	}
+}
+
+func TestTurtleWriterLiteralSuffixes(t *testing.T) {
+	var sb strings.Builder
+	err := WriteTurtle(&sb, nil, []Triple{
+		T(NewIRI("s"), NewIRI("p"), NewLiteral("hello@en")),
+		T(NewIRI("s"), NewIRI("p2"), NewLiteral("30^^<http://www.w3.org/2001/XMLSchema#integer>")),
+		T(NewIRI("s"), NewIRI("p3"), NewLiteral("user@example.org_is_not_a_langtag!")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"hello"@en`) {
+		t.Fatalf("language suffix not expanded: %q", out)
+	}
+	if !strings.Contains(out, `"30"^^<http://www.w3.org/2001/XMLSchema#integer>`) {
+		t.Fatalf("datatype suffix not expanded: %q", out)
+	}
+	if !strings.Contains(out, `"user@example.org_is_not_a_langtag!"`) {
+		t.Fatalf("email-like literal mangled: %q", out)
+	}
+}
+
+func TestTurtleWriterRejectsInvalidTriple(t *testing.T) {
+	tw := NewTurtleWriter(&strings.Builder{})
+	if err := tw.Write(Triple{}); err == nil {
+		t.Fatal("invalid triple accepted")
+	}
+}
+
+func TestTurtleWriterPrefixAfterWriteRejected(t *testing.T) {
+	var sb strings.Builder
+	tw := NewTurtleWriter(&sb)
+	if err := tw.Write(T(NewIRI("s"), NewIRI("p"), NewIRI("o"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.DeclarePrefix("ex", "http://ex/"); err == nil {
+		t.Fatal("DeclarePrefix after Write accepted")
+	}
+}
+
+func TestTurtleWriterDuplicatePrefixRejected(t *testing.T) {
+	tw := NewTurtleWriter(&strings.Builder{})
+	if err := tw.DeclarePrefix("ex", "http://a/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.DeclarePrefix("ex", "http://b/"); err == nil {
+		t.Fatal("duplicate prefix accepted")
+	}
+}
+
+func TestTurtleWriterLongestPrefixWins(t *testing.T) {
+	var sb strings.Builder
+	err := WriteTurtle(&sb, map[string]string{
+		"a": "http://ex/",
+		"b": "http://ex/sub/",
+	}, []Triple{
+		T(NewIRI("http://ex/sub/x"), NewIRI("http://ex/p"), NewIRI("http://ex/sub/y")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "b:x a:p b:y .") {
+		t.Fatalf("longest prefix not preferred: %q", sb.String())
+	}
+}
+
+func TestTurtleWriterUncompactableIRIStaysAngled(t *testing.T) {
+	var sb strings.Builder
+	// The local part contains '/', which cannot appear in a prefixed
+	// local name; the IRI must stay in angle brackets.
+	err := WriteTurtle(&sb, map[string]string{"ex": "http://ex/"}, []Triple{
+		T(NewIRI("http://ex/path/deep"), NewIRI("http://ex/p"), NewIRI("http://other/x")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "<http://ex/path/deep>") {
+		t.Fatalf("slashy IRI wrongly compacted: %q", out)
+	}
+	if !strings.Contains(out, "<http://other/x>") {
+		t.Fatalf("foreign IRI wrongly compacted: %q", out)
+	}
+}
+
+// TestTurtleWriterReaderRoundTrip checks Write → Parse returns the same
+// triples for a representative mix.
+func TestTurtleWriterReaderRoundTrip(t *testing.T) {
+	triples := []Triple{
+		T(NewIRI("http://ex/alice"), NewIRI(rdfTypeIRI), NewIRI("http://ex/Person")),
+		T(NewIRI("http://ex/alice"), NewIRI("http://ex/name"), NewLiteral(`Alice "A"`)),
+		T(NewIRI("http://ex/alice"), NewIRI("http://ex/bio"), NewLiteral("line1\nline2")),
+		T(NewIRI("http://ex/alice"), NewIRI("http://ex/tag"), NewLiteral("hi@en")),
+		T(NewBlank("b0"), NewIRI("http://ex/p"), NewIRI("http://ex/alice")),
+	}
+	var sb strings.Builder
+	if err := WriteTurtle(&sb, map[string]string{"ex": "http://ex/"}, triples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTurtle(sb.String())
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, sb.String())
+	}
+	if len(back) != len(triples) {
+		t.Fatalf("round trip %d -> %d triples\n%s", len(triples), len(back), sb.String())
+	}
+	for i := range triples {
+		if back[i] != triples[i] {
+			t.Fatalf("triple %d changed: %v -> %v", i, triples[i], back[i])
+		}
+	}
+}
+
+// TestQuickTurtleRoundTrip property-tests Write → Parse identity over
+// random triples.
+func TestQuickTurtleRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var triples []Triple
+		n := rng.Intn(40) + 1
+		for i := 0; i < n; i++ {
+			s := NewIRI(fmt.Sprintf("http://ex/s%d", rng.Intn(8)))
+			p := NewIRI(fmt.Sprintf("http://ex/p%d", rng.Intn(4)))
+			var o Term
+			switch rng.Intn(3) {
+			case 0:
+				o = NewIRI(fmt.Sprintf("http://ex/o%d", rng.Intn(10)))
+			case 1:
+				o = NewLiteral(fmt.Sprintf("value %d with \"quotes\" and\ttabs", rng.Intn(100)))
+			default:
+				o = NewBlank(fmt.Sprintf("b%d", rng.Intn(5)))
+			}
+			triples = append(triples, T(s, p, o))
+		}
+		var sb strings.Builder
+		if err := WriteTurtle(&sb, map[string]string{"ex": "http://ex/"}, triples); err != nil {
+			return false
+		}
+		back, err := ParseTurtle(sb.String())
+		if err != nil || len(back) != len(triples) {
+			return false
+		}
+		for i := range triples {
+			if back[i] != triples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

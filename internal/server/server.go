@@ -1,0 +1,198 @@
+// Package server exposes a Hexastore over HTTP: a SPARQL-subset query
+// endpoint returning results in the SPARQL 1.1 Query Results JSON
+// format, a bulk N-Triples/Turtle ingestion endpoint, and store
+// statistics. cmd/hexserver wires it to a listener; the package itself
+// is transport-agnostic and tested with httptest.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"hexastore/internal/core"
+	"hexastore/internal/rdf"
+	"hexastore/internal/sparql"
+)
+
+// Server serves one Hexastore. It is safe for concurrent use: the store
+// carries its own synchronization and the planner pointer is guarded
+// here.
+type Server struct {
+	st *core.Store
+
+	mu sync.RWMutex
+	pl *sparql.Planner
+}
+
+// New returns a Server over st.
+func New(st *core.Store) *Server {
+	return &Server{st: st, pl: sparql.NewPlanner(st)}
+}
+
+// Handler returns the HTTP routing table:
+//
+//	GET/POST /sparql   query=<SELECT ...>      → application/sparql-results+json
+//	POST     /triples  body: N-Triples|Turtle  → {"added": n} (Content-Type text/turtle selects Turtle)
+//	GET      /stats                            → index statistics JSON
+//	GET      /healthz                          → 200 ok
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sparql", s.handleSPARQL)
+	mux.HandleFunc("/triples", s.handleTriples)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// planner returns the current planner snapshot.
+func (s *Server) planner() *sparql.Planner {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pl
+}
+
+// refreshPlanner rebuilds statistics after mutations.
+func (s *Server) refreshPlanner() {
+	pl := sparql.NewPlanner(s.st)
+	s.mu.Lock()
+	s.pl = pl
+	s.mu.Unlock()
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	var queryText string
+	switch r.Method {
+	case http.MethodGet:
+		queryText = r.URL.Query().Get("query")
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if strings.HasPrefix(ct, "application/sparql-query") {
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "read body: %v", err)
+				return
+			}
+			queryText = string(body)
+		} else {
+			if err := r.ParseForm(); err != nil {
+				httpError(w, http.StatusBadRequest, "parse form: %v", err)
+				return
+			}
+			queryText = r.Form.Get("query")
+		}
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	if strings.TrimSpace(queryText) == "" {
+		httpError(w, http.StatusBadRequest, "missing query parameter")
+		return
+	}
+
+	res, err := s.planner().Exec(queryText)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "query: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/sparql-results+json")
+	json.NewEncoder(w).Encode(resultsJSON(res))
+}
+
+// resultsJSON renders a Result in the SPARQL 1.1 Query Results JSON
+// format ({"head":{},"boolean":…} for ASK queries).
+func resultsJSON(res *sparql.Result) map[string]any {
+	if res.IsAsk {
+		return map[string]any{
+			"head":    map[string]any{},
+			"boolean": res.Answer,
+		}
+	}
+	bindings := make([]map[string]any, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		b := make(map[string]any, len(row))
+		for name, term := range row {
+			var entry map[string]any
+			switch term.Kind {
+			case rdf.IRI:
+				entry = map[string]any{"type": "uri", "value": term.Value}
+			case rdf.Literal:
+				entry = map[string]any{"type": "literal", "value": term.Value}
+			case rdf.Blank:
+				entry = map[string]any{"type": "bnode", "value": term.Value}
+			}
+			b[name] = entry
+		}
+		bindings = append(bindings, b)
+	}
+	return map[string]any{
+		"head":    map[string]any{"vars": res.Vars},
+		"results": map[string]any{"bindings": bindings},
+	}
+}
+
+func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	ct := r.Header.Get("Content-Type")
+	body := io.LimitReader(r.Body, 256<<20)
+
+	var (
+		triples []rdf.Triple
+		err     error
+	)
+	if strings.HasPrefix(ct, "text/turtle") {
+		triples, err = rdf.NewTurtleReader(body).ReadAll()
+	} else {
+		triples, err = rdf.NewReader(body).ReadAll()
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	added := 0
+	for _, t := range triples {
+		if _, _, _, ok := s.st.AddTriple(t); ok {
+			added++
+		}
+	}
+	if added > 0 {
+		s.refreshPlanner()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int{"added": added, "total": s.st.Len()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	stats := s.st.Stats()
+	sum := s.planner().Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"triples":          s.st.Len(),
+		"headers":          stats.Headers,
+		"vectorEntries":    stats.VectorEntries,
+		"listEntries":      stats.ListEntries,
+		"expansionFactor":  stats.ExpansionFactor(),
+		"indexSizeBytes":   stats.SizeBytes(),
+		"distinctSubjects": sum.DistinctS,
+		"distinctPreds":    sum.DistinctP,
+		"distinctObjects":  sum.DistinctO,
+	})
+}

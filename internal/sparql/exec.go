@@ -1,0 +1,840 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hexastore/internal/core"
+	"hexastore/internal/dictionary"
+	"hexastore/internal/query"
+	"hexastore/internal/rdf"
+	"hexastore/internal/stats"
+)
+
+func newIRI(s string) rdf.Term     { return rdf.NewIRI(s) }
+func newLiteral(s string) rdf.Term { return rdf.NewLiteral(s) }
+func newBlank(s string) rdf.Term   { return rdf.NewBlank(s) }
+
+// Row is one query solution: variable name → bound term. Variables that
+// occur only in OPTIONAL groups may be absent.
+type Row map[string]rdf.Term
+
+// Result holds the solutions of a query. For ASK queries IsAsk is true,
+// Answer carries the boolean result, and Rows is empty.
+type Result struct {
+	Vars   []string
+	Rows   []Row
+	IsAsk  bool
+	Answer bool
+}
+
+// idPattern is a pattern with its constant positions resolved to
+// dictionary ids. resolved is false when some constant is not in the
+// dictionary at all (the pattern cannot match anything).
+type idPattern struct {
+	pat      Pattern
+	ids      [3]core.ID
+	resolved bool
+}
+
+// term returns position j (0=S, 1=P, 2=O) of the pattern.
+func (p *idPattern) term(j int) Term {
+	switch j {
+	case 0:
+		return p.pat.S
+	case 1:
+		return p.pat.P
+	default:
+		return p.pat.O
+	}
+}
+
+// Source is the store behaviour the evaluator needs: pattern matching
+// with None wildcards and a dictionary. core.Store satisfies it via
+// SourceOf; the disk-based Hexastore's Match already has this shape.
+type Source interface {
+	Match(s, p, o dictionary.ID, fn func(s, p, o dictionary.ID) bool) error
+	Dictionary() *dictionary.Dictionary
+}
+
+// coreSource adapts core.Store's error-free Match to the Source shape.
+type coreSource struct{ st *core.Store }
+
+func (c coreSource) Match(s, p, o dictionary.ID, fn func(s, p, o dictionary.ID) bool) error {
+	c.st.Match(s, p, o, fn)
+	return nil
+}
+
+func (c coreSource) Dictionary() *dictionary.Dictionary { return c.st.Dictionary() }
+
+// SourceOf wraps an in-memory Hexastore as a Source.
+func SourceOf(st *core.Store) Source { return coreSource{st: st} }
+
+// Exec parses and evaluates src against st.
+func Exec(st *core.Store, src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Eval(st, q)
+}
+
+// ExecSource parses and evaluates queryText against any Source (e.g. a
+// disk-based Hexastore). Pattern ordering uses the greedy most-bound
+// heuristic without index-selectivity tie-breaking, since a generic
+// Source exposes no cardinalities.
+func ExecSource(src Source, queryText string) (*Result, error) {
+	q, err := Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	return EvalSource(src, q)
+}
+
+// EvalSource evaluates a parsed query against any Source.
+func EvalSource(src Source, q *Query) (*Result, error) {
+	ev := &evaluator{
+		src:  src,
+		dict: src.Dictionary(),
+		q:    q,
+	}
+	return ev.run()
+}
+
+// Eval evaluates a parsed query against st.
+//
+// Planning: each UNION clause multiplies the query into branches (the
+// standard BGP rewriting); within a branch, required patterns are
+// ordered greedily — at every step the pattern with the most positions
+// bound is chosen, breaking ties by the engine's selectivity estimate.
+// Execution is a depth-first bind join: each step substitutes the
+// current bindings into its pattern and probes the Hexastore, which has
+// the right index for every binding combination that can arise (§4.2 of
+// the paper). FILTERs run at the earliest step where their variables are
+// bound; OPTIONAL groups extend solutions after the required patterns.
+func Eval(st *core.Store, q *Query) (*Result, error) {
+	ev := &evaluator{
+		src:  SourceOf(st),
+		eng:  query.NewEngine(st),
+		dict: st.Dictionary(),
+		q:    q,
+	}
+	return ev.run()
+}
+
+type evaluator struct {
+	src  Source
+	eng  *query.Engine // nil for generic Sources; enables selectivity tie-breaks
+	dict *dictionary.Dictionary
+	q    *Query
+
+	// sum, when non-nil, switches pattern ordering to the cost-based
+	// planner (see Planner).
+	sum *stats.Summary
+
+	vars    []string
+	optVars map[string]bool
+
+	binding  map[string]core.ID
+	res      *Result
+	distinct map[string]bool
+	target   int // rows needed before OFFSET/LIMIT trimming; -1 = all
+	done     bool
+
+	// orderKeys[i] holds the ORDER BY key terms of res.Rows[i]; kept
+	// separately because sort variables need not be projected.
+	orderKeys [][]orderVal
+
+	// Aggregation state (len(q.Aggregates) > 0): solutions are folded
+	// into groups instead of emitted as rows.
+	aggMode  bool
+	groups   map[string]*aggGroup
+	groupSeq []string // insertion order of group keys
+}
+
+// aggGroup accumulates one GROUP BY bucket.
+type aggGroup struct {
+	keyIDs   map[string]core.ID     // group-by variable → id
+	counts   []int                  // per aggregate
+	distinct []map[core.ID]struct{} // per DISTINCT aggregate
+}
+
+// orderVal is one ORDER BY key value of one solution.
+type orderVal struct {
+	term  rdf.Term
+	bound bool
+}
+
+func (ev *evaluator) run() (*Result, error) {
+	q := ev.q
+	ev.vars = q.Vars
+	if len(ev.vars) == 0 {
+		ev.vars = q.AllVars()
+	}
+	ev.optVars = q.OptionalVars()
+	ev.binding = make(map[string]core.ID)
+	if len(q.Aggregates) > 0 {
+		ev.aggMode = true
+		ev.groups = make(map[string]*aggGroup)
+		// Output columns: the group-key variables followed by the
+		// aggregate aliases.
+		outVars := append([]string(nil), q.Vars...)
+		for _, a := range q.Aggregates {
+			outVars = append(outVars, a.As)
+		}
+		ev.vars = outVars
+	}
+	ev.res = &Result{Vars: ev.vars}
+	if q.Distinct && !ev.aggMode {
+		ev.distinct = make(map[string]bool)
+	}
+	// Early termination is only sound without ORDER BY or aggregation:
+	// otherwise the full solution set must be materialized first.
+	ev.target = -1
+	if len(q.OrderBy) == 0 && !ev.aggMode && q.Limit > 0 {
+		ev.target = q.Offset + q.Limit
+	}
+	if q.Ask {
+		ev.target = 1 // one solution decides the answer
+	}
+
+	// Resolve optional groups once; they are shared by all branches.
+	optionals := make([][]idPattern, 0, len(q.Optionals))
+	for _, group := range q.Optionals {
+		optionals = append(optionals, ev.resolve(group))
+	}
+
+	for _, branch := range expandUnions(q) {
+		pats := ev.resolve(branch)
+		if err := ev.runBranch(pats, optionals); err != nil {
+			return nil, err
+		}
+		if ev.done {
+			break
+		}
+	}
+
+	if ev.aggMode {
+		if err := ev.materializeGroups(); err != nil {
+			return nil, err
+		}
+	}
+	if q.Ask {
+		ev.res.IsAsk = true
+		ev.res.Answer = len(ev.res.Rows) > 0
+		ev.res.Rows, ev.res.Vars = nil, nil
+		return ev.res, nil
+	}
+	ev.applyModifiers()
+	return ev.res, nil
+}
+
+// expandUnions returns the branches of the query: the required patterns
+// joined with one alternative from every UNION clause (cross product).
+func expandUnions(q *Query) [][]Pattern {
+	branches := [][]Pattern{append([]Pattern(nil), q.Patterns...)}
+	for _, u := range q.Unions {
+		var next [][]Pattern
+		for _, branch := range branches {
+			for _, alt := range u {
+				nb := make([]Pattern, 0, len(branch)+len(alt))
+				nb = append(nb, branch...)
+				nb = append(nb, alt...)
+				next = append(next, nb)
+			}
+		}
+		branches = next
+	}
+	return branches
+}
+
+// resolve maps the constants of pats to dictionary ids.
+func (ev *evaluator) resolve(pats []Pattern) []idPattern {
+	out := make([]idPattern, len(pats))
+	for i, p := range pats {
+		out[i] = idPattern{pat: p, resolved: true}
+		for j, term := range [3]Term{p.S, p.P, p.O} {
+			if term.Kind != Const {
+				continue
+			}
+			id, ok := ev.dict.Lookup(term.RDF)
+			if !ok {
+				out[i].resolved = false
+				break
+			}
+			out[i].ids[j] = id
+		}
+	}
+	return out
+}
+
+// runBranch evaluates one union branch.
+func (ev *evaluator) runBranch(pats []idPattern, optionals [][]idPattern) error {
+	for i := range pats {
+		if !pats[i].resolved {
+			return nil // some constant unknown: branch has no solutions
+		}
+	}
+	var order []int
+	if ev.sum != nil {
+		order = planOrderStats(ev.sum, pats, nil)
+	} else {
+		order = planOrder(ev.eng, pats, nil)
+	}
+
+	// Stage filters: filter k runs at the earliest step after which all
+	// its variables are bound; filters mentioning optional (or absent)
+	// variables wait until emit time.
+	branchVars := map[string]bool{}
+	for i := range pats {
+		for _, v := range pats[i].pat.Vars() {
+			branchVars[v] = true
+		}
+	}
+	stepFilters := make([][]Filter, len(order)+1)
+	var lateFilters []Filter
+	for _, f := range ev.q.Filters {
+		step, late := 0, false
+		for _, v := range f.Vars() {
+			if !branchVars[v] {
+				late = true
+				break
+			}
+			for si, pi := range order {
+				has := false
+				for _, pv := range pats[pi].pat.Vars() {
+					if pv == v {
+						has = true
+						break
+					}
+				}
+				if has && si+1 > step {
+					step = si + 1
+					break
+				}
+			}
+		}
+		if late {
+			lateFilters = append(lateFilters, f)
+		} else {
+			stepFilters[step] = append(stepFilters[step], f)
+		}
+	}
+
+	var walk func(step int) error
+	walk = func(step int) error {
+		if ev.done {
+			return nil
+		}
+		for _, f := range stepFilters[step] {
+			ok, err := ev.evalFilter(f)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		if step == len(order) {
+			return ev.runOptionals(optionals, 0, lateFilters)
+		}
+
+		p := &pats[order[step]]
+		s, sVar := resolvePos(p, 0, ev.binding)
+		pr, pVar := resolvePos(p, 1, ev.binding)
+		o, oVar := resolvePos(p, 2, ev.binding)
+
+		var walkErr error
+		merr := ev.src.Match(s, pr, o, func(ms, mp, mo core.ID) bool {
+			// A variable may occur in several positions of one pattern
+			// (e.g. ?x <p> ?x); positions sharing a name must agree.
+			if sVar != "" {
+				ev.binding[sVar] = ms
+			}
+			if pVar != "" {
+				if pVar == sVar && mp != ms {
+					return true
+				}
+				ev.binding[pVar] = mp
+			}
+			if oVar != "" {
+				if (oVar == sVar && mo != ms) || (oVar == pVar && mo != mp) {
+					return true
+				}
+				ev.binding[oVar] = mo
+			}
+			walkErr = walk(step + 1)
+			return walkErr == nil && !ev.done
+		})
+		for _, v := range []string{sVar, pVar, oVar} {
+			if v != "" {
+				delete(ev.binding, v)
+			}
+		}
+		if walkErr != nil {
+			return walkErr
+		}
+		return merr
+	}
+	return walk(0)
+}
+
+// runOptionals extends the current binding with optional group g onward,
+// then emits. An optional group that matches produces one solution per
+// match; a group that does not match leaves its variables unbound.
+func (ev *evaluator) runOptionals(optionals [][]idPattern, g int, lateFilters []Filter) error {
+	if ev.done {
+		return nil
+	}
+	if g == len(optionals) {
+		return ev.emit(lateFilters)
+	}
+	group := optionals[g]
+	resolved := true
+	for i := range group {
+		if !group[i].resolved {
+			resolved = false
+			break
+		}
+	}
+	matched := false
+	if resolved {
+		var matchGroup func(i int) error
+		matchGroup = func(i int) error {
+			if ev.done {
+				return nil
+			}
+			if i == len(group) {
+				matched = true
+				return ev.runOptionals(optionals, g+1, lateFilters)
+			}
+			p := &group[i]
+			s, sVar := resolvePos(p, 0, ev.binding)
+			pr, pVar := resolvePos(p, 1, ev.binding)
+			o, oVar := resolvePos(p, 2, ev.binding)
+			var walkErr error
+			merr := ev.src.Match(s, pr, o, func(ms, mp, mo core.ID) bool {
+				if sVar != "" {
+					ev.binding[sVar] = ms
+				}
+				if pVar != "" {
+					if pVar == sVar && mp != ms {
+						return true
+					}
+					ev.binding[pVar] = mp
+				}
+				if oVar != "" {
+					if (oVar == sVar && mo != ms) || (oVar == pVar && mo != mp) {
+						return true
+					}
+					ev.binding[oVar] = mo
+				}
+				walkErr = matchGroup(i + 1)
+				return walkErr == nil && !ev.done
+			})
+			for _, v := range []string{sVar, pVar, oVar} {
+				if v != "" {
+					delete(ev.binding, v)
+				}
+			}
+			if walkErr != nil {
+				return walkErr
+			}
+			return merr
+		}
+		if err := matchGroup(0); err != nil {
+			return err
+		}
+	}
+	if !matched {
+		// No extension: keep going with the group's variables unbound.
+		return ev.runOptionals(optionals, g+1, lateFilters)
+	}
+	return nil
+}
+
+// emit projects the current binding into a row, applying late filters
+// and DISTINCT.
+func (ev *evaluator) emit(lateFilters []Filter) error {
+	for _, f := range lateFilters {
+		ok, err := ev.evalFilter(f)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	if ev.aggMode {
+		return ev.fold()
+	}
+	row := make(Row, len(ev.vars))
+	var key strings.Builder
+	for _, name := range ev.vars {
+		id, ok := ev.binding[name]
+		if !ok {
+			if !ev.optVars[name] {
+				return fmt.Errorf("sparql: internal: variable ?%s unbound at solution", name)
+			}
+			if ev.distinct != nil {
+				key.WriteString("-|")
+			}
+			continue
+		}
+		term, err := ev.dict.Decode(id)
+		if err != nil {
+			return err
+		}
+		row[name] = term
+		if ev.distinct != nil {
+			fmt.Fprintf(&key, "%d|", id)
+		}
+	}
+	if ev.distinct != nil {
+		if ev.distinct[key.String()] {
+			return nil
+		}
+		ev.distinct[key.String()] = true
+	}
+	ev.res.Rows = append(ev.res.Rows, row)
+	if len(ev.q.OrderBy) > 0 {
+		keys := make([]orderVal, len(ev.q.OrderBy))
+		for i, k := range ev.q.OrderBy {
+			if id, ok := ev.binding[k.Var]; ok {
+				term, err := ev.dict.Decode(id)
+				if err != nil {
+					return err
+				}
+				keys[i] = orderVal{term: term, bound: true}
+			}
+		}
+		ev.orderKeys = append(ev.orderKeys, keys)
+	}
+	if ev.target > 0 && len(ev.res.Rows) >= ev.target {
+		ev.done = true
+	}
+	return nil
+}
+
+// fold accumulates the current solution into its GROUP BY bucket.
+func (ev *evaluator) fold() error {
+	var key strings.Builder
+	for _, name := range ev.q.GroupBy {
+		if id, ok := ev.binding[name]; ok {
+			fmt.Fprintf(&key, "%d|", id)
+		} else {
+			key.WriteString("-|")
+		}
+	}
+	g, ok := ev.groups[key.String()]
+	if !ok {
+		g = &aggGroup{
+			keyIDs:   make(map[string]core.ID, len(ev.q.GroupBy)),
+			counts:   make([]int, len(ev.q.Aggregates)),
+			distinct: make([]map[core.ID]struct{}, len(ev.q.Aggregates)),
+		}
+		for _, name := range ev.q.GroupBy {
+			if id, ok := ev.binding[name]; ok {
+				g.keyIDs[name] = id
+			}
+		}
+		for i, a := range ev.q.Aggregates {
+			if a.Distinct {
+				g.distinct[i] = make(map[core.ID]struct{})
+			}
+		}
+		ev.groups[key.String()] = g
+		ev.groupSeq = append(ev.groupSeq, key.String())
+	}
+	for i, a := range ev.q.Aggregates {
+		if a.Var == "" {
+			g.counts[i]++
+			continue
+		}
+		id, bound := ev.binding[a.Var]
+		if !bound {
+			continue // COUNT skips unbound (optional) values, as in SPARQL
+		}
+		if a.Distinct {
+			g.distinct[i][id] = struct{}{}
+		} else {
+			g.counts[i]++
+		}
+	}
+	return nil
+}
+
+// materializeGroups turns the GROUP BY buckets into result rows, in
+// group-key order for determinism when no ORDER BY is given.
+func (ev *evaluator) materializeGroups() error {
+	keys := append([]string(nil), ev.groupSeq...)
+	sort.Strings(keys)
+	for _, key := range keys {
+		g := ev.groups[key]
+		row := make(Row, len(ev.vars))
+		for _, name := range ev.q.Vars {
+			if id, ok := g.keyIDs[name]; ok {
+				term, err := ev.dict.Decode(id)
+				if err != nil {
+					return err
+				}
+				row[name] = term
+			}
+		}
+		for i, a := range ev.q.Aggregates {
+			n := g.counts[i]
+			if a.Distinct {
+				n = len(g.distinct[i])
+			}
+			row[a.As] = rdf.NewLiteral(strconv.Itoa(n))
+		}
+		ev.res.Rows = append(ev.res.Rows, row)
+	}
+	return nil
+}
+
+// evalFilter evaluates f under the current binding. A filter whose
+// variable is unbound (possible only for optional variables) fails.
+func (ev *evaluator) evalFilter(f Filter) (bool, error) {
+	left, lok, err := ev.operand(f.Left)
+	if err != nil {
+		return false, err
+	}
+	right, rok, err := ev.operand(f.Right)
+	if err != nil {
+		return false, err
+	}
+	if !lok || !rok {
+		return false, nil
+	}
+	switch f.Op {
+	case "=":
+		return left == right, nil
+	case "!=":
+		return left != right, nil
+	}
+	// Ordering comparison: numeric when both operands are numeric
+	// literals, lexicographic on the term value otherwise.
+	var cmp int
+	lf, lerr := strconv.ParseFloat(left.Value, 64)
+	rf, rerr := strconv.ParseFloat(right.Value, 64)
+	if lerr == nil && rerr == nil {
+		switch {
+		case lf < rf:
+			cmp = -1
+		case lf > rf:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(left.Value, right.Value)
+	}
+	switch f.Op {
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	default:
+		return false, fmt.Errorf("sparql: unknown filter operator %q", f.Op)
+	}
+}
+
+// operand resolves a filter operand to a term; ok is false when the
+// operand is an unbound variable.
+func (ev *evaluator) operand(t Term) (rdf.Term, bool, error) {
+	if t.Kind == Const {
+		return t.RDF, true, nil
+	}
+	id, ok := ev.binding[t.Name]
+	if !ok {
+		return rdf.Term{}, false, nil
+	}
+	term, err := ev.dict.Decode(id)
+	if err != nil {
+		return rdf.Term{}, false, err
+	}
+	return term, true, nil
+}
+
+// applyModifiers sorts, offsets and limits the collected rows.
+func (ev *evaluator) applyModifiers() {
+	q := ev.q
+	if ev.aggMode && len(q.OrderBy) > 0 {
+		// In grouping mode every sort variable is an output column
+		// (group key or aggregate alias), so sort on row values.
+		sort.SliceStable(ev.res.Rows, func(i, j int) bool {
+			for _, k := range q.OrderBy {
+				a, aok := ev.res.Rows[i][k.Var]
+				b, bok := ev.res.Rows[j][k.Var]
+				if aok != bok {
+					if k.Desc {
+						return aok
+					}
+					return !aok
+				}
+				c := compareTerms(a, b)
+				if c != 0 {
+					if k.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+	} else if len(q.OrderBy) > 0 {
+		type indexed struct {
+			row  Row
+			keys []orderVal
+		}
+		sols := make([]indexed, len(ev.res.Rows))
+		for i := range sols {
+			sols[i] = indexed{row: ev.res.Rows[i], keys: ev.orderKeys[i]}
+		}
+		sort.SliceStable(sols, func(i, j int) bool {
+			for ki, k := range q.OrderBy {
+				a, b := sols[i].keys[ki], sols[j].keys[ki]
+				// Unbound sorts before bound, as in SPARQL.
+				if a.bound != b.bound {
+					if k.Desc {
+						return a.bound
+					}
+					return !a.bound
+				}
+				c := compareTerms(a.term, b.term)
+				if c != 0 {
+					if k.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		for i := range sols {
+			ev.res.Rows[i] = sols[i].row
+		}
+	}
+	rows := ev.res.Rows
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	ev.res.Rows = rows
+}
+
+// compareTerms orders terms numerically when both values are numbers,
+// lexicographically by value otherwise.
+func compareTerms(a, b rdf.Term) int {
+	af, aerr := strconv.ParseFloat(a.Value, 64)
+	bf, berr := strconv.ParseFloat(b.Value, 64)
+	if aerr == nil && berr == nil {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a.String(), b.String())
+}
+
+// resolvePos returns the id to use for position j (a constant id, a
+// bound variable's id, or None) and the variable name to bind if the
+// position is an unbound variable ("" otherwise).
+func resolvePos(p *idPattern, j int, binding map[string]core.ID) (core.ID, string) {
+	term := p.term(j)
+	if term.Kind == Const {
+		return p.ids[j], ""
+	}
+	if id, ok := binding[term.Name]; ok {
+		return id, ""
+	}
+	return core.None, term.Name
+}
+
+// planOrder returns the pattern evaluation order: greedy most-bound-
+// first with selectivity tie-breaking. preBound names variables already
+// bound before the first step (used when planning optional groups).
+func planOrder(eng *query.Engine, pats []idPattern, preBound map[string]bool) []int {
+	n := len(pats)
+	chosen := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := map[string]bool{}
+	for v := range preBound {
+		bound[v] = true
+	}
+
+	// Static selectivity with only constants bound. A nil engine (generic
+	// Source) prices every pattern equally, so ordering falls back to the
+	// pure most-bound-first heuristic.
+	constSel := func(p *idPattern) int {
+		if eng == nil {
+			return 0
+		}
+		var qp query.Pattern
+		if p.pat.S.Kind == Const {
+			qp.S = p.ids[0]
+		}
+		if p.pat.P.Kind == Const {
+			qp.P = p.ids[1]
+		}
+		if p.pat.O.Kind == Const {
+			qp.O = p.ids[2]
+		}
+		return eng.Selectivity(qp)
+	}
+
+	for len(chosen) < n {
+		best, bestBound, bestSel := -1, -1, 0
+		for i := range pats {
+			if used[i] {
+				continue
+			}
+			nb := 0
+			for j := 0; j < 3; j++ {
+				t := pats[i].term(j)
+				if t.Kind == Const || bound[t.Name] {
+					nb++
+				}
+			}
+			sel := constSel(&pats[i])
+			if nb > bestBound || (nb == bestBound && sel < bestSel) {
+				best, bestBound, bestSel = i, nb, sel
+			}
+		}
+		used[best] = true
+		chosen = append(chosen, best)
+		for _, name := range pats[best].pat.Vars() {
+			bound[name] = true
+		}
+	}
+	return chosen
+}
+
+// SortRows orders rows lexicographically by the projection variables,
+// for deterministic presentation.
+func (r *Result) SortRows() {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		for _, v := range r.Vars {
+			a, b := r.Rows[i][v].String(), r.Rows[j][v].String()
+			if a != b {
+				return a < b
+			}
+		}
+		return false
+	})
+}

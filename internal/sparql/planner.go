@@ -1,0 +1,125 @@
+package sparql
+
+import (
+	"hexastore/internal/core"
+	"hexastore/internal/query"
+	"hexastore/internal/stats"
+)
+
+// Planner evaluates queries with cost-based basic-graph-pattern ordering
+// driven by a cached statistics summary (Stocker et al. [41] style),
+// instead of the default greedy most-bound-first order. Build one
+// Planner per store and reuse it; call Refresh after bulk updates.
+type Planner struct {
+	st  *core.Store
+	sum *stats.Summary
+}
+
+// NewPlanner builds the statistics summary for st and returns a Planner.
+func NewPlanner(st *core.Store) *Planner {
+	return &Planner{st: st, sum: stats.Build(st)}
+}
+
+// Refresh rebuilds the statistics summary after the store changed.
+func (pl *Planner) Refresh() { pl.sum = stats.Build(pl.st) }
+
+// Stats returns the cached summary.
+func (pl *Planner) Stats() *stats.Summary { return pl.sum }
+
+// Exec parses and evaluates src with cost-based planning.
+func (pl *Planner) Exec(src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Eval(q)
+}
+
+// Eval evaluates a parsed query with cost-based planning.
+func (pl *Planner) Eval(q *Query) (*Result, error) {
+	ev := &evaluator{
+		src:  SourceOf(pl.st),
+		eng:  query.NewEngine(pl.st),
+		dict: pl.st.Dictionary(),
+		q:    q,
+		sum:  pl.sum,
+	}
+	return ev.run()
+}
+
+// planOrderStats orders patterns greedily by estimated result
+// cardinality: at every step it picks, among the patterns connected to
+// the already-bound variables (to avoid Cartesian products), the one
+// with the smallest estimate. Bound-variable positions without a known
+// constant are priced with the uniformity assumption — dividing by the
+// distinct count of that position.
+func planOrderStats(sum *stats.Summary, pats []idPattern, preBound map[string]bool) []int {
+	n := len(pats)
+	chosen := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := map[string]bool{}
+	for v := range preBound {
+		bound[v] = true
+	}
+
+	estimate := func(p *idPattern) float64 {
+		var ids [3]core.ID
+		var varBound [3]bool
+		for j := 0; j < 3; j++ {
+			t := p.term(j)
+			if t.Kind == Const {
+				ids[j] = p.ids[j]
+			} else if bound[t.Name] {
+				varBound[j] = true
+			}
+		}
+		est := sum.EstimatePattern(ids[0], ids[1], ids[2])
+		divisors := [3]int{sum.DistinctS, sum.DistinctP, sum.DistinctO}
+		for j := 0; j < 3; j++ {
+			if varBound[j] && divisors[j] > 0 {
+				est /= float64(divisors[j])
+			}
+		}
+		return est
+	}
+
+	sharesBoundVar := func(p *idPattern) bool {
+		for _, v := range p.pat.Vars() {
+			if bound[v] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for len(chosen) < n {
+		best := -1
+		bestConnected := false
+		bestEst := 0.0
+		for i := range pats {
+			if used[i] {
+				continue
+			}
+			connected := len(bound) == 0 || sharesBoundVar(&pats[i])
+			est := estimate(&pats[i])
+			better := false
+			switch {
+			case best == -1:
+				better = true
+			case connected != bestConnected:
+				better = connected
+			default:
+				better = est < bestEst
+			}
+			if better {
+				best, bestConnected, bestEst = i, connected, est
+			}
+		}
+		used[best] = true
+		chosen = append(chosen, best)
+		for _, name := range pats[best].pat.Vars() {
+			bound[name] = true
+		}
+	}
+	return chosen
+}

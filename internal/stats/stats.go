@@ -1,0 +1,173 @@
+// Package stats implements dataset statistics and triple-pattern
+// cardinality estimation in the style of Stocker et al., "SPARQL Basic
+// Graph Pattern Optimization Using Selectivity Estimation" (WWW 2008) —
+// the selectivity-estimation work the paper cites as reference [41].
+//
+// A Summary is built from a Hexastore in one pass over its index heads
+// (not its triples: the per-property counts fall out of the pso and pos
+// vector sizes, which is itself a small demonstration of the sextuple
+// layout's convenience). The SPARQL planner uses the summary to order
+// basic-graph-pattern evaluation by estimated result cardinality.
+package stats
+
+import (
+	"fmt"
+
+	"hexastore/internal/core"
+	"hexastore/internal/dictionary"
+	"hexastore/internal/idlist"
+)
+
+// ID re-exports the dictionary id type.
+type ID = dictionary.ID
+
+// None is the unbound marker in estimation requests.
+const None = dictionary.None
+
+// Summary holds the statistics used for cardinality estimation.
+type Summary struct {
+	// Triples is the total number of triples.
+	Triples int
+	// DistinctS, DistinctP, DistinctO count distinct subjects,
+	// predicates and objects.
+	DistinctS, DistinctP, DistinctO int
+
+	// PredCount is the number of triples per predicate.
+	PredCount map[ID]int
+	// PredDistinctS is the number of distinct subjects per predicate.
+	PredDistinctS map[ID]int
+	// PredDistinctO is the number of distinct objects per predicate.
+	PredDistinctO map[ID]int
+	// ObjCount is the number of triples per object.
+	ObjCount map[ID]int
+	// SubjCount is the number of triples per subject.
+	SubjCount map[ID]int
+}
+
+// Build collects a Summary from st. Cost is proportional to the number
+// of distinct (head, key) pairs in the pso, pos, spo and osp indices,
+// which is at most the number of triples and usually far smaller.
+func Build(st *core.Store) *Summary {
+	s := &Summary{
+		DistinctS:     st.Heads(core.SPO),
+		DistinctP:     st.Heads(core.PSO),
+		DistinctO:     st.Heads(core.OSP),
+		PredCount:     make(map[ID]int),
+		PredDistinctS: make(map[ID]int),
+		PredDistinctO: make(map[ID]int),
+		ObjCount:      make(map[ID]int),
+		SubjCount:     make(map[ID]int),
+	}
+	for _, p := range st.HeadIDs(core.PSO) {
+		vec := st.Head(core.PSO, p)
+		s.PredDistinctS[p] = vec.Len()
+		n := 0
+		vec.Range(func(_ ID, list *idlist.List) bool {
+			n += list.Len()
+			return true
+		})
+		s.PredCount[p] = n
+		s.Triples += n
+		s.PredDistinctO[p] = st.Head(core.POS, p).Len()
+	}
+	for _, o := range st.HeadIDs(core.OSP) {
+		n := 0
+		st.Head(core.OSP, o).Range(func(_ ID, list *idlist.List) bool {
+			n += list.Len()
+			return true
+		})
+		s.ObjCount[o] = n
+	}
+	for _, subj := range st.HeadIDs(core.SPO) {
+		n := 0
+		st.Head(core.SPO, subj).Range(func(_ ID, list *idlist.List) bool {
+			n += list.Len()
+			return true
+		})
+		s.SubjCount[subj] = n
+	}
+	return s
+}
+
+// EstimatePattern returns the estimated number of triples matching the
+// pattern ⟨s,p,o⟩ with None as the wildcard. Concrete subject/object ids
+// use the exact per-resource counts where available; combinations fall
+// back to uniformity (independence) assumptions, as in [41].
+func (s *Summary) EstimatePattern(sub, pred, obj ID) float64 {
+	if s.Triples == 0 {
+		return 0
+	}
+	t := float64(s.Triples)
+	switch {
+	case sub != None && pred != None && obj != None:
+		pc, ok := s.PredCount[pred]
+		if !ok {
+			return 0
+		}
+		ds, do := s.PredDistinctS[pred], s.PredDistinctO[pred]
+		if ds == 0 || do == 0 {
+			return 0
+		}
+		est := float64(pc) / (float64(ds) * float64(do))
+		return min1(est)
+	case sub != None && pred != None:
+		pc, ok := s.PredCount[pred]
+		if !ok {
+			return 0
+		}
+		ds := s.PredDistinctS[pred]
+		if ds == 0 {
+			return 0
+		}
+		return float64(pc) / float64(ds)
+	case pred != None && obj != None:
+		pc, ok := s.PredCount[pred]
+		if !ok {
+			return 0
+		}
+		do := s.PredDistinctO[pred]
+		if do == 0 {
+			return 0
+		}
+		return float64(pc) / float64(do)
+	case sub != None && obj != None:
+		sc := float64(s.SubjCount[sub])
+		oc := float64(s.ObjCount[obj])
+		// Independence: P(subject=s) * P(object=o) * T.
+		return min1(sc * oc / t)
+	case sub != None:
+		return float64(s.SubjCount[sub])
+	case pred != None:
+		return float64(s.PredCount[pred])
+	case obj != None:
+		return float64(s.ObjCount[obj])
+	default:
+		return t
+	}
+}
+
+// min1 floors tiny positive estimates at a small epsilon so planners can
+// still distinguish "almost certainly one row" from "zero rows".
+func min1(est float64) float64 {
+	if est > 0 && est < 1e-9 {
+		return 1e-9
+	}
+	return est
+}
+
+// EstimateJoin returns the estimated cardinality of joining two patterns
+// that share at least one variable, using the standard |A|*|B| /
+// max(distinct join keys) formula with the per-position distinct counts
+// as the key-domain proxy.
+func (s *Summary) EstimateJoin(cardA, cardB float64, joinDomain int) float64 {
+	if joinDomain <= 0 {
+		joinDomain = 1
+	}
+	return cardA * cardB / float64(joinDomain)
+}
+
+// String summarizes the summary, for diagnostics.
+func (s *Summary) String() string {
+	return fmt.Sprintf("stats: %d triples, %d subjects, %d predicates, %d objects",
+		s.Triples, s.DistinctS, s.DistinctP, s.DistinctO)
+}

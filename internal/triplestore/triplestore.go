@@ -1,0 +1,128 @@
+// Package triplestore implements the conventional baseline the Hexastore
+// paper's introduction argues against: a single giant triples table with
+// no secondary indexes. Every non-exact lookup is a linear scan.
+//
+// Besides serving as the "conventional solutions" comparator (§2.1), the
+// store doubles as the reference model for differential tests: its
+// behaviour is trivially correct, so the indexed stores are validated
+// against it.
+package triplestore
+
+import (
+	"sync"
+
+	"hexastore/internal/dictionary"
+)
+
+// ID is a dictionary-encoded resource identifier.
+type ID = dictionary.ID
+
+// None is the wildcard / unbound marker.
+const None = dictionary.None
+
+// Store is a flat triples table with a hash set for exact lookups.
+// It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	dict    *dictionary.Dictionary
+	triples [][3]ID
+	set     map[[3]ID]int // triple → index in triples (for O(1) delete)
+}
+
+// New returns an empty triples table sharing dict (a fresh dictionary is
+// created if dict is nil).
+func New(dict *dictionary.Dictionary) *Store {
+	if dict == nil {
+		dict = dictionary.New()
+	}
+	return &Store{dict: dict, set: make(map[[3]ID]int)}
+}
+
+// Dictionary returns the store's dictionary.
+func (st *Store) Dictionary() *dictionary.Dictionary { return st.dict }
+
+// Len returns the number of distinct triples.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.triples)
+}
+
+// Add inserts ⟨s,p,o⟩; it reports whether the store changed.
+func (st *Store) Add(s, p, o ID) bool {
+	if s == None || p == None || o == None {
+		return false
+	}
+	key := [3]ID{s, p, o}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.set[key]; ok {
+		return false
+	}
+	st.set[key] = len(st.triples)
+	st.triples = append(st.triples, key)
+	return true
+}
+
+// Remove deletes ⟨s,p,o⟩ with the swap-with-last trick; it reports
+// whether the store changed.
+func (st *Store) Remove(s, p, o ID) bool {
+	key := [3]ID{s, p, o}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	i, ok := st.set[key]
+	if !ok {
+		return false
+	}
+	last := len(st.triples) - 1
+	st.triples[i] = st.triples[last]
+	st.set[st.triples[i]] = i
+	st.triples = st.triples[:last]
+	delete(st.set, key)
+	return true
+}
+
+// Has reports whether ⟨s,p,o⟩ is present (hash probe; the one operation
+// a triples table is good at).
+func (st *Store) Has(s, p, o ID) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	_, ok := st.set[[3]ID{s, p, o}]
+	return ok
+}
+
+// Match streams every triple matching the pattern (None = wildcard) to
+// fn in table order, stopping early if fn returns false. All non-exact
+// patterns are full scans — the conventional store's defining weakness.
+func (st *Store) Match(s, p, o ID, fn func(s, p, o ID) bool) {
+	if s != None && p != None && o != None {
+		if st.Has(s, p, o) {
+			fn(s, p, o)
+		}
+		return
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for _, t := range st.triples {
+		if (s == None || t[0] == s) && (p == None || t[1] == p) && (o == None || t[2] == o) {
+			if !fn(t[0], t[1], t[2]) {
+				return
+			}
+		}
+	}
+}
+
+// Count returns the number of matching triples.
+func (st *Store) Count(s, p, o ID) int {
+	n := 0
+	st.Match(s, p, o, func(_, _, _ ID) bool { n++; return true })
+	return n
+}
+
+// SizeBytes estimates table memory: three 8-byte cells per triple plus
+// hash-set bookkeeping.
+func (st *Store) SizeBytes() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return int64(len(st.triples)) * (3*8 + 40)
+}

@@ -1,0 +1,101 @@
+package triplestore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	st := New(nil)
+	if !st.Add(1, 2, 3) || st.Add(1, 2, 3) {
+		t.Fatal("Add change reporting wrong")
+	}
+	if !st.Has(1, 2, 3) || st.Has(3, 2, 1) {
+		t.Fatal("Has wrong")
+	}
+	if !st.Remove(1, 2, 3) || st.Remove(1, 2, 3) {
+		t.Fatal("Remove change reporting wrong")
+	}
+	if st.Len() != 0 {
+		t.Errorf("Len = %d, want 0", st.Len())
+	}
+}
+
+func TestAddRejectsNone(t *testing.T) {
+	st := New(nil)
+	if st.Add(None, 1, 2) || st.Add(1, None, 2) || st.Add(1, 2, None) {
+		t.Error("Add with None reported change")
+	}
+}
+
+func TestRemoveSwapWithLastKeepsSetConsistent(t *testing.T) {
+	st := New(nil)
+	st.Add(1, 1, 1)
+	st.Add(2, 2, 2)
+	st.Add(3, 3, 3)
+	st.Remove(1, 1, 1) // forces 3,3,3 to move into slot 0
+	if !st.Has(3, 3, 3) || !st.Has(2, 2, 2) || st.Has(1, 1, 1) {
+		t.Error("set inconsistent after swap-with-last removal")
+	}
+	if !st.Remove(3, 3, 3) {
+		t.Error("could not remove relocated triple")
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len = %d, want 1", st.Len())
+	}
+}
+
+func TestMatchPatterns(t *testing.T) {
+	st := New(nil)
+	st.Add(1, 10, 100)
+	st.Add(1, 10, 101)
+	st.Add(2, 11, 100)
+
+	if n := st.Count(None, None, None); n != 3 {
+		t.Errorf("Count(all) = %d", n)
+	}
+	if n := st.Count(1, None, None); n != 2 {
+		t.Errorf("Count(s=1) = %d", n)
+	}
+	if n := st.Count(None, None, 100); n != 2 {
+		t.Errorf("Count(o=100) = %d", n)
+	}
+	if n := st.Count(1, 10, 100); n != 1 {
+		t.Errorf("Count(exact) = %d", n)
+	}
+	if n := st.Count(9, 9, 9); n != 0 {
+		t.Errorf("Count(absent exact) = %d", n)
+	}
+	// Early stop.
+	n := 0
+	st.Match(None, None, None, func(_, _, _ ID) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop invoked fn %d times", n)
+	}
+}
+
+func TestRandomOpsAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	st := New(nil)
+	model := make(map[[3]ID]bool)
+	for i := 0; i < 3000; i++ {
+		tr := [3]ID{ID(rng.Intn(10) + 1), ID(rng.Intn(10) + 1), ID(rng.Intn(10) + 1)}
+		if rng.Intn(2) == 0 {
+			if st.Add(tr[0], tr[1], tr[2]) == model[tr] {
+				t.Fatalf("Add(%v) change mismatch", tr)
+			}
+			model[tr] = true
+		} else {
+			if st.Remove(tr[0], tr[1], tr[2]) != model[tr] {
+				t.Fatalf("Remove(%v) change mismatch", tr)
+			}
+			delete(model, tr)
+		}
+	}
+	if st.Len() != len(model) {
+		t.Fatalf("Len = %d, model = %d", st.Len(), len(model))
+	}
+	if st.SizeBytes() <= 0 && len(model) > 0 {
+		t.Error("SizeBytes not positive")
+	}
+}

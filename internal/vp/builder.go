@@ -1,0 +1,140 @@
+package vp
+
+import (
+	"sort"
+
+	"hexastore/internal/dictionary"
+	"hexastore/internal/idlist"
+	"hexastore/internal/rdf"
+)
+
+// Builder bulk-loads a COVP store, mirroring core.Builder: collect, sort,
+// construct every vector in final order.
+type Builder struct {
+	dict    *dictionary.Dictionary
+	withPOS bool
+	triples [][3]ID
+}
+
+// NewBuilder returns a bulk loader. withPOS selects COVP2 (true) or
+// COVP1 (false).
+func NewBuilder(dict *dictionary.Dictionary, withPOS bool) *Builder {
+	if dict == nil {
+		dict = dictionary.New()
+	}
+	return &Builder{dict: dict, withPOS: withPOS}
+}
+
+// Add records the triple ⟨s,p,o⟩ for loading.
+func (b *Builder) Add(s, p, o ID) {
+	if s == None || p == None || o == None {
+		return
+	}
+	b.triples = append(b.triples, [3]ID{s, p, o})
+}
+
+// AddTriple dictionary-encodes and records an rdf.Triple.
+func (b *Builder) AddTriple(t rdf.Triple) bool {
+	if !t.Valid() {
+		return false
+	}
+	s, p, o := b.dict.EncodeTriple(t)
+	b.Add(s, p, o)
+	return true
+}
+
+// Len returns the number of recorded triples (before deduplication).
+func (b *Builder) Len() int { return len(b.triples) }
+
+// Build constructs the store. The builder may be reused afterwards.
+func (b *Builder) Build() *Store {
+	var st *Store
+	if b.withPOS {
+		st = NewCOVP2(b.dict)
+	} else {
+		st = NewCOVP1(b.dict)
+	}
+	ts := make([][3]ID, len(b.triples))
+	copy(ts, b.triples)
+
+	// Sort by (p,s,o), dedupe, build pso.
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i][1] != ts[j][1] {
+			return ts[i][1] < ts[j][1]
+		}
+		if ts[i][0] != ts[j][0] {
+			return ts[i][0] < ts[j][0]
+		}
+		return ts[i][2] < ts[j][2]
+	})
+	ts = dedupe(ts)
+	st.size = len(ts)
+
+	i := 0
+	for i < len(ts) {
+		p, s := ts[i][1], ts[i][0]
+		j := i
+		for j < len(ts) && ts[j][1] == p && ts[j][0] == s {
+			j++
+		}
+		objs := make([]ID, 0, j-i)
+		for k := i; k < j; k++ {
+			objs = append(objs, ts[k][2])
+		}
+		pv := st.pso[p]
+		if pv == nil {
+			pv = &Vec{}
+			st.pso[p] = pv
+		}
+		pv.Append(s, idlist.FromSorted(objs))
+		i = j
+	}
+
+	if !b.withPOS {
+		return st
+	}
+	// Sort by (p,o,s), build pos.
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i][1] != ts[j][1] {
+			return ts[i][1] < ts[j][1]
+		}
+		if ts[i][2] != ts[j][2] {
+			return ts[i][2] < ts[j][2]
+		}
+		return ts[i][0] < ts[j][0]
+	})
+	i = 0
+	for i < len(ts) {
+		p, o := ts[i][1], ts[i][2]
+		j := i
+		for j < len(ts) && ts[j][1] == p && ts[j][2] == o {
+			j++
+		}
+		subjs := make([]ID, 0, j-i)
+		for k := i; k < j; k++ {
+			subjs = append(subjs, ts[k][0])
+		}
+		ov := st.pos[p]
+		if ov == nil {
+			ov = &Vec{}
+			st.pos[p] = ov
+		}
+		ov.Append(o, idlist.FromSorted(subjs))
+		i = j
+	}
+	return st
+}
+
+func dedupe(ts [][3]ID) [][3]ID {
+	if len(ts) < 2 {
+		return ts
+	}
+	w := 1
+	for r := 1; r < len(ts); r++ {
+		if ts[r] != ts[w-1] {
+			ts[w] = ts[r]
+			w++
+		}
+	}
+	return ts[:w]
+}

@@ -1,0 +1,51 @@
+package vp
+
+// Stats describes the physical size of a COVP store in index entries,
+// comparable with core.Stats for the Figure 15 memory experiment.
+type Stats struct {
+	Triples            int
+	Headers            int // property-table count per maintained index
+	VectorEntries      int // (key, list-pointer) pairs over pso (+pos)
+	ListEntries        int // ids in terminal lists over pso (+pos)
+	TripleTableEntries int // baseline: 3 cells per triple
+}
+
+// TotalEntries returns all resource-key slots the indices occupy.
+func (s Stats) TotalEntries() int { return s.Headers + s.VectorEntries + s.ListEntries }
+
+// ExpansionFactor returns TotalEntries over the triples-table entries.
+func (s Stats) ExpansionFactor() float64 {
+	if s.TripleTableEntries == 0 {
+		return 0
+	}
+	return float64(s.TotalEntries()) / float64(s.TripleTableEntries)
+}
+
+const entryBytes = 8
+
+// SizeBytes estimates index memory (excluding the dictionary).
+func (s Stats) SizeBytes() int64 { return int64(s.TotalEntries()) * entryBytes }
+
+// Stats computes the current sizes.
+func (st *Store) Stats() Stats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+
+	var out Stats
+	out.Triples = st.size
+	out.TripleTableEntries = st.size * 3
+	count := func(idx map[ID]*Vec) {
+		out.Headers += len(idx)
+		for _, vec := range idx {
+			out.VectorEntries += vec.Len()
+			for i := 0; i < vec.Len(); i++ {
+				out.ListEntries += vec.List(i).Len()
+			}
+		}
+	}
+	count(st.pso)
+	if st.pos != nil {
+		count(st.pos)
+	}
+	return out
+}

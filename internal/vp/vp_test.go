@@ -1,0 +1,187 @@
+package vp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestAddHasRemoveCOVP1(t *testing.T) {
+	st := NewCOVP1(nil)
+	if st.HasPOS() {
+		t.Fatal("COVP1 reports HasPOS")
+	}
+	if st.Name() != "covp1" {
+		t.Errorf("Name = %q", st.Name())
+	}
+	if !st.Add(1, 2, 3) || st.Add(1, 2, 3) {
+		t.Fatal("Add change reporting wrong")
+	}
+	if !st.Has(1, 2, 3) || st.Has(1, 2, 4) {
+		t.Fatal("Has wrong")
+	}
+	if !st.Remove(1, 2, 3) || st.Remove(1, 2, 3) {
+		t.Fatal("Remove change reporting wrong")
+	}
+	if st.Len() != 0 {
+		t.Errorf("Len = %d", st.Len())
+	}
+	if len(st.Properties()) != 0 {
+		t.Error("empty store still lists properties")
+	}
+}
+
+func TestAddRejectsNone(t *testing.T) {
+	st := NewCOVP2(nil)
+	if st.Add(None, 1, 2) || st.Add(1, None, 2) || st.Add(1, 2, None) {
+		t.Error("Add with None reported change")
+	}
+}
+
+func TestCOVP2MaintainsPOS(t *testing.T) {
+	st := NewCOVP2(nil)
+	if st.Name() != "covp2" {
+		t.Errorf("Name = %q", st.Name())
+	}
+	st.Add(1, 2, 3)
+	st.Add(4, 2, 3)
+	st.Add(5, 2, 6)
+
+	ov := st.ObjectVec(2)
+	if ov.Len() != 2 {
+		t.Fatalf("ObjectVec(2).Len = %d, want 2", ov.Len())
+	}
+	subjs, ok := ov.Find(3)
+	if !ok || !reflect.DeepEqual(subjs.IDs(), []ID{1, 4}) {
+		t.Errorf("pos subjects of object 3 = %v, want [1 4]", subjs.IDs())
+	}
+
+	st.Remove(1, 2, 3)
+	subjs, _ = ov.Find(3)
+	if !reflect.DeepEqual(subjs.IDs(), []ID{4}) {
+		t.Errorf("pos subjects after remove = %v, want [4]", subjs.IDs())
+	}
+	st.Remove(4, 2, 3)
+	if _, ok := st.ObjectVec(2).Find(3); ok {
+		t.Error("pos entry for object 3 survived full removal")
+	}
+}
+
+func TestObjectVecPanicsOnCOVP1(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ObjectVec on COVP1 did not panic")
+		}
+	}()
+	NewCOVP1(nil).ObjectVec(1)
+}
+
+func TestSubjectsByObjectBothPaths(t *testing.T) {
+	for _, withPOS := range []bool{false, true} {
+		var st *Store
+		if withPOS {
+			st = NewCOVP2(nil)
+		} else {
+			st = NewCOVP1(nil)
+		}
+		st.Add(1, 2, 3)
+		st.Add(4, 2, 3)
+		st.Add(5, 2, 6)
+		st.Add(1, 7, 3)
+
+		got := st.SubjectsByObject(2, 3)
+		if !reflect.DeepEqual(got.IDs(), []ID{1, 4}) {
+			t.Errorf("%s: SubjectsByObject(2,3) = %v, want [1 4]", st.Name(), got.IDs())
+		}
+		if st.SubjectsByObject(2, 99) != nil {
+			t.Errorf("%s: SubjectsByObject on absent object != nil", st.Name())
+		}
+		if st.SubjectsByObject(99, 3).Len() != 0 {
+			t.Errorf("%s: SubjectsByObject on absent property non-empty", st.Name())
+		}
+	}
+}
+
+func TestObjects(t *testing.T) {
+	st := NewCOVP1(nil)
+	st.Add(1, 2, 5)
+	st.Add(1, 2, 3)
+	if got := st.Objects(2, 1).IDs(); !reflect.DeepEqual(got, []ID{3, 5}) {
+		t.Errorf("Objects(2,1) = %v, want [3 5]", got)
+	}
+	if st.Objects(2, 9) != nil {
+		t.Error("Objects on absent subject != nil")
+	}
+}
+
+func TestBuilderMatchesIncremental(t *testing.T) {
+	for _, withPOS := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(17))
+		var inc *Store
+		if withPOS {
+			inc = NewCOVP2(nil)
+		} else {
+			inc = NewCOVP1(nil)
+		}
+		b := NewBuilder(inc.Dictionary(), withPOS)
+		for i := 0; i < 2000; i++ {
+			s := ID(rng.Intn(30) + 1)
+			p := ID(rng.Intn(8) + 1)
+			o := ID(rng.Intn(40) + 1)
+			inc.Add(s, p, o)
+			b.Add(s, p, o)
+		}
+		bulk := b.Build()
+		if inc.Len() != bulk.Len() {
+			t.Fatalf("%s: incremental Len=%d bulk Len=%d", inc.Name(), inc.Len(), bulk.Len())
+		}
+		if inc.Stats() != bulk.Stats() {
+			t.Errorf("%s: stats differ: %+v vs %+v", inc.Name(), inc.Stats(), bulk.Stats())
+		}
+		for _, p := range inc.Properties() {
+			iv, bv := inc.SubjectVec(p), bulk.SubjectVec(p)
+			if !reflect.DeepEqual(iv.Keys(), bv.Keys()) {
+				t.Fatalf("%s: property %d subject keys differ", inc.Name(), p)
+			}
+			for i := 0; i < iv.Len(); i++ {
+				if !reflect.DeepEqual(iv.List(i).IDs(), bv.List(i).IDs()) {
+					t.Fatalf("%s: property %d subject %d object lists differ", inc.Name(), p, iv.Key(i))
+				}
+			}
+		}
+	}
+}
+
+func TestCOVP2StatsLargerThanCOVP1(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b1 := NewBuilder(nil, false)
+	b2 := NewBuilder(b1.dict, true)
+	for i := 0; i < 500; i++ {
+		s, p, o := ID(rng.Intn(50)+1), ID(rng.Intn(5)+1), ID(rng.Intn(50)+1)
+		b1.Add(s, p, o)
+		b2.Add(s, p, o)
+	}
+	s1, s2 := b1.Build().Stats(), b2.Build().Stats()
+	if s2.TotalEntries() <= s1.TotalEntries() {
+		t.Errorf("COVP2 entries %d not larger than COVP1 %d", s2.TotalEntries(), s1.TotalEntries())
+	}
+	// COVP2 adds a second copy of each table clustered on object; the
+	// copy's vector/list split differs from pso's (distinct (p,o) pairs
+	// vs distinct (p,s) pairs), so the total is roughly — not exactly —
+	// double.
+	if s2.TotalEntries() > s1.TotalEntries()*5/2 {
+		t.Errorf("COVP2 entries %d exceed 2.5× COVP1 %d", s2.TotalEntries(), s1.TotalEntries())
+	}
+	if s1.ExpansionFactor() <= 0 || s2.SizeBytes() <= s1.SizeBytes() {
+		t.Error("stats accessors inconsistent")
+	}
+}
+
+func TestBuilderDedupes(t *testing.T) {
+	b := NewBuilder(nil, true)
+	b.Add(1, 2, 3)
+	b.Add(1, 2, 3)
+	if st := b.Build(); st.Len() != 1 {
+		t.Errorf("Len = %d, want 1", st.Len())
+	}
+}
