@@ -14,6 +14,7 @@ import (
 	"hexastore/internal/core"
 	"hexastore/internal/cracking"
 	"hexastore/internal/disk"
+	"hexastore/internal/graph"
 	"hexastore/internal/kowari"
 	"hexastore/internal/rdf"
 	"hexastore/internal/sparql"
@@ -205,11 +206,11 @@ func BenchmarkPlannerStatsVsGreedy(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	pl := sparql.NewPlanner(st)
+	pl := sparql.NewPlanner(graph.Memory(st))
 
 	b.Run("GreedyDefault", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := sparql.Eval(st, q); err != nil {
+			if _, err := sparql.Eval(graph.Memory(st), q); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -18,6 +18,7 @@ import (
 	"hexastore"
 	"hexastore/internal/barton"
 	"hexastore/internal/core"
+	"hexastore/internal/graph"
 	"hexastore/internal/idlist"
 	"hexastore/internal/lubm"
 	"hexastore/internal/queries"
@@ -417,7 +418,7 @@ func BenchmarkSPARQLJoin(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := sparql.Eval(s.Hexa, q); err != nil {
+		if _, err := sparql.Eval(graph.Memory(s.Hexa), q); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -138,7 +138,7 @@ func TestWriteTurtleFacadeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := hexastore.WriteTurtle(st, &sb, map[string]string{"ex": "http://ex/"}); err != nil {
+	if err := hexastore.WriteTurtle(hexastore.AsGraph(st), &sb, map[string]string{"ex": "http://ex/"}); err != nil {
 		t.Fatal(err)
 	}
 	st2, err := hexastore.LoadTurtle(strings.NewReader(sb.String()))

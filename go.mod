@@ -1,0 +1,3 @@
+module hexastore
+
+go 1.22

@@ -1,23 +1,38 @@
-// Package hexastore is a production-quality, in-memory RDF triple store
+// Package hexastore is a production-quality RDF triple store
 // implementing the sextuple-indexing architecture of Weiss, Karras and
 // Bernstein, "Hexastore: Sextuple Indexing for Semantic Web Data
-// Management" (VLDB 2008).
+// Management" (VLDB 2008), with interchangeable storage backends behind
+// one Graph interface.
 //
 // A Hexastore materializes all six orderings of the RDF triple elements
-// (spo, sop, pso, pos, osp, ops), sharing terminal lists between index
-// pairs so the worst-case space overhead over a plain triples table is
-// five-fold, not six-fold. In exchange, every statement pattern — with
-// any combination of bound subject, predicate and object — is answered
-// from a purpose-built index, and all first-step pairwise joins are
-// linear merge-joins over sorted vectors.
+// (spo, sop, pso, pos, osp, ops). The in-memory rendering shares
+// terminal lists between index pairs so the worst-case space overhead
+// over a plain triples table is five-fold, not six-fold; the disk
+// rendering keeps the six orderings as B+-trees in one pagefile (the
+// "fully operational disk-based Hexastore" of the paper's §7). In
+// exchange, every statement pattern — with any combination of bound
+// subject, predicate and object — is answered from a purpose-built
+// index.
 //
-// # Quick start
+// # Opening a store
 //
-//	st := hexastore.New()
-//	st.AddTriple(hexastore.T(
+// Open selects the backend with functional options and returns a handle
+// that the SPARQL query and update engines, the serializers, and the
+// HTTP server all accept:
+//
+//	db, _ := hexastore.Open()                          // in-memory Hexastore
+//	db, _ := hexastore.Open(hexastore.WithDisk(dir))   // disk-based Hexastore
+//	db, _ := hexastore.Open(hexastore.WithBaseline())  // flat triples table
+//	defer db.Close()
+//
+//	db.AddTriple(hexastore.T(
 //	    hexastore.IRI("alice"), hexastore.IRI("knows"), hexastore.IRI("bob")))
 //
-//	res, err := hexastore.Query(st, `SELECT ?who WHERE { <alice> <knows> ?who }`)
+//	res, _ := db.Query(`SELECT ?who WHERE { <alice> <knows> ?who }`)
+//	db.Update(`INSERT DATA { <alice> <knows> <carol> }`)
+//
+// The pre-Graph constructors New, NewBuilder and the package-level Query
+// remain as thin wrappers over the in-memory backend.
 //
 // Bulk loads should use NewBuilder (sort-once construction) or
 // LoadNTriples for N-Triples streams. See the examples directory for
@@ -26,19 +41,24 @@
 package hexastore
 
 import (
+	"errors"
 	"io"
+	"sync"
 
 	"hexastore/internal/core"
 	"hexastore/internal/dictionary"
+	"hexastore/internal/disk"
+	"hexastore/internal/graph"
 	"hexastore/internal/idlist"
 	"hexastore/internal/query"
 	"hexastore/internal/rdf"
 	"hexastore/internal/sparql"
+	"hexastore/internal/triplestore"
 )
 
 // Core data-model types.
 type (
-	// Store is the six-index Hexastore.
+	// Store is the six-index in-memory Hexastore.
 	Store = core.Store
 	// Builder bulk-loads a Store (sort-once, much faster than repeated Add).
 	Builder = core.Builder
@@ -58,7 +78,10 @@ type (
 	Term = rdf.Term
 	// Triple is one RDF statement.
 	Triple = rdf.Triple
-	// Engine evaluates patterns, joins and path expressions over a Store.
+	// Graph is the backend-neutral store interface all query layers
+	// accept; see package internal/graph.
+	Graph = graph.Graph
+	// Engine evaluates patterns, joins and path expressions over a Graph.
 	Engine = query.Engine
 	// Pattern is a triple pattern with None as the wildcard.
 	Pattern = query.Pattern
@@ -66,6 +89,8 @@ type (
 	Result = sparql.Result
 	// Row is one query solution.
 	Row = sparql.Row
+	// UpdateResult reports the effect of a SPARQL UPDATE request.
+	UpdateResult = sparql.UpdateResult
 )
 
 // None is the unbound/wildcard marker in patterns.
@@ -81,10 +106,171 @@ const (
 	OPS = core.OPS
 )
 
-// New returns an empty Hexastore with a fresh dictionary.
+// DB is a Graph-backed store handle returned by Open. It embeds the
+// backend Graph, so a *DB can be passed anywhere a Graph is accepted
+// (sparql.Exec, server.NewGraph, WriteNTriples, …) while adding
+// string-level conveniences and lifecycle management.
+//
+// The DB methods are safe to call concurrently with each other:
+// mutations (Update, AddTriple, RemoveTriple) are serialized against
+// queries and serializers, because query evaluation nests store read
+// locks and a writer arriving between two nested read locks would
+// deadlock both goroutines. Calling the embedded Graph's mutation
+// methods directly bypasses this guard; callers doing so must not
+// mutate while a query is streaming.
+type DB struct {
+	graph.Graph
+	closer io.Closer
+
+	// mu orders DB-level operations: queries and serializers share it,
+	// mutations take it exclusively.
+	mu sync.RWMutex
+}
+
+// Unwrap exposes the concrete store behind the handle, so the planner
+// and server keep their in-memory fast paths when handed a *DB.
+func (db *DB) Unwrap() any { return graph.Unwrap(db.Graph) }
+
+// options collects the Open configuration.
+type options struct {
+	dir       string
+	cacheSize int
+	dict      *dictionary.Dictionary
+	baseline  bool
+}
+
+// Option configures Open.
+type Option func(*options)
+
+// WithDisk selects the disk-based Hexastore rooted at dir. A store
+// already present in dir is opened; otherwise a new one is created.
+func WithDisk(dir string) Option { return func(o *options) { o.dir = dir } }
+
+// WithDiskCache sets the disk backend's buffer pool capacity in pages
+// (0 = pagefile default). It has no effect on in-memory backends.
+func WithDiskCache(pages int) Option { return func(o *options) { o.cacheSize = pages } }
+
+// WithDictionary makes an in-memory backend share dict, so several
+// stores can be compared on identical ids. The disk backend persists
+// its own dictionary and rejects this option.
+func WithDictionary(d *Dictionary) Option { return func(o *options) { o.dict = d } }
+
+// WithBaseline selects the unindexed triples-table baseline — the
+// "conventional solution" the paper argues against, useful as a
+// differential-testing reference.
+func WithBaseline() Option { return func(o *options) { o.baseline = true } }
+
+// Open returns a Graph-backed store handle. With no options it opens an
+// empty in-memory Hexastore; see WithDisk, WithBaseline, WithDictionary
+// and WithDiskCache.
+func Open(opts ...Option) (*DB, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	switch {
+	case o.dir != "" && o.baseline:
+		return nil, errors.New("hexastore: WithDisk and WithBaseline are mutually exclusive")
+	case o.dir != "":
+		if o.dict != nil {
+			return nil, errors.New("hexastore: WithDictionary is not supported for disk stores (the dictionary is persisted with the store)")
+		}
+		var (
+			st  *disk.Store
+			err error
+		)
+		if disk.Exists(o.dir) {
+			st, err = disk.Open(o.dir, disk.Options{CacheSize: o.cacheSize})
+		} else {
+			st, err = disk.Create(o.dir, disk.Options{CacheSize: o.cacheSize})
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &DB{Graph: graph.Disk(st), closer: st}, nil
+	case o.baseline:
+		return &DB{Graph: graph.Baseline(triplestore.New(o.dict))}, nil
+	default:
+		var st *core.Store
+		if o.dict != nil {
+			st = core.NewShared(o.dict)
+		} else {
+			st = core.New()
+		}
+		return &DB{Graph: graph.Memory(st)}, nil
+	}
+}
+
+// Close flushes and releases the backend. In-memory backends are a
+// no-op.
+func (db *DB) Close() error {
+	if db.closer != nil {
+		return db.closer.Close()
+	}
+	return nil
+}
+
+// Flush persists buffered state on durable backends; a no-op otherwise.
+func (db *DB) Flush() error { return graph.Flush(db.Graph) }
+
+// AddTriple dictionary-encodes and inserts a triple.
+func (db *DB) AddTriple(t Triple) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return graph.AddTriple(db.Graph, t)
+}
+
+// RemoveTriple deletes a triple.
+func (db *DB) RemoveTriple(t Triple) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return graph.RemoveTriple(db.Graph, t)
+}
+
+// HasTriple reports whether a triple is present.
+func (db *DB) HasTriple(t Triple) (bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return graph.HasTriple(db.Graph, t)
+}
+
+// Query parses and evaluates a SPARQL-subset SELECT/ASK query.
+func (db *DB) Query(src string) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return sparql.Exec(db.Graph, src)
+}
+
+// Update parses and applies a SPARQL UPDATE request (INSERT DATA /
+// DELETE DATA) and flushes durable backends.
+func (db *DB) Update(src string) (*UpdateResult, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	res, err := sparql.ExecUpdate(db.Graph, src)
+	if err != nil {
+		return res, err
+	}
+	return res, db.Flush()
+}
+
+// WriteNTriples serializes the store to w in N-Triples syntax.
+func (db *DB) WriteNTriples(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return WriteNTriples(db.Graph, w)
+}
+
+// WriteTurtle serializes the store to w in Turtle syntax.
+func (db *DB) WriteTurtle(w io.Writer, prefixes map[string]string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return WriteTurtle(db.Graph, w, prefixes)
+}
+
+// New returns an empty in-memory Hexastore with a fresh dictionary.
 func New() *Store { return core.New() }
 
-// NewWithDictionary returns an empty Hexastore sharing dict.
+// NewWithDictionary returns an empty in-memory Hexastore sharing dict.
 func NewWithDictionary(dict *Dictionary) *Store { return core.NewShared(dict) }
 
 // NewDictionary returns an empty term dictionary.
@@ -94,8 +280,14 @@ func NewDictionary() *Dictionary { return dictionary.New() }
 // (pass nil for a fresh dictionary).
 func NewBuilder(dict *Dictionary) *Builder { return core.NewBuilder(dict) }
 
-// NewEngine returns a query engine over st.
+// AsGraph adapts an in-memory Store to the Graph interface.
+func AsGraph(st *Store) Graph { return graph.Memory(st) }
+
+// NewEngine returns a query engine over the in-memory store st.
 func NewEngine(st *Store) *Engine { return query.NewEngine(st) }
+
+// NewGraphEngine returns a query engine over any Graph backend.
+func NewGraphEngine(g Graph) *Engine { return query.NewGraphEngine(g) }
 
 // IRI returns an IRI term.
 func IRI(iri string) Term { return rdf.NewIRI(iri) }
@@ -128,11 +320,11 @@ func LoadNTriples(r io.Reader) (*Store, error) {
 	}
 }
 
-// WriteNTriples serializes every triple of st to w in N-Triples syntax.
-func WriteNTriples(st *Store, w io.Writer) error {
+// WriteNTriples serializes every triple of g to w in N-Triples syntax.
+func WriteNTriples(g Graph, w io.Writer) error {
 	nw := rdf.NewWriter(w)
 	var werr error
-	if err := st.DecodeMatch(None, None, None, func(t Triple) bool {
+	if err := graph.DecodeMatch(g, None, None, None, func(t Triple) bool {
 		werr = nw.Write(t)
 		return werr == nil
 	}); err != nil {
@@ -144,18 +336,31 @@ func WriteNTriples(st *Store, w io.Writer) error {
 	return nw.Flush()
 }
 
-// Query parses and evaluates a SPARQL-subset SELECT query against st.
-// See package sparql for the supported grammar (PREFIX, FILTER,
-// OPTIONAL, UNION, ORDER BY, LIMIT, OFFSET).
-func Query(st *Store, src string) (*Result, error) { return sparql.Exec(st, src) }
+// Query parses and evaluates a SPARQL-subset SELECT query against the
+// in-memory store st. See package sparql for the supported grammar
+// (PREFIX, FILTER, OPTIONAL, UNION, ORDER BY, LIMIT, OFFSET). For other
+// backends use QueryGraph or a DB handle from Open.
+func Query(st *Store, src string) (*Result, error) { return sparql.Exec(graph.Memory(st), src) }
+
+// QueryGraph parses and evaluates a SPARQL-subset SELECT/ASK query
+// against any Graph backend.
+func QueryGraph(g Graph, src string) (*Result, error) { return sparql.Exec(g, src) }
+
+// Update parses and applies a SPARQL UPDATE request (INSERT DATA /
+// DELETE DATA) against any Graph backend.
+func Update(g Graph, src string) (*UpdateResult, error) { return sparql.ExecUpdate(g, src) }
 
 // Planner evaluates queries with cost-based pattern ordering driven by
 // dataset statistics. Build one per store and reuse it across queries.
 type Planner = sparql.Planner
 
-// NewPlanner builds dataset statistics for st and returns a cost-based
-// query planner.
-func NewPlanner(st *Store) *Planner { return sparql.NewPlanner(st) }
+// NewPlanner builds dataset statistics for the in-memory store st and
+// returns a cost-based query planner.
+func NewPlanner(st *Store) *Planner { return sparql.NewPlanner(graph.Memory(st)) }
+
+// NewGraphPlanner builds dataset statistics for any Graph backend and
+// returns a cost-based query planner.
+func NewGraphPlanner(g Graph) *Planner { return sparql.NewPlanner(g) }
 
 // LoadTurtle bulk-loads a Turtle stream into a new Store. The supported
 // Turtle subset covers @prefix/@base, prefixed names, 'a', predicate and
@@ -178,12 +383,12 @@ func LoadTurtle(r io.Reader) (*Store, error) {
 // ParseTurtle parses a complete Turtle document.
 func ParseTurtle(src string) ([]Triple, error) { return rdf.ParseTurtle(src) }
 
-// WriteTurtle serializes every triple of st to w in Turtle syntax,
+// WriteTurtle serializes every triple of g to w in Turtle syntax,
 // compacting IRIs against the given prefix map and grouping triples by
 // subject (the spo iteration order makes the grouping maximal).
-func WriteTurtle(st *Store, w io.Writer, prefixes map[string]string) error {
+func WriteTurtle(g Graph, w io.Writer, prefixes map[string]string) error {
 	var triples []Triple
-	if err := st.DecodeMatch(None, None, None, func(t Triple) bool {
+	if err := graph.DecodeMatch(g, None, None, None, func(t Triple) bool {
 		triples = append(triples, t)
 		return true
 	}); err != nil {

@@ -34,7 +34,7 @@ func TestLoadAndWriteNTriples(t *testing.T) {
 		t.Fatalf("Len = %d, want 2", st.Len())
 	}
 	var buf bytes.Buffer
-	if err := hexastore.WriteNTriples(st, &buf); err != nil {
+	if err := hexastore.WriteNTriples(hexastore.AsGraph(st), &buf); err != nil {
 		t.Fatal(err)
 	}
 	st2, err := hexastore.LoadNTriples(&buf)
@@ -76,8 +76,8 @@ func TestFacadeEngineAndPatterns(t *testing.T) {
 
 	eng := hexastore.NewEngine(st)
 	s, _ := st.Dictionary().Lookup(hexastore.IRI("s"))
-	if got := eng.Count(hexastore.Pattern{S: s}); got != 2 {
-		t.Errorf("Count(s bound) = %d, want 2", got)
+	if got, err := eng.Count(hexastore.Pattern{S: s}); err != nil || got != 2 {
+		t.Errorf("Count(s bound) = %d, %v, want 2", got, err)
 	}
 
 	stats := st.Stats()

@@ -63,6 +63,12 @@ type Store struct {
 	persistedTerms int
 }
 
+// Exists reports whether dir already contains a disk Hexastore.
+func Exists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, storeFile))
+	return err == nil
+}
+
 // Create initializes a new disk Hexastore in dir, which must exist (or be
 // creatable) and not already contain a store.
 func Create(dir string, opts Options) (*Store, error) {

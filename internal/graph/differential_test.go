@@ -1,0 +1,270 @@
+package graph_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"hexastore/internal/core"
+	"hexastore/internal/disk"
+	"hexastore/internal/graph"
+	"hexastore/internal/rdf"
+	"hexastore/internal/sparql"
+	"hexastore/internal/triplestore"
+)
+
+// backends returns one Graph per storage engine, each loaded with the
+// same triples. The baseline triples table is the trivially-correct
+// reference; memory and disk must agree with it.
+func backends(t *testing.T, triples []rdf.Triple) map[string]graph.Graph {
+	t.Helper()
+	ds, err := disk.Create(t.TempDir(), disk.Options{CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ds.Close() })
+	gs := map[string]graph.Graph{
+		"memory":   graph.Memory(core.New()),
+		"disk":     graph.Disk(ds),
+		"baseline": graph.Baseline(triplestore.New(nil)),
+	}
+	for name, g := range gs {
+		for _, tr := range triples {
+			if _, err := graph.AddTriple(g, tr); err != nil {
+				t.Fatalf("%s: AddTriple(%v): %v", name, tr, err)
+			}
+		}
+	}
+	return gs
+}
+
+func ex(local string) rdf.Term { return rdf.NewIRI("http://ex/" + local) }
+
+func sampleTriples() []rdf.Triple {
+	return []rdf.Triple{
+		rdf.T(ex("alice"), ex("knows"), ex("bob")),
+		rdf.T(ex("alice"), ex("knows"), ex("carol")),
+		rdf.T(ex("bob"), ex("knows"), ex("carol")),
+		rdf.T(ex("carol"), ex("knows"), ex("dave")),
+		rdf.T(ex("alice"), ex("age"), rdf.NewLiteral("42")),
+		rdf.T(ex("bob"), ex("age"), rdf.NewLiteral("7")),
+		rdf.T(ex("carol"), ex("age"), rdf.NewLiteral("30")),
+		rdf.T(ex("alice"), ex("type"), ex("Person")),
+		rdf.T(ex("bob"), ex("type"), ex("Person")),
+		rdf.T(ex("carol"), ex("type"), ex("Robot")),
+	}
+}
+
+// canon renders a result set in a backend-independent canonical form.
+func canon(res *sparql.Result) string {
+	if res.IsAsk {
+		return fmt.Sprintf("ask:%v", res.Answer)
+	}
+	vars := append([]string(nil), res.Vars...)
+	sort.Strings(vars)
+	lines := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		var sb strings.Builder
+		for _, v := range vars {
+			if term, ok := row[v]; ok {
+				fmt.Fprintf(&sb, "%s=%s;", v, term)
+			} else {
+				fmt.Fprintf(&sb, "%s=<unbound>;", v)
+			}
+		}
+		lines = append(lines, sb.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestDifferentialSelectAsk runs the same SPARQL queries through
+// sparql.Exec over every backend and requires identical solution sets.
+func TestDifferentialSelectAsk(t *testing.T) {
+	queries := []string{
+		`PREFIX ex: <http://ex/> SELECT ?who WHERE { ex:alice ex:knows ?who }`,
+		`PREFIX ex: <http://ex/> SELECT ?x ?z WHERE { ?x ex:knows ?y . ?y ex:knows ?z }`,
+		`PREFIX ex: <http://ex/> SELECT DISTINCT ?s WHERE { ?s ?p ?o }`,
+		`PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:age ?a . FILTER (?a > 18) }`,
+		`PREFIX ex: <http://ex/> SELECT ?s ?a WHERE { ?s ex:type ex:Person . OPTIONAL { ?s ex:age ?a } }`,
+		`PREFIX ex: <http://ex/> SELECT ?s WHERE { { ?s ex:type ex:Robot } UNION { ?s ex:age "7" } }`,
+		`PREFIX ex: <http://ex/> SELECT ?p (COUNT(?s) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY ?p`,
+		`PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:knows ?o } ORDER BY ?s LIMIT 2`,
+		`PREFIX ex: <http://ex/> ASK { ex:alice ex:knows ex:bob }`,
+		`PREFIX ex: <http://ex/> ASK { ex:dave ex:knows ex:alice }`,
+	}
+	gs := backends(t, sampleTriples())
+	for _, src := range queries {
+		want := ""
+		for _, name := range []string{"baseline", "memory", "disk"} {
+			res, err := sparql.Exec(gs[name], src)
+			if err != nil {
+				t.Fatalf("%s: Exec(%q): %v", name, src, err)
+			}
+			got := canon(res)
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("%s differs on %q:\n got:\n%s\nwant:\n%s", name, src, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialPlanner checks the cost-based planner agrees with the
+// default evaluator on every backend.
+func TestDifferentialPlanner(t *testing.T) {
+	src := `PREFIX ex: <http://ex/> SELECT ?x ?z WHERE { ?x ex:knows ?y . ?y ex:knows ?z . ?x ex:age ?a }`
+	gs := backends(t, sampleTriples())
+	want := ""
+	for _, name := range []string{"baseline", "memory", "disk"} {
+		res, err := sparql.NewPlanner(gs[name]).Exec(src)
+		if err != nil {
+			t.Fatalf("%s: planner Exec: %v", name, err)
+		}
+		got := canon(res)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("%s planner differs:\n got:\n%s\nwant:\n%s", name, got, want)
+		}
+	}
+}
+
+// TestDifferentialUpdate applies the same UPDATE sequence to every
+// backend and requires identical visible state after every step.
+func TestDifferentialUpdate(t *testing.T) {
+	steps := []struct {
+		update string
+		check  string
+	}{
+		{
+			`PREFIX ex: <http://ex/> INSERT DATA { ex:dave ex:knows ex:alice . ex:dave ex:age "19" }`,
+			`PREFIX ex: <http://ex/> SELECT ?who WHERE { ex:dave ex:knows ?who }`,
+		},
+		{
+			// Re-inserting an existing triple must be a no-op everywhere.
+			`PREFIX ex: <http://ex/> INSERT DATA { ex:dave ex:knows ex:alice }`,
+			`PREFIX ex: <http://ex/> SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }`,
+		},
+		{
+			`PREFIX ex: <http://ex/> DELETE DATA { ex:alice ex:knows ex:bob . ex:missing ex:p ex:o }`,
+			`PREFIX ex: <http://ex/> SELECT ?who WHERE { ex:alice ex:knows ?who }`,
+		},
+		{
+			// Multi-operation request with ';' separators.
+			`PREFIX ex: <http://ex/> INSERT DATA { ex:eve ex:type ex:Person } ;
+			 DELETE DATA { ex:carol ex:knows ex:dave } ;`,
+			`PREFIX ex: <http://ex/> SELECT ?s WHERE { { ?s ex:type ex:Person } UNION { ?s ex:knows ?o } }`,
+		},
+	}
+	gs := backends(t, sampleTriples())
+	for i, step := range steps {
+		var wantUpd *sparql.UpdateResult
+		want := ""
+		for _, name := range []string{"baseline", "memory", "disk"} {
+			upd, err := sparql.ExecUpdate(gs[name], step.update)
+			if err != nil {
+				t.Fatalf("step %d %s: ExecUpdate: %v", i, name, err)
+			}
+			res, err := sparql.Exec(gs[name], step.check)
+			if err != nil {
+				t.Fatalf("step %d %s: Exec: %v", i, name, err)
+			}
+			got := canon(res)
+			if want == "" {
+				wantUpd, want = upd, got
+				continue
+			}
+			if *upd != *wantUpd {
+				t.Errorf("step %d %s: update result %+v, want %+v", i, name, upd, wantUpd)
+			}
+			if got != want {
+				t.Errorf("step %d %s differs:\n got:\n%s\nwant:\n%s", i, name, got, want)
+			}
+		}
+	}
+	// All backends must also agree on the final triple count.
+	n := gs["baseline"].Len()
+	for name, g := range gs {
+		if g.Len() != n {
+			t.Errorf("%s: Len = %d, want %d", name, g.Len(), n)
+		}
+	}
+}
+
+// TestGraphPrimitives exercises the interface methods directly on every
+// backend.
+func TestGraphPrimitives(t *testing.T) {
+	gs := backends(t, sampleTriples())
+	for name, g := range gs {
+		tr := rdf.T(ex("alice"), ex("knows"), ex("bob"))
+		ok, err := graph.HasTriple(g, tr)
+		if err != nil || !ok {
+			t.Fatalf("%s: HasTriple = %v, %v", name, ok, err)
+		}
+		changed, err := graph.RemoveTriple(g, tr)
+		if err != nil || !changed {
+			t.Fatalf("%s: RemoveTriple = %v, %v", name, changed, err)
+		}
+		if g.Len() != len(sampleTriples())-1 {
+			t.Fatalf("%s: Len after remove = %d", name, g.Len())
+		}
+		n, err := g.Count(graph.None, graph.None, graph.None)
+		if err != nil || n != g.Len() {
+			t.Fatalf("%s: Count(*) = %d, %v", name, n, err)
+		}
+		if _, err := graph.AddTriple(g, tr); err != nil {
+			t.Fatal(err)
+		}
+		// DecodeMatch round-trips terms through the dictionary.
+		seen := 0
+		if err := graph.DecodeMatch(g, graph.None, graph.None, graph.None, func(rdf.Triple) bool {
+			seen++
+			return true
+		}); err != nil {
+			t.Fatalf("%s: DecodeMatch: %v", name, err)
+		}
+		if seen != g.Len() {
+			t.Fatalf("%s: DecodeMatch saw %d of %d", name, seen, g.Len())
+		}
+	}
+}
+
+// TestDiskGraphPersistsUpdates ensures UPDATEs applied through the Graph
+// interface survive a close/reopen cycle of the disk backend.
+func TestDiskGraphPersistsUpdates(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := disk.Create(dir, disk.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Disk(ds)
+	if _, err := sparql.ExecUpdate(g, `PREFIX ex: <http://ex/> INSERT DATA { ex:a ex:p ex:b }`); err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.Flush(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ds2, err := disk.Open(dir, disk.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	res, err := sparql.Exec(graph.Disk(ds2), `PREFIX ex: <http://ex/> SELECT ?o WHERE { ex:a ex:p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0]["o"].Value != "http://ex/b" {
+		t.Fatalf("rows after reopen = %v", res.Rows)
+	}
+}

@@ -1,0 +1,196 @@
+// Package graph defines the backend-neutral Graph interface that the
+// query, sparql and server layers are written against, together with
+// adapters for the repository's three storage engines:
+//
+//   - the in-memory sextuple-indexed core.Store (Memory),
+//   - the B-tree-paged disk.Store (Disk), and
+//   - the flat-table triplestore.Store baseline (Baseline).
+//
+// Every method that can touch fallible storage is error-returning, so
+// disk-backed (and, later, remote or sharded) implementations fit the
+// same interface as the in-memory stores. The in-memory adapters simply
+// return nil errors.
+//
+// The interface is intentionally small — dictionary access plus the
+// five primitive triple operations. Everything else (SPARQL evaluation,
+// path expressions, serialization, HTTP serving) is built on top of it,
+// which is what makes new backends cheap: implement these seven methods
+// and the whole upper half of the system works unchanged.
+package graph
+
+import (
+	"hexastore/internal/core"
+	"hexastore/internal/dictionary"
+	"hexastore/internal/disk"
+	"hexastore/internal/rdf"
+	"hexastore/internal/triplestore"
+)
+
+// ID is a dictionary-encoded resource identifier.
+type ID = dictionary.ID
+
+// None is the wildcard / unbound marker in pattern lookups.
+const None = dictionary.None
+
+// Graph is a mutable, pattern-matchable RDF graph. Implementations must
+// be safe for concurrent use (all three built-in backends are).
+//
+// Match streams every triple matching the pattern ⟨s,p,o⟩, where None in
+// any position is a wildcard; iteration stops early when fn returns
+// false. Add and Remove report whether the graph changed.
+type Graph interface {
+	// Dictionary returns the term dictionary the graph encodes ids with.
+	Dictionary() *dictionary.Dictionary
+	// Len returns the number of distinct triples.
+	Len() int
+	// Add inserts the triple ⟨s,p,o⟩.
+	Add(s, p, o ID) (bool, error)
+	// Remove deletes the triple ⟨s,p,o⟩.
+	Remove(s, p, o ID) (bool, error)
+	// Has reports whether the triple ⟨s,p,o⟩ is present.
+	Has(s, p, o ID) (bool, error)
+	// Match streams matching triples to fn (None = wildcard).
+	Match(s, p, o ID, fn func(s, p, o ID) bool) error
+	// Count returns the number of triples matching the pattern.
+	Count(s, p, o ID) (int, error)
+}
+
+// Flusher is implemented by graphs with buffered durable state (the disk
+// backend). Callers that mutate a graph should flush it if supported;
+// see Flush.
+type Flusher interface {
+	Flush() error
+}
+
+// memBackend is the common method shape of the error-free in-memory
+// stores (core.Store and triplestore.Store).
+type memBackend interface {
+	Dictionary() *dictionary.Dictionary
+	Len() int
+	Add(s, p, o ID) bool
+	Remove(s, p, o ID) bool
+	Has(s, p, o ID) bool
+	Match(s, p, o ID, fn func(s, p, o ID) bool)
+	Count(s, p, o ID) int
+}
+
+// memGraph adapts an in-memory store to the error-returning Graph shape.
+type memGraph struct{ st memBackend }
+
+// Memory adapts the in-memory Hexastore to the Graph interface.
+func Memory(st *core.Store) Graph { return memGraph{st: st} }
+
+// Baseline adapts the flat triples-table baseline to the Graph interface.
+func Baseline(st *triplestore.Store) Graph { return memGraph{st: st} }
+
+// Disk adapts the disk-based Hexastore to the Graph interface. The disk
+// store's own methods already have the error-returning shape, so the
+// adapter is the store itself.
+func Disk(st *disk.Store) Graph { return st }
+
+func (g memGraph) Dictionary() *dictionary.Dictionary { return g.st.Dictionary() }
+func (g memGraph) Len() int                           { return g.st.Len() }
+
+func (g memGraph) Add(s, p, o ID) (bool, error)    { return g.st.Add(s, p, o), nil }
+func (g memGraph) Remove(s, p, o ID) (bool, error) { return g.st.Remove(s, p, o), nil }
+func (g memGraph) Has(s, p, o ID) (bool, error)    { return g.st.Has(s, p, o), nil }
+
+func (g memGraph) Match(s, p, o ID, fn func(s, p, o ID) bool) error {
+	g.st.Match(s, p, o, fn)
+	return nil
+}
+
+func (g memGraph) Count(s, p, o ID) (int, error) { return g.st.Count(s, p, o), nil }
+
+// Unwrap exposes the concrete store behind the adapter, so planners can
+// detect index-aware backends (see Unwrap).
+func (g memGraph) Unwrap() any { return g.st }
+
+// Unwrap returns the concrete backend underlying g: the *core.Store or
+// *triplestore.Store behind an in-memory adapter, or g itself when the
+// graph is not a wrapper (e.g. a *disk.Store). Layers use it to pick
+// backend-specific fast paths:
+//
+//	if st, ok := graph.Unwrap(g).(*core.Store); ok { … vector-level access … }
+func Unwrap(g Graph) any {
+	if u, ok := g.(interface{ Unwrap() any }); ok {
+		return u.Unwrap()
+	}
+	return g
+}
+
+// Flush persists any buffered state of g, when the backend supports it.
+// In-memory graphs are a no-op.
+func Flush(g Graph) error {
+	if f, ok := g.(Flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// AddTriple dictionary-encodes and inserts an rdf.Triple. Invalid
+// triples are rejected without touching the dictionary.
+func AddTriple(g Graph, t rdf.Triple) (bool, error) {
+	if !t.Valid() {
+		return false, nil
+	}
+	s, p, o := g.Dictionary().EncodeTriple(t)
+	return g.Add(s, p, o)
+}
+
+// RemoveTriple deletes an rdf.Triple. A triple with a term absent from
+// the dictionary cannot be present, so it is reported unchanged without
+// growing the dictionary.
+func RemoveTriple(g Graph, t rdf.Triple) (bool, error) {
+	dict := g.Dictionary()
+	s, ok := dict.Lookup(t.Subject)
+	if !ok {
+		return false, nil
+	}
+	p, ok := dict.Lookup(t.Predicate)
+	if !ok {
+		return false, nil
+	}
+	o, ok := dict.Lookup(t.Object)
+	if !ok {
+		return false, nil
+	}
+	return g.Remove(s, p, o)
+}
+
+// HasTriple reports whether an rdf.Triple is present.
+func HasTriple(g Graph, t rdf.Triple) (bool, error) {
+	dict := g.Dictionary()
+	s, ok := dict.Lookup(t.Subject)
+	if !ok {
+		return false, nil
+	}
+	p, ok := dict.Lookup(t.Predicate)
+	if !ok {
+		return false, nil
+	}
+	o, ok := dict.Lookup(t.Object)
+	if !ok {
+		return false, nil
+	}
+	return g.Has(s, p, o)
+}
+
+// DecodeMatch is Match with the results decoded back to rdf.Triples, for
+// presentation layers and serializers.
+func DecodeMatch(g Graph, s, p, o ID, fn func(rdf.Triple) bool) error {
+	dict := g.Dictionary()
+	var decodeErr error
+	err := g.Match(s, p, o, func(s, p, o ID) bool {
+		t, derr := dict.DecodeTriple(s, p, o)
+		if derr != nil {
+			decodeErr = derr
+			return false
+		}
+		return fn(t)
+	})
+	if err != nil {
+		return err
+	}
+	return decodeErr
+}

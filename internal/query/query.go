@@ -3,11 +3,16 @@
 // expression evaluation (§4.3).
 //
 // The package works on dictionary-encoded IDs; string-level querying is
-// provided by package sparql on top of this one.
+// provided by package sparql on top of this one. An Engine evaluates
+// against any graph.Graph backend; when the backend is the in-memory
+// sextuple-indexed core.Store, the engine additionally uses vector-level
+// index access for constant-time selectivity estimates and the paper's
+// merge-join path algorithms.
 package query
 
 import (
 	"hexastore/internal/core"
+	"hexastore/internal/graph"
 	"hexastore/internal/idlist"
 )
 
@@ -37,33 +42,61 @@ func (p Pattern) Bound() int {
 	return n
 }
 
-// Engine evaluates queries against a Hexastore.
+// Engine evaluates queries against a Graph backend.
 type Engine struct {
+	g graph.Graph
+	// store is the in-memory Hexastore behind g, when there is one; it
+	// enables exact selectivity estimates and vector-level merge joins.
 	store *core.Store
 }
 
-// NewEngine returns an engine over st.
-func NewEngine(st *core.Store) *Engine { return &Engine{store: st} }
+// NewEngine returns an engine over the in-memory store st.
+func NewEngine(st *core.Store) *Engine {
+	return &Engine{g: graph.Memory(st), store: st}
+}
 
-// Store returns the underlying Hexastore.
+// NewGraphEngine returns an engine over any Graph backend. Index-aware
+// fast paths activate automatically when g is backed by a core.Store.
+func NewGraphEngine(g graph.Graph) *Engine {
+	e := &Engine{g: g}
+	if st, ok := graph.Unwrap(g).(*core.Store); ok {
+		e.store = st
+	}
+	return e
+}
+
+// Store returns the in-memory Hexastore behind the engine, or nil when
+// the engine runs over a different backend.
 func (e *Engine) Store() *core.Store { return e.store }
 
+// Graph returns the backend the engine evaluates against.
+func (e *Engine) Graph() graph.Graph { return e.g }
+
 // Match streams the triples matching pat.
-func (e *Engine) Match(pat Pattern, fn func(s, p, o ID) bool) {
-	e.store.Match(pat.S, pat.P, pat.O, fn)
+func (e *Engine) Match(pat Pattern, fn func(s, p, o ID) bool) error {
+	return e.g.Match(pat.S, pat.P, pat.O, fn)
 }
 
 // Count returns the number of triples matching pat.
-func (e *Engine) Count(pat Pattern) int {
-	return e.store.Count(pat.S, pat.P, pat.O)
+func (e *Engine) Count(pat Pattern) (int, error) {
+	return e.g.Count(pat.S, pat.P, pat.O)
 }
 
-// Selectivity estimates the result cardinality of pat without scanning:
-// exact for 2–3 bound positions (terminal-list lengths), vector length ×
-// average for 1 bound, store size for 0 bound. Used by the sparql
-// planner to order patterns.
+// Selectivity estimates the result cardinality of pat. On a memory
+// backend it never scans: exact for 2–3 bound positions (terminal-list
+// lengths), vector length × average for 1 bound, store size for 0
+// bound. Other backends answer with an exact Count (a prefix scan);
+// backend errors degrade to 0. Used by the sparql planner to order
+// patterns.
 func (e *Engine) Selectivity(pat Pattern) int {
 	st := e.store
+	if st == nil {
+		n, err := e.g.Count(pat.S, pat.P, pat.O)
+		if err != nil {
+			return 0
+		}
+		return n
+	}
 	switch {
 	case pat.S != None && pat.P != None && pat.O != None:
 		if st.Has(pat.S, pat.P, pat.O) {
@@ -100,29 +133,52 @@ func vecCardinality(v *core.Vec) int {
 // property — to both o1 and o2. This is the paper's §4.2 showcase
 // ("reduction of unions and joins"): the Hexastore answers it by linearly
 // merge-joining the two subject vectors in osp indexing, where
-// property-oriented schemes must union over every property table.
+// property-oriented schemes must union over every property table. Other
+// backends collect the two subject sets by pattern matching; a backend
+// error truncates the result.
 func (e *Engine) SubjectsRelatedToBothObjects(o1, o2 ID) *idlist.List {
-	v1 := e.store.Head(core.OSP, o1)
-	v2 := e.store.Head(core.OSP, o2)
-	if v1.Len() == 0 || v2.Len() == 0 {
-		return &idlist.List{}
+	if e.store != nil {
+		v1 := e.store.Head(core.OSP, o1)
+		v2 := e.store.Head(core.OSP, o2)
+		if v1.Len() == 0 || v2.Len() == 0 {
+			return &idlist.List{}
+		}
+		return idlist.Intersect(v1.KeyList(), v2.KeyList())
 	}
-	return idlist.Intersect(v1.KeyList(), v2.KeyList())
+	return idlist.Intersect(e.subjectsOf(o1), e.subjectsOf(o2))
+}
+
+// subjectsOf returns the distinct subjects related to object o.
+func (e *Engine) subjectsOf(o ID) *idlist.List {
+	var b idlist.Builder
+	e.g.Match(None, None, o, func(s, _, _ ID) bool {
+		b.Add(s)
+		return true
+	})
+	return b.Finish()
 }
 
 // RelatedResources returns every (property, subject) pair pointing at
 // object o — "a list of subjects or properties related to a given
 // object", the functionality §3 argues no prior scheme provides
-// directly. The ops index supplies it as a single vector walk.
+// directly. The ops index supplies it as a single vector walk on the
+// memory backend; other backends stream the same pairs in their own
+// index order.
 func (e *Engine) RelatedResources(o ID, fn func(p, s ID) bool) {
-	stop := false
-	e.store.Head(core.OPS, o).Range(func(p ID, subjs *idlist.List) bool {
-		subjs.Range(func(s ID) bool {
-			if !fn(p, s) {
-				stop = true
-			}
+	if e.store != nil {
+		stop := false
+		e.store.Head(core.OPS, o).Range(func(p ID, subjs *idlist.List) bool {
+			subjs.Range(func(s ID) bool {
+				if !fn(p, s) {
+					stop = true
+				}
+				return !stop
+			})
 			return !stop
 		})
-		return !stop
+		return
+	}
+	e.g.Match(None, None, o, func(s, p, _ ID) bool {
+		return fn(p, s)
 	})
 }

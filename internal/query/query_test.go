@@ -72,7 +72,11 @@ func TestSelectivityMatchesCount(t *testing.T) {
 		for p := ID(0); p <= 12; p++ {
 			for o := ID(0); o <= 102; o++ {
 				pat := Pattern{S: s, P: p, O: o}
-				if got, want := e.Selectivity(pat), e.Count(pat); got != want {
+				want, err := e.Count(pat)
+				if err != nil {
+					t.Fatalf("Count(%+v): %v", pat, err)
+				}
+				if got := e.Selectivity(pat); got != want {
 					t.Fatalf("Selectivity(%+v) = %d, Count = %d", pat, got, want)
 				}
 			}
@@ -113,8 +117,8 @@ func TestRelatedResources(t *testing.T) {
 
 func TestMatchDelegates(t *testing.T) {
 	e := NewEngine(buildGraph())
-	if got := e.Count(Pattern{P: 10}); got != 3 {
-		t.Errorf("Count(p=10) = %d, want 3", got)
+	if got, err := e.Count(Pattern{P: 10}); err != nil || got != 3 {
+		t.Errorf("Count(p=10) = %d, %v, want 3", got, err)
 	}
 	n := 0
 	e.Match(Pattern{S: 1}, func(_, _, _ ID) bool { n++; return true })

@@ -1,8 +1,11 @@
-// Package server exposes a Hexastore over HTTP: a SPARQL-subset query
-// endpoint returning results in the SPARQL 1.1 Query Results JSON
-// format, a bulk N-Triples/Turtle ingestion endpoint, and store
-// statistics. cmd/hexserver wires it to a listener; the package itself
-// is transport-agnostic and tested with httptest.
+// Package server exposes a Graph backend over HTTP: a SPARQL-subset
+// query endpoint returning results in the SPARQL 1.1 Query Results JSON
+// format, a SPARQL UPDATE endpoint (INSERT DATA / DELETE DATA), a bulk
+// N-Triples/Turtle ingestion endpoint, and store statistics. The server
+// is backend-neutral — the same HTTP API serves the in-memory
+// Hexastore, the disk-based Hexastore, or the baseline triples table.
+// cmd/hexserver wires it to a listener; the package itself is
+// transport-agnostic and tested with httptest.
 package server
 
 import (
@@ -14,31 +17,49 @@ import (
 	"sync"
 
 	"hexastore/internal/core"
+	"hexastore/internal/graph"
 	"hexastore/internal/rdf"
 	"hexastore/internal/sparql"
 )
 
-// Server serves one Hexastore. It is safe for concurrent use: the store
-// carries its own synchronization and the planner pointer is guarded
-// here.
+// Server serves one Graph backend. It is safe for concurrent use: the
+// backend carries its own synchronization, the planner pointer is
+// guarded here, and mutating requests are serialized against query
+// evaluation (see reqMu).
 type Server struct {
-	st *core.Store
+	g graph.Graph
+
+	// reqMu orders whole requests: queries share it, mutations take it
+	// exclusively. Query evaluation nests Match calls (the depth-first
+	// bind join re-enters the store's read lock per pattern step), so a
+	// store-level writer arriving between two nested read locks would
+	// deadlock reader and writer; excluding writers for the duration of
+	// a query removes that interleaving.
+	reqMu sync.RWMutex
 
 	mu sync.RWMutex
 	pl *sparql.Planner
 }
 
-// New returns a Server over st.
-func New(st *core.Store) *Server {
-	return &Server{st: st, pl: sparql.NewPlanner(st)}
+// New returns a Server over the in-memory store st.
+func New(st *core.Store) *Server { return NewGraph(graph.Memory(st)) }
+
+// NewGraph returns a Server over any Graph backend.
+func NewGraph(g graph.Graph) *Server {
+	return &Server{g: g, pl: sparql.NewPlanner(g)}
 }
+
+// Graph returns the backend the server serves.
+func (s *Server) Graph() graph.Graph { return s.g }
 
 // Handler returns the HTTP routing table:
 //
-//	GET/POST /sparql   query=<SELECT ...>      → application/sparql-results+json
-//	POST     /triples  body: N-Triples|Turtle  → {"added": n} (Content-Type text/turtle selects Turtle)
-//	GET      /stats                            → index statistics JSON
-//	GET      /healthz                          → 200 ok
+//	GET/POST /sparql   query=<SELECT ...>       → application/sparql-results+json
+//	POST     /sparql   update=<INSERT DATA ...> → {"inserted": n, "deleted": n}
+//	                   (or body with Content-Type application/sparql-update)
+//	POST     /triples  body: N-Triples|Turtle   → {"added": n} (Content-Type text/turtle selects Turtle)
+//	GET      /stats                             → store statistics JSON
+//	GET      /healthz                           → 200 ok
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sparql", s.handleSPARQL)
@@ -57,9 +78,23 @@ func (s *Server) planner() *sparql.Planner {
 	return s.pl
 }
 
-// refreshPlanner rebuilds statistics after mutations.
+// refreshPlanner rebuilds statistics after mutations. On memory-backed
+// graphs the rebuild reads index heads and is cheap, so it always runs.
+// On other backends it costs a full scan, so it is skipped until the
+// store has drifted ≥10% from the cached summary: stale statistics only
+// degrade pattern ordering, never result correctness.
 func (s *Server) refreshPlanner() {
-	pl := sparql.NewPlanner(s.st)
+	if _, ok := graph.Unwrap(s.g).(*core.Store); !ok {
+		built := s.planner().Stats().Triples
+		drift := s.g.Len() - built
+		if drift < 0 {
+			drift = -drift
+		}
+		if built > 0 && drift*10 < built {
+			return
+		}
+	}
+	pl := sparql.NewPlanner(s.g)
 	s.mu.Lock()
 	s.pl = pl
 	s.mu.Unlock()
@@ -72,28 +107,40 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
-	var queryText string
+	var queryText, updateText string
 	switch r.Method {
 	case http.MethodGet:
 		queryText = r.URL.Query().Get("query")
 	case http.MethodPost:
 		ct := r.Header.Get("Content-Type")
-		if strings.HasPrefix(ct, "application/sparql-query") {
+		switch {
+		case strings.HasPrefix(ct, "application/sparql-query"),
+			strings.HasPrefix(ct, "application/sparql-update"):
 			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 			if err != nil {
 				httpError(w, http.StatusBadRequest, "read body: %v", err)
 				return
 			}
-			queryText = string(body)
-		} else {
+			if strings.HasPrefix(ct, "application/sparql-update") {
+				updateText = string(body)
+			} else {
+				queryText = string(body)
+			}
+		default:
 			if err := r.ParseForm(); err != nil {
 				httpError(w, http.StatusBadRequest, "parse form: %v", err)
 				return
 			}
 			queryText = r.Form.Get("query")
+			updateText = r.Form.Get("update")
 		}
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+
+	if strings.TrimSpace(updateText) != "" {
+		s.execUpdate(w, updateText)
 		return
 	}
 	if strings.TrimSpace(queryText) == "" {
@@ -101,13 +148,45 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	s.reqMu.RLock()
 	res, err := s.planner().Exec(queryText)
+	s.reqMu.RUnlock()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "query: %v", err)
+		// Parse and projection errors are the client's; anything else
+		// (backend I/O mid-evaluation) is ours.
+		if _, ok := err.(*sparql.SyntaxError); ok {
+			httpError(w, http.StatusBadRequest, "query: %v", err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "query: %v", err)
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "application/sparql-results+json")
 	json.NewEncoder(w).Encode(resultsJSON(res))
+}
+
+// execUpdate applies a SPARQL UPDATE request and reports its effect.
+func (s *Server) execUpdate(w http.ResponseWriter, updateText string) {
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	res, err := sparql.ExecUpdate(s.g, updateText)
+	if err != nil {
+		if _, ok := err.(*sparql.SyntaxError); ok {
+			httpError(w, http.StatusBadRequest, "update: %v", err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "update: %v", err)
+		}
+		return
+	}
+	if res.Inserted > 0 || res.Deleted > 0 {
+		if err := graph.Flush(s.g); err != nil {
+			httpError(w, http.StatusInternalServerError, "flush: %v", err)
+			return
+		}
+		s.refreshPlanner()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
 }
 
 // resultsJSON renders a Result in the SPARQL 1.1 Query Results JSON
@@ -163,17 +242,28 @@ func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "parse: %v", err)
 		return
 	}
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
 	added := 0
 	for _, t := range triples {
-		if _, _, _, ok := s.st.AddTriple(t); ok {
+		ok, aerr := graph.AddTriple(s.g, t)
+		if aerr != nil {
+			httpError(w, http.StatusInternalServerError, "insert: %v", aerr)
+			return
+		}
+		if ok {
 			added++
 		}
 	}
 	if added > 0 {
+		if err := graph.Flush(s.g); err != nil {
+			httpError(w, http.StatusInternalServerError, "flush: %v", err)
+			return
+		}
 		s.refreshPlanner()
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]int{"added": added, "total": s.st.Len()})
+	json.NewEncoder(w).Encode(map[string]int{"added": added, "total": s.g.Len()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -181,18 +271,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	stats := s.st.Stats()
 	sum := s.planner().Stats()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
-		"triples":          s.st.Len(),
-		"headers":          stats.Headers,
-		"vectorEntries":    stats.VectorEntries,
-		"listEntries":      stats.ListEntries,
-		"expansionFactor":  stats.ExpansionFactor(),
-		"indexSizeBytes":   stats.SizeBytes(),
+	out := map[string]any{
+		"triples":          s.g.Len(),
+		"dictionaryTerms":  s.g.Dictionary().Len(),
 		"distinctSubjects": sum.DistinctS,
 		"distinctPreds":    sum.DistinctP,
 		"distinctObjects":  sum.DistinctO,
-	})
+	}
+	// The in-memory Hexastore additionally reports its index layout and
+	// the §4.1 space-expansion factor.
+	if st, ok := graph.Unwrap(s.g).(*core.Store); ok {
+		stats := st.Stats()
+		out["headers"] = stats.Headers
+		out["vectorEntries"] = stats.VectorEntries
+		out["listEntries"] = stats.ListEntries
+		out["expansionFactor"] = stats.ExpansionFactor()
+		out["indexSizeBytes"] = stats.SizeBytes()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
 }

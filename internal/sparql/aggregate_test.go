@@ -5,12 +5,13 @@ import (
 	"testing"
 
 	"hexastore/internal/core"
+	"hexastore/internal/graph"
 	"hexastore/internal/rdf"
 )
 
 // catalogStore mimics the Barton BQ1 shape: resources of several types,
 // with the Type property dominating.
-func catalogStore(t *testing.T) *core.Store {
+func catalogStore(t *testing.T) graph.Graph {
 	t.Helper()
 	st := core.New()
 	typeIRI := rdf.NewIRI("http://ex/Type")
@@ -27,7 +28,7 @@ func catalogStore(t *testing.T) *core.Store {
 	add("p0", "Person")
 	// Extra properties to ensure grouping only sees Type triples.
 	st.AddTriple(rdf.T(rdf.NewIRI("http://ex/t0"), rdf.NewIRI("http://ex/lang"), rdf.NewLiteral("French")))
-	return st
+	return graph.Memory(st)
 }
 
 func rowCount(t *testing.T, row Row, alias string) int {
@@ -136,7 +137,7 @@ func TestGroupByMultipleKeys(t *testing.T) {
 		st.AddTriple(rdf.T(s, p1, rdf.NewIRI("o"+strconv.Itoa(i))))
 		st.AddTriple(rdf.T(s, p2, rdf.NewIRI("x")))
 	}
-	res, err := Exec(st, `
+	res, err := Exec(graph.Memory(st), `
 		SELECT ?s ?p (COUNT(?o) AS ?n) WHERE { ?s ?p ?o }
 		GROUP BY ?s ?p ORDER BY ?s ?p`)
 	if err != nil {

@@ -37,6 +37,7 @@ package sparql
 
 import (
 	"fmt"
+	"strings"
 
 	"hexastore/internal/rdf"
 )
@@ -180,6 +181,37 @@ type Query struct {
 	OrderBy []OrderKey
 	Limit   int // 0 means no limit
 	Offset  int
+}
+
+// Update is a parsed SPARQL 1.1 UPDATE request: a sequence of
+// INSERT DATA / DELETE DATA operations separated by ';'. The DATA forms
+// carry ground triples only (no variables), which is exactly what the
+// backend-neutral Graph interface can apply to any store.
+type Update struct {
+	Ops []UpdateOp
+}
+
+// UpdateOp is one INSERT DATA or DELETE DATA operation.
+type UpdateOp struct {
+	// Delete marks a DELETE DATA operation; otherwise INSERT DATA.
+	Delete bool
+	// Triples holds the ground triples of the DATA block.
+	Triples []rdf.Triple
+}
+
+// String renders the operation in update syntax.
+func (op UpdateOp) String() string {
+	verb := "INSERT"
+	if op.Delete {
+		verb = "DELETE"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s DATA {", verb)
+	for _, t := range op.Triples {
+		fmt.Fprintf(&sb, " %s %s %s .", t.Subject, t.Predicate, t.Object)
+	}
+	sb.WriteString(" }")
+	return sb.String()
 }
 
 // AllVars returns every variable mentioned in required patterns, union

@@ -8,6 +8,7 @@ import (
 
 	"hexastore/internal/core"
 	"hexastore/internal/dictionary"
+	"hexastore/internal/graph"
 	"hexastore/internal/query"
 	"hexastore/internal/rdf"
 	"hexastore/internal/stats"
@@ -51,82 +52,79 @@ func (p *idPattern) term(j int) Term {
 	}
 }
 
-// Source is the store behaviour the evaluator needs: pattern matching
-// with None wildcards and a dictionary. core.Store satisfies it via
-// SourceOf; the disk-based Hexastore's Match already has this shape.
-type Source interface {
-	Match(s, p, o dictionary.ID, fn func(s, p, o dictionary.ID) bool) error
-	Dictionary() *dictionary.Dictionary
-}
-
-// coreSource adapts core.Store's error-free Match to the Source shape.
-type coreSource struct{ st *core.Store }
-
-func (c coreSource) Match(s, p, o dictionary.ID, fn func(s, p, o dictionary.ID) bool) error {
-	c.st.Match(s, p, o, fn)
-	return nil
-}
-
-func (c coreSource) Dictionary() *dictionary.Dictionary { return c.st.Dictionary() }
+// Source is the store behaviour the evaluator needs. It is an alias of
+// graph.Graph, kept for compatibility with earlier releases where the
+// evaluator defined its own source interface.
+type Source = graph.Graph
 
 // SourceOf wraps an in-memory Hexastore as a Source.
-func SourceOf(st *core.Store) Source { return coreSource{st: st} }
+//
+// Deprecated: use graph.Memory.
+func SourceOf(st *core.Store) Source { return graph.Memory(st) }
 
-// Exec parses and evaluates src against st.
-func Exec(st *core.Store, src string) (*Result, error) {
+// Exec parses and evaluates src against any Graph backend — the
+// in-memory Hexastore (graph.Memory), the disk-based Hexastore, or the
+// baseline triples table (graph.Baseline).
+func Exec(g graph.Graph, src string) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return Eval(st, q)
+	return Eval(g, q)
 }
 
-// ExecSource parses and evaluates queryText against any Source (e.g. a
-// disk-based Hexastore). Pattern ordering uses the greedy most-bound
-// heuristic without index-selectivity tie-breaking, since a generic
-// Source exposes no cardinalities.
-func ExecSource(src Source, queryText string) (*Result, error) {
-	q, err := Parse(queryText)
-	if err != nil {
-		return nil, err
-	}
-	return EvalSource(src, q)
+// ExecSource parses and evaluates queryText against any Graph backend.
+//
+// Deprecated: ExecSource is Exec; it remains from when Exec required an
+// in-memory store.
+func ExecSource(g graph.Graph, queryText string) (*Result, error) {
+	return Exec(g, queryText)
 }
 
-// EvalSource evaluates a parsed query against any Source.
-func EvalSource(src Source, q *Query) (*Result, error) {
-	ev := &evaluator{
-		src:  src,
-		dict: src.Dictionary(),
-		q:    q,
-	}
-	return ev.run()
+// EvalSource evaluates a parsed query against any Graph backend.
+//
+// Deprecated: EvalSource is Eval.
+func EvalSource(g graph.Graph, q *Query) (*Result, error) {
+	return Eval(g, q)
 }
 
-// Eval evaluates a parsed query against st.
+// Eval evaluates a parsed query against any Graph backend.
 //
 // Planning: each UNION clause multiplies the query into branches (the
 // standard BGP rewriting); within a branch, required patterns are
 // ordered greedily — at every step the pattern with the most positions
-// bound is chosen, breaking ties by the engine's selectivity estimate.
-// Execution is a depth-first bind join: each step substitutes the
-// current bindings into its pattern and probes the Hexastore, which has
-// the right index for every binding combination that can arise (§4.2 of
-// the paper). FILTERs run at the earliest step where their variables are
-// bound; OPTIONAL groups extend solutions after the required patterns.
-func Eval(st *core.Store, q *Query) (*Result, error) {
+// bound is chosen, breaking ties by the engine's selectivity estimate
+// when the backend is the in-memory Hexastore (whose indexes answer
+// selectivity without scanning). Execution is a depth-first bind join:
+// each step substitutes the current bindings into its pattern and
+// probes the backend, which has the right index for every binding
+// combination that can arise (§4.2 of the paper). FILTERs run at the
+// earliest step where their variables are bound; OPTIONAL groups extend
+// solutions after the required patterns.
+func Eval(g graph.Graph, q *Query) (*Result, error) {
 	ev := &evaluator{
-		src:  SourceOf(st),
-		eng:  query.NewEngine(st),
-		dict: st.Dictionary(),
+		src:  g,
+		dict: g.Dictionary(),
 		q:    q,
+		eng:  engineFor(g),
 	}
 	return ev.run()
 }
 
+// engineFor returns an index-aware engine when g is backed by the
+// in-memory Hexastore, and nil otherwise: generic backends price
+// patterns with scans, which is too expensive for per-step selectivity
+// tie-breaking.
+func engineFor(g graph.Graph) *query.Engine {
+	if eng := query.NewGraphEngine(g); eng.Store() != nil {
+		return eng
+	}
+	return nil
+}
+
 type evaluator struct {
-	src  Source
-	eng  *query.Engine // nil for generic Sources; enables selectivity tie-breaks
+	src  graph.Graph
+	eng  *query.Engine // nil for non-memory backends; enables selectivity tie-breaks
 	dict *dictionary.Dictionary
 	q    *Query
 

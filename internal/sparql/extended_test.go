@@ -5,12 +5,13 @@ import (
 	"testing"
 
 	"hexastore/internal/core"
+	"hexastore/internal/graph"
 	"hexastore/internal/rdf"
 )
 
 // familyStore builds a small dataset exercising FILTER / OPTIONAL /
 // UNION / ORDER BY semantics.
-func familyStore(t *testing.T) *core.Store {
+func familyStore(t *testing.T) graph.Graph {
 	t.Helper()
 	st := core.New()
 	add := func(s, p, o rdf.Term) {
@@ -31,7 +32,7 @@ func familyStore(t *testing.T) *core.Store {
 	add(ex("alice"), rdf.NewIRI(rdfTypeIRI), ex("Person"))
 	add(ex("bob"), rdf.NewIRI(rdfTypeIRI), ex("Person"))
 	add(ex("carol"), rdf.NewIRI(rdfTypeIRI), ex("Robot"))
-	return st
+	return graph.Memory(st)
 }
 
 func names(res *Result, v string) []string {

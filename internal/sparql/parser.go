@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"unicode"
+
+	"hexastore/internal/rdf"
 )
 
 // SyntaxError reports a parse failure with the byte offset in the query.
@@ -34,6 +36,7 @@ const (
 	tokStar                      // *
 	tokNumber                    // integer or decimal
 	tokOp                        // = != < <= > >=
+	tokSemi                      // ; (update operation separator)
 	tokEOF
 )
 
@@ -194,6 +197,9 @@ func (l *lexer) next() (token, error) {
 	case c == '.':
 		l.pos++
 		return token{tokDot, ".", start}, nil
+	case c == ';':
+		l.pos++
+		return token{tokSemi, ";", start}, nil
 	default:
 		return token{}, l.errf(start, "unexpected character %q", c)
 	}
@@ -793,3 +799,110 @@ func (p *parser) parseTerm() (Term, error) {
 
 // rdfTypeIRI is the expansion of the 'a' keyword.
 const rdfTypeIRI = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+// ParseUpdate parses a SPARQL 1.1 UPDATE request:
+//
+//	update  = prologue op { ";" prologue op } [";"]
+//	prologue= { "PREFIX" prefix ":" "<iri>" }
+//	op      = ("INSERT" | "DELETE") "DATA" "{" [triple {"." triple} ["."]] "}"
+//	triple  = ground ground ground
+//	ground  = "<iri>" | prefix:local | '"literal"' | "_:label" | "a"
+//
+// Only the ground DATA forms are supported; INSERT/DELETE with WHERE
+// templates are not.
+func ParseUpdate(src string) (*Update, error) {
+	p := &parser{lex: lexer{src: src}, prefixes: map[string]string{}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	u := &Update{}
+	for {
+		for p.isKeyword("PREFIX") {
+			if err := p.parsePrefix(); err != nil {
+				return nil, err
+			}
+		}
+		if len(u.Ops) > 0 && p.tok.kind == tokEOF {
+			break // trailing ';'
+		}
+		op, err := p.parseUpdateOp()
+		if err != nil {
+			return nil, err
+		}
+		u.Ops = append(u.Ops, op)
+		if p.tok.kind != tokSemi {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errHere("trailing content after update")
+	}
+	return u, nil
+}
+
+// parseUpdateOp parses one INSERT DATA / DELETE DATA operation.
+func (p *parser) parseUpdateOp() (UpdateOp, error) {
+	var op UpdateOp
+	switch {
+	case p.isKeyword("INSERT"):
+	case p.isKeyword("DELETE"):
+		op.Delete = true
+	default:
+		return UpdateOp{}, p.errHere("expected INSERT or DELETE, found %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return UpdateOp{}, err
+	}
+	if err := p.expectKeyword("DATA"); err != nil {
+		return UpdateOp{}, err
+	}
+	if p.tok.kind != tokLBrace {
+		return UpdateOp{}, p.errHere("expected '{' after DATA")
+	}
+	if err := p.advance(); err != nil {
+		return UpdateOp{}, err
+	}
+	for p.tok.kind != tokRBrace {
+		t, err := p.parseGroundTriple()
+		if err != nil {
+			return UpdateOp{}, err
+		}
+		op.Triples = append(op.Triples, t)
+		if p.tok.kind == tokDot {
+			if err := p.advance(); err != nil {
+				return UpdateOp{}, err
+			}
+		}
+	}
+	return op, p.advance() // consume '}'
+}
+
+// parseGroundTriple parses one variable-free triple of a DATA block.
+func (p *parser) parseGroundTriple() (rdf.Triple, error) {
+	start := p.tok.off
+	var terms [3]rdf.Term
+	for i := range terms {
+		off := p.tok.off
+		t, err := p.parseTerm()
+		if err != nil {
+			return rdf.Triple{}, err
+		}
+		if t.Kind == Var {
+			return rdf.Triple{}, &SyntaxError{Offset: off,
+				Msg: fmt.Sprintf("variable ?%s not allowed in a DATA block", t.Name)}
+		}
+		terms[i] = t.RDF
+	}
+	tr := rdf.T(terms[0], terms[1], terms[2])
+	// Reject positionally invalid RDF here: the stores silently drop
+	// invalid triples, which would turn a client error into a 'success'
+	// that inserted nothing.
+	if !tr.Valid() {
+		return rdf.Triple{}, &SyntaxError{Offset: start,
+			Msg: "invalid triple in DATA block (subject must be an IRI or blank node, predicate an IRI)"}
+	}
+	return tr, nil
+}

@@ -2,29 +2,44 @@ package sparql
 
 import (
 	"hexastore/internal/core"
-	"hexastore/internal/query"
+	"hexastore/internal/graph"
 	"hexastore/internal/stats"
 )
 
 // Planner evaluates queries with cost-based basic-graph-pattern ordering
 // driven by a cached statistics summary (Stocker et al. [41] style),
-// instead of the default greedy most-bound-first order. Build one
-// Planner per store and reuse it; call Refresh after bulk updates.
+// instead of the default greedy most-bound-first order. It works over
+// any Graph backend: memory-backed graphs build the summary off the
+// index heads, others with one scan. Build one Planner per graph and
+// reuse it; call Refresh after bulk updates.
 type Planner struct {
-	st  *core.Store
+	g   graph.Graph
 	sum *stats.Summary
 }
 
-// NewPlanner builds the statistics summary for st and returns a Planner.
-func NewPlanner(st *core.Store) *Planner {
-	return &Planner{st: st, sum: stats.Build(st)}
+// NewPlanner builds the statistics summary for g and returns a Planner.
+// A backend that fails mid-scan yields an empty summary, degrading
+// planning to the most-bound-first heuristic rather than failing.
+func NewPlanner(g graph.Graph) *Planner {
+	pl := &Planner{g: g}
+	pl.Refresh()
+	return pl
 }
 
-// Refresh rebuilds the statistics summary after the store changed.
-func (pl *Planner) Refresh() { pl.sum = stats.Build(pl.st) }
+// Refresh rebuilds the statistics summary after the graph changed.
+func (pl *Planner) Refresh() {
+	sum, err := stats.BuildGraph(pl.g)
+	if err != nil {
+		sum = &stats.Summary{}
+	}
+	pl.sum = sum
+}
 
 // Stats returns the cached summary.
 func (pl *Planner) Stats() *stats.Summary { return pl.sum }
+
+// Graph returns the backend the planner evaluates against.
+func (pl *Planner) Graph() graph.Graph { return pl.g }
 
 // Exec parses and evaluates src with cost-based planning.
 func (pl *Planner) Exec(src string) (*Result, error) {
@@ -38,11 +53,11 @@ func (pl *Planner) Exec(src string) (*Result, error) {
 // Eval evaluates a parsed query with cost-based planning.
 func (pl *Planner) Eval(q *Query) (*Result, error) {
 	ev := &evaluator{
-		src:  SourceOf(pl.st),
-		eng:  query.NewEngine(pl.st),
-		dict: pl.st.Dictionary(),
+		src:  pl.g,
+		dict: pl.g.Dictionary(),
 		q:    q,
 		sum:  pl.sum,
+		eng:  engineFor(pl.g),
 	}
 	return ev.run()
 }

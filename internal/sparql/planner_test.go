@@ -6,13 +6,14 @@ import (
 	"testing"
 
 	"hexastore/internal/core"
+	"hexastore/internal/graph"
 	"hexastore/internal/rdf"
 	"hexastore/internal/stats"
 )
 
 // skewedStore builds a dataset where the cost-based planner's choice
 // matters: a very common predicate and a very rare one sharing subjects.
-func skewedStore(t testing.TB) *core.Store {
+func skewedStore(t testing.TB) graph.Graph {
 	st := core.New()
 	rng := rand.New(rand.NewSource(8))
 	common := rdf.NewIRI("common")
@@ -26,7 +27,7 @@ func skewedStore(t testing.TB) *core.Store {
 		s := rdf.NewIRI(fmt.Sprintf("s%d", i))
 		st.AddTriple(rdf.T(s, rare, rdf.NewLiteral("x")))
 	}
-	return st
+	return graph.Memory(st)
 }
 
 func TestPlannerResultsMatchDefaultEval(t *testing.T) {
@@ -66,7 +67,10 @@ func TestPlannerResultsMatchDefaultEval(t *testing.T) {
 
 func TestPlanOrderStatsPutsSelectiveFirst(t *testing.T) {
 	st := skewedStore(t)
-	sum := stats.Build(st)
+	sum, err := stats.BuildGraph(st)
+	if err != nil {
+		t.Fatal(err)
+	}
 	dict := st.Dictionary()
 	commonID, _ := dict.Lookup(rdf.NewIRI("common"))
 	rareID, _ := dict.Lookup(rdf.NewIRI("rare"))
@@ -86,7 +90,10 @@ func TestPlanOrderStatsPutsSelectiveFirst(t *testing.T) {
 
 func TestPlanOrderStatsAvoidsCartesianProduct(t *testing.T) {
 	st := skewedStore(t)
-	sum := stats.Build(st)
+	sum, err := stats.BuildGraph(st)
+	if err != nil {
+		t.Fatal(err)
+	}
 	dict := st.Dictionary()
 	rareID, _ := dict.Lookup(rdf.NewIRI("rare"))
 	commonID, _ := dict.Lookup(rdf.NewIRI("common"))
@@ -117,7 +124,7 @@ func TestPlanOrderStatsAvoidsCartesianProduct(t *testing.T) {
 func TestPlannerRefresh(t *testing.T) {
 	st := core.New()
 	st.AddTriple(rdf.T(rdf.NewIRI("a"), rdf.NewIRI("p"), rdf.NewIRI("b")))
-	pl := NewPlanner(st)
+	pl := NewPlanner(graph.Memory(st))
 	if pl.Stats().Triples != 1 {
 		t.Fatalf("Triples = %d, want 1", pl.Stats().Triples)
 	}

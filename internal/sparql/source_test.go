@@ -4,8 +4,8 @@ import (
 	"testing"
 
 	"hexastore/internal/core"
-	"hexastore/internal/dictionary"
 	"hexastore/internal/disk"
+	"hexastore/internal/graph"
 	"hexastore/internal/rdf"
 )
 
@@ -89,7 +89,7 @@ func TestExecSourceMatchesExecOnCoreStore(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Exec(%q): %v", src, err)
 		}
-		got, err := ExecSource(SourceOf(st), src)
+		got, err := ExecSource(st, src)
 		if err != nil {
 			t.Fatalf("ExecSource(%q): %v", src, err)
 		}
@@ -108,10 +108,10 @@ func TestExecSourceMatchesExecOnCoreStore(t *testing.T) {
 	}
 }
 
-// erroringSource wraps a core store but fails Match after a few calls,
+// erroringSource wraps a graph but fails Match after a few calls,
 // verifying that I/O errors surface from query evaluation.
 type erroringSource struct {
-	inner Source
+	graph.Graph
 	calls int
 }
 
@@ -120,10 +120,8 @@ func (e *erroringSource) Match(s, p, o core.ID, fn func(s, p, o core.ID) bool) e
 	if e.calls > 1 {
 		return errBoom
 	}
-	return e.inner.Match(s, p, o, fn)
+	return e.Graph.Match(s, p, o, fn)
 }
-
-func (e *erroringSource) Dictionary() *dictionary.Dictionary { return e.inner.Dictionary() }
 
 var errBoom = &mockError{}
 
@@ -133,7 +131,7 @@ func (*mockError) Error() string { return "boom" }
 
 func TestExecSourcePropagatesMatchErrors(t *testing.T) {
 	st := familyStore(t)
-	src := &erroringSource{inner: SourceOf(st)}
+	src := &erroringSource{Graph: st}
 	_, err := ExecSource(src, `
 		PREFIX ex: <http://example.org/>
 		SELECT ?a ?b WHERE { ?a ex:knows ?x . ?x ex:knows ?b }`)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hexastore/internal/core"
+	"hexastore/internal/graph"
 	"hexastore/internal/rdf"
 )
 
@@ -85,7 +86,7 @@ func TestParseErrors(t *testing.T) {
 func iri(s string) rdf.Term { return rdf.NewIRI(s) }
 
 // academicStore loads the Figure 1 sample data from the paper.
-func academicStore(t *testing.T) *core.Store {
+func academicStore(t *testing.T) graph.Graph {
 	t.Helper()
 	st := core.New()
 	facts := [][3]string{
@@ -112,7 +113,7 @@ func academicStore(t *testing.T) *core.Store {
 	for _, f := range facts {
 		st.AddTriple(rdf.T(iri(f[0]), iri(f[1]), iri(f[2])))
 	}
-	return st
+	return graph.Memory(st)
 }
 
 // TestFigure1Queries runs the two SQL queries of paper Figure 1(b),
@@ -194,7 +195,7 @@ func TestEvalRepeatedVariableInPattern(t *testing.T) {
 	st := core.New()
 	st.AddTriple(rdf.T(iri("a"), iri("loves"), iri("a")))
 	st.AddTriple(rdf.T(iri("a"), iri("loves"), iri("b")))
-	res, err := Exec(st, `SELECT ?x WHERE { ?x <loves> ?x }`)
+	res, err := Exec(graph.Memory(st), `SELECT ?x WHERE { ?x <loves> ?x }`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestEvalCartesianProduct(t *testing.T) {
 	st := core.New()
 	st.AddTriple(rdf.T(iri("a"), iri("p"), iri("b")))
 	st.AddTriple(rdf.T(iri("c"), iri("q"), iri("d")))
-	res, err := Exec(st, `SELECT ?x ?y WHERE { ?x <p> ?o1 . ?y <q> ?o2 }`)
+	res, err := Exec(graph.Memory(st), `SELECT ?x ?y WHERE { ?x <p> ?o1 . ?y <q> ?o2 }`)
 	if err != nil {
 		t.Fatal(err)
 	}

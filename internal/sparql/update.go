@@ -1,0 +1,52 @@
+package sparql
+
+import (
+	"hexastore/internal/graph"
+)
+
+// UpdateResult reports the effect of an update request: how many triples
+// were actually inserted (not already present) and deleted (present
+// before the request).
+type UpdateResult struct {
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+}
+
+// ExecUpdate parses and applies a SPARQL UPDATE request (INSERT DATA /
+// DELETE DATA, ';'-separated) against any Graph backend. Operations
+// apply in request order; a backend error aborts the request mid-way
+// with the counts accumulated so far.
+func ExecUpdate(g graph.Graph, src string) (*UpdateResult, error) {
+	u, err := ParseUpdate(src)
+	if err != nil {
+		return nil, err
+	}
+	return EvalUpdate(g, u)
+}
+
+// EvalUpdate applies a parsed update request against any Graph backend.
+func EvalUpdate(g graph.Graph, u *Update) (*UpdateResult, error) {
+	res := &UpdateResult{}
+	for _, op := range u.Ops {
+		for _, t := range op.Triples {
+			if op.Delete {
+				changed, err := graph.RemoveTriple(g, t)
+				if err != nil {
+					return res, err
+				}
+				if changed {
+					res.Deleted++
+				}
+			} else {
+				changed, err := graph.AddTriple(g, t)
+				if err != nil {
+					return res, err
+				}
+				if changed {
+					res.Inserted++
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -15,6 +15,7 @@ import (
 
 	"hexastore/internal/core"
 	"hexastore/internal/dictionary"
+	"hexastore/internal/graph"
 	"hexastore/internal/idlist"
 )
 
@@ -87,6 +88,57 @@ func Build(st *core.Store) *Summary {
 		s.SubjCount[subj] = n
 	}
 	return s
+}
+
+// BuildGraph collects a Summary from any Graph backend with one full
+// scan of its triples. Backends wrapping a core.Store should prefer
+// Build, which reads the counts off the index heads without touching
+// the triples themselves.
+func BuildGraph(g graph.Graph) (*Summary, error) {
+	if st, ok := graph.Unwrap(g).(*core.Store); ok {
+		return Build(st), nil
+	}
+	s := &Summary{
+		PredCount:     make(map[ID]int),
+		PredDistinctS: make(map[ID]int),
+		PredDistinctO: make(map[ID]int),
+		ObjCount:      make(map[ID]int),
+		SubjCount:     make(map[ID]int),
+	}
+	predSubj := make(map[ID]map[ID]struct{})
+	predObj := make(map[ID]map[ID]struct{})
+	err := g.Match(None, None, None, func(sub, pred, obj ID) bool {
+		s.Triples++
+		s.SubjCount[sub]++
+		s.PredCount[pred]++
+		s.ObjCount[obj]++
+		ps := predSubj[pred]
+		if ps == nil {
+			ps = make(map[ID]struct{})
+			predSubj[pred] = ps
+		}
+		ps[sub] = struct{}{}
+		po := predObj[pred]
+		if po == nil {
+			po = make(map[ID]struct{})
+			predObj[pred] = po
+		}
+		po[obj] = struct{}{}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, subs := range predSubj {
+		s.PredDistinctS[p] = len(subs)
+	}
+	for p, objs := range predObj {
+		s.PredDistinctO[p] = len(objs)
+	}
+	s.DistinctS = len(s.SubjCount)
+	s.DistinctP = len(s.PredCount)
+	s.DistinctO = len(s.ObjCount)
+	return s, nil
 }
 
 // EstimatePattern returns the estimated number of triples matching the
