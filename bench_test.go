@@ -17,13 +17,16 @@ import (
 
 	"hexastore"
 	"hexastore/internal/barton"
+	"hexastore/internal/bench"
 	"hexastore/internal/core"
+	"hexastore/internal/disk"
 	"hexastore/internal/graph"
 	"hexastore/internal/idlist"
 	"hexastore/internal/lubm"
 	"hexastore/internal/queries"
 	"hexastore/internal/query"
 	"hexastore/internal/sparql"
+	"hexastore/internal/triplestore"
 	"hexastore/internal/vp"
 )
 
@@ -64,16 +67,19 @@ func lubmFixture(b *testing.B) (*queries.Stores, queries.LUBMIDs) {
 // run3 benchmarks the three store variants of one figure.
 func run3(b *testing.B, hexa, covp1, covp2 func()) {
 	b.Run("Hexastore", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			hexa()
 		}
 	})
 	b.Run("COVP1", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			covp1()
 		}
 	})
 	b.Run("COVP2", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			covp2()
 		}
@@ -92,31 +98,37 @@ func BenchmarkFig03BartonQ1(b *testing.B) {
 func benchRestricted(b *testing.B, s *queries.Stores, ids queries.BartonIDs,
 	hexa func(props []queries.ID), covp func(st *vp.Store, props []queries.ID)) {
 	b.Run("Hexastore", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			hexa(nil)
 		}
 	})
 	b.Run("COVP1", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			covp(s.C1, nil)
 		}
 	})
 	b.Run("COVP2", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			covp(s.C2, nil)
 		}
 	})
 	b.Run("Hexastore_28", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			hexa(ids.Restricted28)
 		}
 	})
 	b.Run("COVP1_28", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			covp(s.C1, ids.Restricted28)
 		}
 	})
 	b.Run("COVP2_28", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			covp(s.C2, ids.Restricted28)
 		}
@@ -417,9 +429,68 @@ func BenchmarkSPARQLJoin(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := sparql.Eval(graph.Memory(s.Hexa), q); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSPARQLJoinBackends times the evaluator suite of
+// bench.SPARQLQueries — the same workload `hexbench -json` snapshots —
+// across the three Graph backends: the in-memory Hexastore and the disk
+// store take the merge-join engine (both implement graph.SortedSource),
+// the flat baseline takes the batched bind-probe fallback.
+func BenchmarkSPARQLJoinBackends(b *testing.B) {
+	s, _ := lubmFixture(b)
+
+	// Disk backend loaded once with the same triples.
+	var triples [][3]core.ID
+	s.Hexa.Match(core.None, core.None, core.None, func(ts, tp, to core.ID) bool {
+		triples = append(triples, [3]core.ID{ts, tp, to})
+		return true
+	})
+	ds, err := disk.Create(b.TempDir(), disk.Options{CacheSize: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ds.Close()
+	// Share the dictionary so query constants resolve to the same ids.
+	for id := core.ID(1); int(id) <= s.Dict.Len(); id++ {
+		ds.Dictionary().Encode(s.Dict.MustDecode(id))
+	}
+	if err := ds.BulkLoad(triples); err != nil {
+		b.Fatal(err)
+	}
+
+	base := triplestore.New(s.Dict)
+	for _, t := range triples {
+		base.Add(t[0], t[1], t[2])
+	}
+
+	backends := []struct {
+		name string
+		g    graph.Graph
+	}{
+		{"Memory", graph.Memory(s.Hexa)},
+		{"Disk", graph.Disk(ds)},
+		{"Baseline", graph.Baseline(base)},
+	}
+	for _, bq := range bench.SPARQLQueries {
+		q, err := sparql.Parse(bq.Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, be := range backends {
+			b.Run(bq.ID+"/"+be.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sparql.Eval(be.g, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

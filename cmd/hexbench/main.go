@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
 
 	"hexastore/internal/bench"
@@ -35,6 +36,8 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		listFlag = flag.Bool("list", false, "list known figure ids and exit")
 		ablation = flag.String("ablation", "", "comma-separated extension ablations (disk,cracking,kowari) or 'all'")
+		jsonOut  = flag.Bool("json", false, "also run the SPARQL-engine suite and write timings+allocs to BENCH_<rev>.json")
+		rev      = flag.String("rev", "", "revision label for the -json snapshot (default: current git short hash, else 'dev')")
 	)
 	flag.Parse()
 
@@ -51,8 +54,8 @@ func main() {
 	var ids []string
 	if *figFlag != "" {
 		ids = strings.Split(*figFlag, ",")
-	} else if !*all && *ablation == "" {
-		fmt.Fprintln(os.Stderr, "hexbench: pass -all, -fig <ids>, or -ablation <ids>; see -list for ids")
+	} else if !*all && *ablation == "" && !*jsonOut {
+		fmt.Fprintln(os.Stderr, "hexbench: pass -all, -fig <ids>, -ablation <ids>, or -json; see -list for ids")
 		os.Exit(2)
 	}
 
@@ -69,6 +72,7 @@ func main() {
 		Repeats:          *repeats,
 		Seed:             *seed,
 	}
+	var snapshot []*bench.Figure
 	if *all || *figFlag != "" {
 		figs, err := bench.Run(cfg, ids, progress)
 		if err != nil {
@@ -81,6 +85,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		snapshot = append(snapshot, figs...)
 	}
 
 	if *ablation != "" {
@@ -99,5 +104,52 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		snapshot = append(snapshot, figs...)
 	}
+
+	if *jsonOut {
+		figs, err := bench.RunSPARQL(cfg, progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			if err := f.WriteTable(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		snapshot = append(snapshot, figs...)
+
+		label := *rev
+		if label == "" {
+			label = gitRev()
+		}
+		name := fmt.Sprintf("BENCH_%s.json", label)
+		f, err := os.Create(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(f, label, cfg, snapshot); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
+			os.Exit(1)
+		}
+		progress("wrote " + name)
+	}
+}
+
+// gitRev returns the current short commit hash, or "dev" outside a git
+// checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
 }

@@ -13,6 +13,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"time"
 
@@ -23,24 +24,27 @@ import (
 )
 
 // Point is one measurement: data-set prefix size versus the metric
-// (seconds for response-time figures, megabytes for Figure 15).
+// (seconds for response-time figures, megabytes for Figure 15). Allocs
+// is the heap allocation count of the timed run (0 for memory series),
+// so the JSON trajectory tracks allocation regressions alongside time.
 type Point struct {
-	Triples int
-	Value   float64
+	Triples int     `json:"triples"`
+	Value   float64 `json:"value"`
+	Allocs  uint64  `json:"allocs,omitempty"`
 }
 
 // Series is a named line of a figure (one per store variant).
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // Figure is one reproduced figure of the paper.
 type Figure struct {
-	ID     string // e.g. "fig03"
-	Title  string // e.g. "Barton data set, Query 1"
-	YLabel string // "seconds" or "MB"
-	Series []Series
+	ID     string   `json:"id"`     // e.g. "fig03"
+	Title  string   `json:"title"`  // e.g. "Barton data set, Query 1"
+	YLabel string   `json:"ylabel"` // "seconds" or "MB"
+	Series []Series `json:"series"`
 }
 
 // WriteTable prints the figure as an aligned table: one row per prefix
@@ -191,15 +195,16 @@ func sweepDataset(cfg Config, dataset string, data []rdf.Triple, want map[string
 		}
 		return f
 	}
-	addPoint := func(id, series string, triples int, v float64) {
+	addPoint := func(id, series string, triples int, p Point) {
+		p.Triples = triples
 		f := ensure(id)
 		for i := range f.Series {
 			if f.Series[i].Name == series {
-				f.Series[i].Points = append(f.Series[i].Points, Point{triples, v})
+				f.Series[i].Points = append(f.Series[i].Points, p)
 				return
 			}
 		}
-		f.Series = append(f.Series, Series{Name: series, Points: []Point{{triples, v}}})
+		f.Series = append(f.Series, Series{Name: series, Points: []Point{p}})
 	}
 
 	for _, n := range prefixSizes(len(data), cfg.Steps) {
@@ -223,7 +228,7 @@ func sweepDataset(cfg Config, dataset string, data []rdf.Triple, want map[string
 			}
 		}
 		for _, m := range ms {
-			addPoint(m.figID, m.series, triples, timeBest(cfg.Repeats, m.run))
+			addPoint(m.figID, m.series, triples, measureBest(cfg.Repeats, m.run))
 		}
 	}
 
@@ -246,24 +251,34 @@ func prefixSizes(n, steps int) []int {
 	return out
 }
 
-// timeBest runs fn repeats times and returns the fastest wall-clock
-// duration in seconds.
-func timeBest(repeats int, fn func()) float64 {
-	best := time.Duration(1<<62 - 1)
+// timeBest is measureBest reduced to the duration, for callers that
+// track seconds only (the ablation sweeps).
+func timeBest(repeats int, fn func()) float64 { return measureBest(repeats, fn).Value }
+
+// measureBest runs fn repeats times and returns the fastest wall-clock
+// duration in seconds together with that run's heap allocation count.
+func measureBest(repeats int, fn func()) Point {
+	best := Point{Value: (time.Duration(1<<62 - 1)).Seconds()}
+	var ms runtime.MemStats
 	for i := 0; i < repeats; i++ {
+		runtime.ReadMemStats(&ms)
+		before := ms.Mallocs
 		start := time.Now()
 		fn()
-		if d := time.Since(start); d < best {
-			best = d
+		d := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		if secs := d.Seconds(); secs < best.Value {
+			best.Value = secs
+			best.Allocs = ms.Mallocs - before
 		}
 	}
-	return best.Seconds()
+	return best
 }
 
-func addMemoryPoints(addPoint func(id, series string, triples int, v float64), id string, s *queries.Stores, triples int) {
+func addMemoryPoints(addPoint func(id, series string, triples int, p Point), id string, s *queries.Stores, triples int) {
 	const mb = 1 << 20
 	dictBytes := s.Dict.SizeBytes()
-	addPoint(id, "Hexastore", triples, float64(s.Hexa.Stats().SizeBytes()+dictBytes)/mb)
-	addPoint(id, "COVP1", triples, float64(s.C1.Stats().SizeBytes()+dictBytes)/mb)
-	addPoint(id, "COVP2", triples, float64(s.C2.Stats().SizeBytes()+dictBytes)/mb)
+	addPoint(id, "Hexastore", triples, Point{Value: float64(s.Hexa.Stats().SizeBytes()+dictBytes) / mb})
+	addPoint(id, "COVP1", triples, Point{Value: float64(s.C1.Stats().SizeBytes()+dictBytes) / mb})
+	addPoint(id, "COVP2", triples, Point{Value: float64(s.C2.Stats().SizeBytes()+dictBytes) / mb})
 }

@@ -289,3 +289,90 @@ func (st *Store) Properties(s, o ID) *idlist.List {
 	st.advisor.hit(SOP)
 	return st.propLists[pairKey{s, o}]
 }
+
+// TerminalList returns the shared terminal list of a pattern with
+// exactly two bound positions — the sorted candidate values of the one
+// None position: Objects for ⟨s,p,·⟩, Properties for ⟨s,·,o⟩, Subjects
+// for ⟨·,p,o⟩. It panics if the pattern does not have exactly one free
+// position. Like the per-shape accessors, the returned list aliases
+// store-internal storage and is valid until the next mutation.
+func (st *Store) TerminalList(s, p, o ID) *idlist.List {
+	switch {
+	case s != None && p != None && o == None:
+		return st.Objects(s, p)
+	case s != None && p == None && o != None:
+		return st.Properties(s, o)
+	case s == None && p != None && o != None:
+		return st.Subjects(p, o)
+	default:
+		panic("core: TerminalList needs exactly two bound positions")
+	}
+}
+
+// terminalListLocked is TerminalList without locking or advisor hits;
+// the caller must hold st.mu.
+func (st *Store) terminalListLocked(s, p, o ID) *idlist.List {
+	switch {
+	case s != None && p != None && o == None:
+		return st.objLists[pairKey{s, p}]
+	case s != None && p == None && o != None:
+		return st.propLists[pairKey{s, o}]
+	case s == None && p != None && o != None:
+		return st.subjLists[pairKey{p, o}]
+	default:
+		panic("core: terminal list needs exactly two bound positions")
+	}
+}
+
+// AppendSorted appends the sorted candidate values of the single None
+// position of a 2-bound pattern to dst and returns the extended slice.
+// Unlike TerminalList, the copy is taken under the read lock, so the
+// result stays valid across concurrent mutations — this is the accessor
+// the SPARQL batch engine reads candidate lists through.
+func (st *Store) AppendSorted(dst []ID, s, p, o ID) []ID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	switch {
+	case o == None:
+		st.advisor.hit(SPO)
+	case p == None:
+		st.advisor.hit(SOP)
+	default:
+		st.advisor.hit(POS)
+	}
+	return append(dst, st.terminalListLocked(s, p, o).IDs()...)
+}
+
+// SortedPairs streams the values of the two free positions of a
+// 1-bound pattern — (p,o) for ⟨s,·,·⟩, (s,o) for ⟨·,p,·⟩, (s,p) for
+// ⟨·,·,o⟩ — ordered by the first free position ascending and the second
+// ascending within it, holding the read lock for the duration like
+// Match. Iteration stops early when fn returns false. It panics unless
+// exactly one position is bound.
+func (st *Store) SortedPairs(s, p, o ID, fn func(a, b ID) bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var ix Index
+	var head ID
+	switch {
+	case s != None && p == None && o == None:
+		ix, head = SPO, s
+	case s == None && p != None && o == None:
+		ix, head = PSO, p
+	case s == None && p == None && o != None:
+		ix, head = OSP, o
+	default:
+		panic("core: SortedPairs needs exactly one bound position")
+	}
+	st.advisor.hit(ix)
+	stop := false
+	st.idx[ix][head].Range(func(key ID, list *idlist.List) bool {
+		list.Range(func(member ID) bool {
+			if !fn(key, member) {
+				stop = true
+			}
+			return !stop
+		})
+		return !stop
+	})
+}

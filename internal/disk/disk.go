@@ -332,6 +332,61 @@ func (st *Store) Match(s, p, o ID, fn func(s, p, o ID) bool) error {
 	}
 }
 
+// AppendSortedList appends the sorted candidate values of the single
+// None position of a 2-bound pattern to dst, materialized from one
+// prefix scan of the tree whose key order ends in the free position —
+// the pages stream the values already sorted, so building the list is a
+// straight append. It implements the graph.SortedSource capability.
+func (st *Store) AppendSortedList(dst []ID, s, p, o ID) ([]ID, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+
+	var ix core.Index
+	var a, b uint64
+	switch {
+	case s != None && p != None && o == None:
+		ix, a, b = core.SPO, uint64(s), uint64(p)
+	case s != None && p == None && o != None:
+		ix, a, b = core.SOP, uint64(s), uint64(o)
+	case s == None && p != None && o != None:
+		ix, a, b = core.POS, uint64(p), uint64(o)
+	default:
+		return nil, fmt.Errorf("disk: AppendSortedList needs exactly two bound positions, got ⟨%d,%d,%d⟩", s, p, o)
+	}
+	if err := st.trees[ix].ScanPrefix2(a, b, func(k btree.Key) bool {
+		dst = append(dst, ID(k[2]))
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// SortedPairs streams the two free positions of a 1-bound pattern in
+// sorted order (first free position ascending, second ascending within
+// it), from one prefix scan of the matching tree. It implements the
+// graph.SortedSource capability.
+func (st *Store) SortedPairs(s, p, o ID, fn func(a, b ID) bool) error {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+
+	var ix core.Index
+	var head uint64
+	switch {
+	case s != None && p == None && o == None:
+		ix, head = core.SPO, uint64(s)
+	case s == None && p != None && o == None:
+		ix, head = core.PSO, uint64(p)
+	case s == None && p == None && o != None:
+		ix, head = core.OSP, uint64(o)
+	default:
+		return fmt.Errorf("disk: SortedPairs needs exactly one bound position, got ⟨%d,%d,%d⟩", s, p, o)
+	}
+	return st.trees[ix].ScanPrefix1(head, func(k btree.Key) bool {
+		return fn(ID(k[1]), ID(k[2]))
+	})
+}
+
 // Count returns the number of triples matching the pattern.
 func (st *Store) Count(s, p, o ID) (int, error) {
 	n := 0

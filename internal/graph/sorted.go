@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"hexastore/internal/core"
+)
+
+// SortedSource is an optional Graph capability: direct access to the
+// sorted ID lists behind a pattern match, which is what turns the
+// SPARQL evaluator's joins into the paper's linear merge-joins (§4.2).
+// Backends that cannot answer from sorted storage (e.g. the flat
+// triples-table baseline) simply do not implement it, and the evaluator
+// falls back to a batched bind-probe over Match.
+//
+// Both built-in index-backed stores provide it: the in-memory Hexastore
+// copies its shared terminal lists under the store's read lock, and the
+// disk store materializes lists from one ordered prefix scan of the
+// right B+-tree. Both append into the caller's buffer, so a reused
+// scratch slice makes the steady state allocation-free — and, unlike
+// handing out aliased store internals, the results stay valid across
+// concurrent mutations.
+//
+// Use AsSortedSource to obtain it; the concrete Graph value may be a
+// wrapper around the capable store.
+type SortedSource interface {
+	// AppendSortedList appends the sorted candidate values of the
+	// single None position of a 2-bound pattern to dst and returns the
+	// extended slice: objects of ⟨s,p,·⟩, properties of ⟨s,·,o⟩, or
+	// subjects of ⟨·,p,o⟩.
+	AppendSortedList(dst []ID, s, p, o ID) ([]ID, error)
+	// SortedPairs streams the values of the two free positions of a
+	// 1-bound pattern, ordered by the first free position (in S,P,O
+	// position order) ascending and the second ascending within it:
+	// (p,o) pairs for ⟨s,·,·⟩, (s,o) for ⟨·,p,·⟩, (s,p) for ⟨·,·,o⟩.
+	// Iteration stops early when fn returns false.
+	SortedPairs(s, p, o ID, fn func(a, b ID) bool) error
+}
+
+// AsSortedSource returns the SortedSource behind g, if any: g itself
+// when it implements the capability (the disk store), or an adapter
+// when g wraps the in-memory Hexastore.
+func AsSortedSource(g Graph) (SortedSource, bool) {
+	if ss, ok := g.(SortedSource); ok {
+		return ss, true
+	}
+	if st, ok := Unwrap(g).(*core.Store); ok {
+		return coreSorted{st}, true
+	}
+	return nil, false
+}
+
+// coreSorted adapts the in-memory Hexastore's lock-holding sorted
+// accessors to the SortedSource shape.
+type coreSorted struct{ st *core.Store }
+
+func (cs coreSorted) AppendSortedList(dst []ID, s, p, o ID) ([]ID, error) {
+	return cs.st.AppendSorted(dst, s, p, o), nil
+}
+
+func (cs coreSorted) SortedPairs(s, p, o ID, fn func(a, b ID) bool) error {
+	cs.st.SortedPairs(s, p, o, fn)
+	return nil
+}

@@ -1,0 +1,113 @@
+package graph_test
+
+import (
+	"sort"
+	"testing"
+
+	"hexastore/internal/graph"
+)
+
+// TestSortedSourceContract checks, for every backend that advertises
+// the capability, that AppendSortedList/SortedPairs return exactly the
+// Match results in sorted order — the invariant the merge-join engine
+// is built on.
+func TestSortedSourceContract(t *testing.T) {
+	gs := backends(t, sampleTriples())
+	if _, ok := graph.AsSortedSource(gs["baseline"]); ok {
+		t.Fatal("baseline must not advertise SortedSource")
+	}
+	for _, name := range []string{"memory", "disk"} {
+		g := gs[name]
+		ss, ok := graph.AsSortedSource(g)
+		if !ok {
+			t.Fatalf("%s: expected SortedSource", name)
+		}
+		dict := g.Dictionary()
+		knows, _ := dict.Lookup(ex("knows"))
+		alice, _ := dict.Lookup(ex("alice"))
+		carol, _ := dict.Lookup(ex("carol"))
+
+		// 2-bound shapes: list equals sorted Match results.
+		shapes := [][3]graph.ID{
+			{alice, knows, graph.None},
+			{alice, graph.None, carol},
+			{graph.None, knows, carol},
+		}
+		for _, sh := range shapes {
+			// Appends must extend the caller's buffer, not replace it.
+			prefix := []graph.ID{9999}
+			got, err := ss.AppendSortedList(prefix, sh[0], sh[1], sh[2])
+			if err != nil {
+				t.Fatalf("%s: AppendSortedList(%v): %v", name, sh, err)
+			}
+			if len(got) == 0 || got[0] != 9999 {
+				t.Fatalf("%s: AppendSortedList(%v) dropped the existing buffer: %v", name, sh, got)
+			}
+			got = got[1:]
+			var want []graph.ID
+			if err := g.Match(sh[0], sh[1], sh[2], func(s, p, o graph.ID) bool {
+				switch {
+				case sh[0] == graph.None:
+					want = append(want, s)
+				case sh[1] == graph.None:
+					want = append(want, p)
+				default:
+					want = append(want, o)
+				}
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if len(got) != len(want) {
+				t.Fatalf("%s: AppendSortedList(%v) = %v, want %v", name, sh, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: AppendSortedList(%v) = %v, want %v", name, sh, got, want)
+				}
+			}
+		}
+
+		// 1-bound shapes: pairs stream in (first, second) sorted order
+		// and cover the same triples as Match.
+		for _, sh := range [][3]graph.ID{
+			{alice, graph.None, graph.None},
+			{graph.None, knows, graph.None},
+			{graph.None, graph.None, carol},
+		} {
+			var pairs [][2]graph.ID
+			if err := ss.SortedPairs(sh[0], sh[1], sh[2], func(a, b graph.ID) bool {
+				pairs = append(pairs, [2]graph.ID{a, b})
+				return true
+			}); err != nil {
+				t.Fatalf("%s: SortedPairs(%v): %v", name, sh, err)
+			}
+			for i := 1; i < len(pairs); i++ {
+				if pairs[i-1][0] > pairs[i][0] ||
+					(pairs[i-1][0] == pairs[i][0] && pairs[i-1][1] >= pairs[i][1]) {
+					t.Fatalf("%s: SortedPairs(%v) out of order at %d: %v", name, sh, i, pairs)
+				}
+			}
+			n, err := g.Count(sh[0], sh[1], sh[2])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pairs) != n {
+				t.Fatalf("%s: SortedPairs(%v) yielded %d pairs, Count says %d", name, sh, len(pairs), n)
+			}
+		}
+
+		// Early termination is honored.
+		seen := 0
+		if err := ss.SortedPairs(graph.None, knows, graph.None, func(a, b graph.ID) bool {
+			seen++
+			return false
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if seen != 1 {
+			t.Fatalf("%s: SortedPairs kept iterating after stop: %d calls", name, seen)
+		}
+	}
+}

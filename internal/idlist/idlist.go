@@ -9,7 +9,7 @@
 package idlist
 
 import (
-	"sort"
+	"slices"
 
 	"hexastore/internal/dictionary"
 )
@@ -42,7 +42,7 @@ func FromSorted(ids []ID) *List {
 func FromUnsorted(ids []ID) *List {
 	cp := make([]ID, len(ids))
 	copy(cp, ids)
-	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	slices.Sort(cp)
 	return &List{ids: dedupeSorted(cp)}
 }
 
@@ -340,7 +340,7 @@ func Difference(a, b *List) *List {
 func SortMergeJoin(unsorted []ID, sorted *List, fn func(ID)) {
 	cp := make([]ID, len(unsorted))
 	copy(cp, unsorted)
-	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	slices.Sort(cp)
 	MergeJoin(&List{ids: dedupeSorted(cp)}, sorted, fn)
 }
 
@@ -379,6 +379,6 @@ func (b *Builder) Len() int { return len(b.ids) }
 // Finish sorts, deduplicates, and returns the list. The builder must not
 // be reused afterwards.
 func (b *Builder) Finish() *List {
-	sort.Slice(b.ids, func(i, j int) bool { return b.ids[i] < b.ids[j] })
+	slices.Sort(b.ids)
 	return &List{ids: dedupeSorted(b.ids)}
 }

@@ -1,0 +1,74 @@
+package idlist
+
+// This file holds the batch-join primitives the SPARQL merge-join
+// execution engine is built on: galloping (exponential) search and a
+// position-reporting merge between a binding column and a sorted
+// candidate list. They operate on raw ID slices, not *List, because the
+// engine's binding tables are columnar []ID storage where values repeat
+// (one entry per intermediate row), which Lists — strict sets — cannot
+// represent.
+
+// Gallop returns the smallest index i in [from, len(ids)) with
+// ids[i] >= target, using exponential probing followed by binary search
+// over the located range. ids must be sorted ascending (duplicates
+// allowed). It runs in O(log d) where d is the distance from 'from' to
+// the answer, which is what makes lopsided merge-joins cheap: each step
+// pays for the distance actually advanced, not the list length.
+func Gallop(ids []ID, from int, target ID) int {
+	n := len(ids)
+	if from >= n || ids[from] >= target {
+		return from
+	}
+	// Invariant: ids[lo] < target. Double the step until we overshoot.
+	lo, step := from, 1
+	for lo+step < n && ids[lo+step] < target {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step
+	if hi > n {
+		hi = n
+	}
+	// Binary search in (lo, hi].
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// MergeFilter merge-joins a non-decreasing binding column (duplicates
+// allowed) against a strictly-increasing candidate list and calls keep
+// with the index of every column entry present in the list, in
+// ascending index order. Both sides advance by galloping, so the cost
+// is linear in the smaller side and logarithmic in skipped runs of the
+// larger — the engine's sorted-column ∩ sorted-list join step.
+func MergeFilter(col, list []ID, keep func(i int)) {
+	i, j := 0, 0
+	for i < len(col) && j < len(list) {
+		switch {
+		case col[i] < list[j]:
+			i = Gallop(col, i+1, list[j])
+		case col[i] > list[j]:
+			j = Gallop(list, j+1, col[i])
+		default:
+			v := list[j]
+			for i < len(col) && col[i] == v {
+				keep(i)
+				i++
+			}
+			j++
+		}
+	}
+}
+
+// ContainsSorted reports whether target occurs in the ascending slice
+// ids (duplicates allowed).
+func ContainsSorted(ids []ID, target ID) bool {
+	i := searchIDs(ids, target)
+	return i < len(ids) && ids[i] == target
+}

@@ -1,0 +1,116 @@
+package idlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGallop(t *testing.T) {
+	ids := []ID{2, 4, 4, 8, 16, 32, 32, 32, 64}
+	cases := []struct {
+		from   int
+		target ID
+		want   int
+	}{
+		{0, 1, 0},
+		{0, 2, 0},
+		{0, 3, 1},
+		{0, 4, 1},
+		{2, 4, 2},
+		{0, 5, 3},
+		{0, 32, 5},
+		{0, 33, 8},
+		{0, 64, 8},
+		{0, 65, 9},
+		{9, 1, 9},
+	}
+	for _, c := range cases {
+		if got := Gallop(ids, c.from, c.target); got != c.want {
+			t.Errorf("Gallop(from=%d, target=%d) = %d, want %d", c.from, c.target, got, c.want)
+		}
+	}
+}
+
+func TestGallopRandomMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ids := make([]ID, 0, 500)
+	v := ID(0)
+	for i := 0; i < 500; i++ {
+		v += ID(rng.Intn(3)) // duplicates and gaps
+		ids = append(ids, v)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		from := rng.Intn(len(ids) + 1)
+		target := ID(rng.Intn(int(v) + 2))
+		got := Gallop(ids, from, target)
+		want := from
+		for want < len(ids) && ids[want] < target {
+			want++
+		}
+		if got != want {
+			t.Fatalf("Gallop(from=%d, target=%d) = %d, want %d", from, target, got, want)
+		}
+	}
+}
+
+func TestMergeFilter(t *testing.T) {
+	col := []ID{1, 3, 3, 3, 5, 9, 9, 12}
+	list := []ID{2, 3, 9, 12, 20}
+	var got []int
+	MergeFilter(col, list, func(i int) { got = append(got, i) })
+	want := []int{1, 2, 3, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("MergeFilter kept %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MergeFilter kept %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergeFilterRandomMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		col := make([]ID, 0, 100)
+		v := ID(0)
+		for i := 0; i < rng.Intn(100); i++ {
+			v += ID(rng.Intn(4))
+			col = append(col, v)
+		}
+		var lb Builder
+		for i := 0; i < rng.Intn(60); i++ {
+			lb.Add(ID(rng.Intn(120) + 1))
+		}
+		list := lb.Finish().IDs()
+
+		var got []int
+		MergeFilter(col, list, func(i int) { got = append(got, i) })
+		var want []int
+		for i, c := range col {
+			if ContainsSorted(list, c) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: kept %v, want %v (col=%v list=%v)", trial, got, want, col, list)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: kept %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestContainsSorted(t *testing.T) {
+	ids := []ID{1, 4, 4, 9}
+	for _, c := range []struct {
+		id   ID
+		want bool
+	}{{0, false}, {1, true}, {2, false}, {4, true}, {9, true}, {10, false}} {
+		if got := ContainsSorted(ids, c.id); got != c.want {
+			t.Errorf("ContainsSorted(%d) = %v, want %v", c.id, got, c.want)
+		}
+	}
+}

@@ -48,11 +48,15 @@ type Engine struct {
 	// store is the in-memory Hexastore behind g, when there is one; it
 	// enables exact selectivity estimates and vector-level merge joins.
 	store *core.Store
+	// sorted is the backend's sorted-list capability, when it has one;
+	// it gives non-memory backends (the disk store) scan-free
+	// selectivity answers for the 2- and 3-bound pattern shapes.
+	sorted graph.SortedSource
 }
 
 // NewEngine returns an engine over the in-memory store st.
 func NewEngine(st *core.Store) *Engine {
-	return &Engine{g: graph.Memory(st), store: st}
+	return NewGraphEngine(graph.Memory(st))
 }
 
 // NewGraphEngine returns an engine over any Graph backend. Index-aware
@@ -62,12 +66,18 @@ func NewGraphEngine(g graph.Graph) *Engine {
 	if st, ok := graph.Unwrap(g).(*core.Store); ok {
 		e.store = st
 	}
+	if ss, ok := graph.AsSortedSource(g); ok {
+		e.sorted = ss
+	}
 	return e
 }
 
 // Store returns the in-memory Hexastore behind the engine, or nil when
 // the engine runs over a different backend.
 func (e *Engine) Store() *core.Store { return e.store }
+
+// Sorted returns the backend's SortedSource capability, or nil.
+func (e *Engine) Sorted() graph.SortedSource { return e.sorted }
 
 // Graph returns the backend the engine evaluates against.
 func (e *Engine) Graph() graph.Graph { return e.g }
@@ -85,11 +95,37 @@ func (e *Engine) Count(pat Pattern) (int, error) {
 // Selectivity estimates the result cardinality of pat. On a memory
 // backend it never scans: exact for 2–3 bound positions (terminal-list
 // lengths), vector length × average for 1 bound, store size for 0
-// bound. Other backends answer with an exact Count (a prefix scan);
+// bound. On a SortedSource backend (the disk store) the 3-bound shape
+// is one existence probe, the 2-bound shape one counting prefix scan,
+// and the sparser shapes fall back to the store size, never a full
+// scan. Other backends answer with an exact Count (a full scan);
 // backend errors degrade to 0. Used by the sparql planner to order
 // patterns.
 func (e *Engine) Selectivity(pat Pattern) int {
 	st := e.store
+	if st == nil && e.sorted != nil {
+		switch pat.Bound() {
+		case 3:
+			ok, err := e.g.Has(pat.S, pat.P, pat.O)
+			if err != nil {
+				return 0
+			}
+			if ok {
+				return 1
+			}
+			return 0
+		case 2:
+			// A counting prefix scan — same I/O as fetching the sorted
+			// list but without materializing it.
+			n, err := e.g.Count(pat.S, pat.P, pat.O)
+			if err != nil {
+				return 0
+			}
+			return n
+		default:
+			return e.g.Len()
+		}
+	}
 	if st == nil {
 		n, err := e.g.Count(pat.S, pat.P, pat.O)
 		if err != nil {

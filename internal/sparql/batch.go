@@ -1,0 +1,654 @@
+package sparql
+
+// This file implements the vectorized batch execution engine under the
+// SPARQL evaluator. Instead of the historical tuple-at-a-time bind join
+// (one map[string]ID binding per step, one Match callback per candidate
+// triple), a basic graph pattern is evaluated against a columnar
+// binding table: one []core.ID column per variable, one join step per
+// triple pattern.
+//
+// Each step is one of three shapes (paper §4.2 — every Hexastore vector
+// and terminal list is sorted, so pairwise joins are linear
+// merge-joins):
+//
+//   - merge/probe filter: the pattern binds no new variable. When the
+//     pattern is one join column against two constants, its sorted
+//     candidate list is fetched once and merge-intersected against the
+//     column with galloping (idlist.MergeFilter); otherwise each row is
+//     an existence probe.
+//   - expansion: the pattern binds new variables. Candidate values come
+//     from the backend's sorted lists (graph.SortedSource) and are
+//     appended to fresh columns with bulk slice copies — a batched bind
+//     join with no per-triple callback into the evaluator.
+//   - fallback: backends without sorted-list access (the flat baseline
+//     table) collect candidates through Match into reusable scratch
+//     buffers; the table machinery is identical, only the fetch differs.
+//
+// Rows stay dictionary-encoded IDs until final projection (late
+// materialization): DISTINCT and GROUP BY key on fixed-width binary ID
+// tuples and terms are decoded once per emitted row through a per-query
+// cache.
+//
+// Trade-off versus the old depth-first walk: batch execution
+// materializes each intermediate table in full. The final join step is
+// capped when every surviving row is guaranteed to be emitted (rowCap,
+// restoring early termination for plain ASK/LIMIT), but intermediate
+// steps — and queries where DISTINCT, trailing filters or OPTIONAL
+// groups sit between the join and emission — do the whole join before
+// the limit applies, where the streaming walk could stop mid-join.
+// Chunked (per-seed-range) execution would recover that and is the
+// natural follow-up once execution is partitioned for parallelism.
+
+import (
+	"slices"
+
+	"hexastore/internal/core"
+	"hexastore/internal/graph"
+	"hexastore/internal/idlist"
+)
+
+// batchTable is the columnar binding table: cols[i] holds the value of
+// variable vars[i] for every intermediate row. n is the row count; the
+// table starts as one logical row with no columns (the unit table), so
+// seeding and cross products need no special casing. sorted[i] records
+// that cols[i] is non-decreasing, which is what licenses the galloping
+// merge in filter steps.
+type batchTable struct {
+	vars   []string
+	cols   [][]core.ID
+	sorted []bool
+	n      int
+}
+
+func (t *batchTable) reset() {
+	t.vars = t.vars[:0]
+	t.cols = t.cols[:0]
+	t.sorted = t.sorted[:0]
+	t.n = 1
+}
+
+func (t *batchTable) colIndex(name string) int {
+	for i, v := range t.vars {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// compact keeps only the rows whose indices are listed in keep
+// (ascending), preserving order — so sortedness flags survive.
+func (t *batchTable) compact(keep []int) {
+	for c, col := range t.cols {
+		for w, r := range keep {
+			col[w] = col[r]
+		}
+		t.cols[c] = col[:len(keep)]
+	}
+	t.n = len(keep)
+}
+
+// stepKind classifies each pattern position against the current table.
+type stepKind uint8
+
+const (
+	posConst stepKind = iota // constant id (sp.ids[j])
+	posCol                   // already-bound variable (column sp.colAt[j])
+	posFree                  // new variable (output slot sp.slot[j])
+)
+
+// stepSpec is one pattern classified against the current binding table.
+type stepSpec struct {
+	kind [3]stepKind
+	ids  [3]core.ID // constants; None at col/free positions — i.e. the fetch pattern before per-row substitution
+	// colAt[j] is the table column substituted into position j per row.
+	colAt [3]int
+	// slot[j] is the output slot of a free position; positions sharing a
+	// variable name share a slot, which encodes repeated-variable
+	// equality (?x <p> ?x).
+	slot     [3]int
+	newNames []string // distinct new variable names, in position order
+	nCols    int      // number of posCol positions
+	nFree    int      // number of posFree positions (duplicates counted)
+}
+
+// batchExec evaluates one union branch over a binding table.
+type batchExec struct {
+	ev     *evaluator
+	src    graph.Graph
+	sorted graph.SortedSource // nil → Match-collect fallback
+	tbl    batchTable
+
+	// Reusable scratch, to keep the steady state allocation-free.
+	keep []int
+	bufA []core.ID
+	bufB []core.ID
+	bufC []core.ID
+
+	// rowCap, when ≥ 0, bounds the rows produced by the current step.
+	// It is set only on the final join step of a branch where every
+	// surviving row is guaranteed to be emitted (no DISTINCT, trailing
+	// filters or OPTIONAL groups), restoring the streaming engine's
+	// early termination for ASK and plain LIMIT queries.
+	rowCap int
+}
+
+// runBatch joins the ordered patterns into the binding table, applying
+// each staged filter as soon as its variables are bound, then emits —
+// directly from the columns when the query has no OPTIONAL groups, or
+// through the tuple-at-a-time optional matcher otherwise.
+func (bx *batchExec) runBatch(pats []idPattern, order []int, stepFilters [][]Filter, optionals [][]idPattern, lateFilters []Filter) error {
+	bx.tbl.reset()
+	// When nothing after the join can reject or merge rows, the final
+	// step needs to produce only as many rows as are still wanted.
+	finalCap := -1
+	ev := bx.ev
+	if ev.target > 0 && !ev.aggMode && ev.distinct == nil &&
+		len(optionals) == 0 && len(lateFilters) == 0 && len(stepFilters[len(order)]) == 0 {
+		finalCap = ev.target - len(ev.res.Rows)
+	}
+	for k, pi := range order {
+		for _, f := range stepFilters[k] {
+			if err := bx.filterRows(f); err != nil {
+				return err
+			}
+		}
+		if bx.tbl.n == 0 {
+			return nil
+		}
+		bx.rowCap = -1
+		if k == len(order)-1 {
+			bx.rowCap = finalCap
+		}
+		if err := bx.step(&pats[pi]); err != nil {
+			return err
+		}
+		if bx.tbl.n == 0 {
+			return nil
+		}
+	}
+	for _, f := range stepFilters[len(order)] {
+		if err := bx.filterRows(f); err != nil {
+			return err
+		}
+	}
+	if len(optionals) == 0 {
+		return bx.emitRows(lateFilters)
+	}
+	return bx.emitRowsWithOptionals(optionals, lateFilters)
+}
+
+// classify resolves one pattern against the current table.
+func (bx *batchExec) classify(p *idPattern) stepSpec {
+	sp := stepSpec{colAt: [3]int{-1, -1, -1}, slot: [3]int{-1, -1, -1}}
+	for j := 0; j < 3; j++ {
+		t := p.term(j)
+		if t.Kind == Const {
+			sp.kind[j] = posConst
+			sp.ids[j] = p.ids[j]
+			continue
+		}
+		if c := bx.tbl.colIndex(t.Name); c >= 0 {
+			sp.kind[j] = posCol
+			sp.colAt[j] = c
+			sp.nCols++
+			continue
+		}
+		sp.kind[j] = posFree
+		sp.nFree++
+		slot := -1
+		for k := 0; k < j; k++ {
+			if sp.kind[k] == posFree && p.term(k).Name == t.Name {
+				slot = sp.slot[k]
+				break
+			}
+		}
+		if slot < 0 {
+			slot = len(sp.newNames)
+			sp.newNames = append(sp.newNames, t.Name)
+		}
+		sp.slot[j] = slot
+	}
+	return sp
+}
+
+// subst returns the value of position j for row r: the constant, or the
+// row's value of the bound column. Free positions return None.
+func (bx *batchExec) subst(sp *stepSpec, j, r int) core.ID {
+	if sp.colAt[j] >= 0 {
+		return bx.tbl.cols[sp.colAt[j]][r]
+	}
+	return sp.ids[j]
+}
+
+func (bx *batchExec) step(p *idPattern) error {
+	sp := bx.classify(p)
+	if len(sp.newNames) == 0 {
+		return bx.filterStep(&sp)
+	}
+	return bx.expandStep(&sp)
+}
+
+// filterStep handles patterns that bind nothing new: every position is
+// a constant or a join column, so the step only discards rows.
+func (bx *batchExec) filterStep(sp *stepSpec) error {
+	tbl := &bx.tbl
+	switch {
+	case sp.nCols == 0:
+		// Fully constant pattern: one existence probe decides all rows.
+		ok, err := bx.src.Has(sp.ids[0], sp.ids[1], sp.ids[2])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			tbl.compact(nil)
+		}
+		return nil
+
+	case sp.nCols == 1:
+		// One join column against two constants — the merge-join step:
+		// fetch the pattern's sorted candidate list once and intersect
+		// it with the column. A sorted column takes the linear merge
+		// with galloping; an unsorted one degrades to one binary probe
+		// per row, which is still one probe against a single list.
+		list, err := bx.candidateList(sp)
+		if err != nil {
+			return err
+		}
+		c := -1
+		for j := 0; j < 3; j++ {
+			if sp.colAt[j] >= 0 {
+				c = sp.colAt[j]
+			}
+		}
+		keep := bx.keep[:0]
+		if tbl.sorted[c] {
+			idlist.MergeFilter(tbl.cols[c], list, func(i int) { keep = append(keep, i) })
+		} else {
+			for i, v := range tbl.cols[c] {
+				if idlist.ContainsSorted(list, v) {
+					keep = append(keep, i)
+				}
+			}
+		}
+		tbl.compact(keep)
+		bx.keep = keep
+		return nil
+
+	default:
+		// Two or more bound columns: per-row existence probe, which the
+		// store answers from the right index for any binding shape.
+		keep := bx.keep[:0]
+		for r := 0; r < tbl.n; r++ {
+			if bx.rowCap >= 0 && len(keep) >= bx.rowCap {
+				break
+			}
+			ok, err := bx.src.Has(bx.subst(sp, 0, r), bx.subst(sp, 1, r), bx.subst(sp, 2, r))
+			if err != nil {
+				return err
+			}
+			if ok {
+				keep = append(keep, r)
+			}
+		}
+		tbl.compact(keep)
+		bx.keep = keep
+		return nil
+	}
+}
+
+// candidateList returns the sorted candidate values of the single free
+// (None) position of the 2-bound fetch pattern in sp — appended into
+// the reused scratch buffer by a SortedSource, or collected through
+// Match and sorted for backends without sorted-list access.
+func (bx *batchExec) candidateList(sp *stepSpec) ([]core.ID, error) {
+	if bx.sorted != nil {
+		ids, err := bx.sorted.AppendSortedList(bx.bufA[:0], sp.ids[0], sp.ids[1], sp.ids[2])
+		if err != nil {
+			return nil, err
+		}
+		bx.bufA = ids
+		return ids, nil
+	}
+	// The fetch pattern leaves None exactly at the join-column position;
+	// that is the position whose values we collect.
+	free := 0
+	for j := 0; j < 3; j++ {
+		if sp.colAt[j] >= 0 {
+			free = j
+		}
+	}
+	bx.bufA = bx.bufA[:0]
+	if err := bx.src.Match(sp.ids[0], sp.ids[1], sp.ids[2], func(ms, mp, mo core.ID) bool {
+		bx.bufA = append(bx.bufA, pick(free, ms, mp, mo))
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	slices.Sort(bx.bufA)
+	return bx.bufA, nil
+}
+
+func pick(j int, s, p, o core.ID) core.ID {
+	switch j {
+	case 0:
+		return s
+	case 1:
+		return p
+	default:
+		return o
+	}
+}
+
+// appendRun appends k copies of v to dst.
+func appendRun(dst []core.ID, v core.ID, k int) []core.ID {
+	for i := 0; i < k; i++ {
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// expandStep handles patterns that bind one or two new variables (three
+// only for the all-free pattern): for every row, the candidate values
+// of the free positions are fetched — one sorted-list or sorted-pairs
+// access per row, or a single shared fetch when the bound positions are
+// all constants — and spliced onto the table with bulk appends.
+func (bx *batchExec) expandStep(sp *stepSpec) error {
+	tbl := &bx.tbl
+	rowIndep := sp.nCols == 0
+	oldCols := tbl.cols
+	out := make([][]core.ID, len(oldCols)+len(sp.newNames))
+
+	// remaining returns how many more rows this step may produce, or -1
+	// for unlimited; 0 means stop.
+	remaining := func() int {
+		if bx.rowCap < 0 {
+			return -1
+		}
+		left := bx.rowCap - len(out[len(oldCols)])
+		if left < 0 {
+			return 0
+		}
+		return left
+	}
+
+	switch sp.nFree {
+	case 1:
+		var shared []core.ID
+		if rowIndep {
+			ids, err := bx.candidates1(sp, 0)
+			if err != nil {
+				return err
+			}
+			shared = ids
+		}
+		for r := 0; r < tbl.n; r++ {
+			left := remaining()
+			if left == 0 {
+				break
+			}
+			ids := shared
+			if !rowIndep {
+				var err error
+				ids, err = bx.candidates1(sp, r)
+				if err != nil {
+					return err
+				}
+			}
+			if left >= 0 && len(ids) > left {
+				ids = ids[:left]
+			}
+			if len(ids) == 0 {
+				continue
+			}
+			for c := range oldCols {
+				out[c] = appendRun(out[c], oldCols[c][r], len(ids))
+			}
+			out[len(oldCols)] = append(out[len(oldCols)], ids...)
+		}
+
+	case 2:
+		for r := 0; r < tbl.n; r++ {
+			left := remaining()
+			if left == 0 {
+				break
+			}
+			if rowIndep && r > 0 {
+				// Cross product against a shared fetch: the scratch
+				// buffers still hold row 0's candidates.
+			} else if err := bx.candidates2(sp, r, left); err != nil {
+				return err
+			}
+			k := len(bx.bufA)
+			if left >= 0 && k > left {
+				k = left
+			}
+			if k == 0 {
+				continue
+			}
+			for c := range oldCols {
+				out[c] = appendRun(out[c], oldCols[c][r], k)
+			}
+			out[len(oldCols)] = append(out[len(oldCols)], bx.bufA[:k]...)
+			if len(sp.newNames) == 2 {
+				out[len(oldCols)+1] = append(out[len(oldCols)+1], bx.bufB[:k]...)
+			}
+		}
+
+	default: // 3 free positions: full scan seed (or cross product)
+		if err := bx.candidates3(sp, bx.rowCap); err != nil {
+			return err
+		}
+		for r := 0; r < tbl.n && len(bx.bufA) > 0; r++ {
+			k := len(bx.bufA)
+			left := remaining()
+			if left == 0 {
+				break
+			}
+			if left >= 0 && k > left {
+				k = left
+			}
+			for c := range oldCols {
+				out[c] = appendRun(out[c], oldCols[c][r], k)
+			}
+			out[len(oldCols)] = append(out[len(oldCols)], bx.bufA[:k]...)
+			if len(sp.newNames) >= 2 {
+				out[len(oldCols)+1] = append(out[len(oldCols)+1], bx.bufB[:k]...)
+			}
+			if len(sp.newNames) == 3 {
+				out[len(oldCols)+2] = append(out[len(oldCols)+2], bx.bufC[:k]...)
+			}
+		}
+	}
+
+	newSorted := make([]bool, len(out))
+	copy(newSorted, tbl.sorted)
+	// A single sorted fetch expanding the unit table seeds a genuinely
+	// sorted first column (SortedList values, or the first position of a
+	// SortedPairs stream); everything else is only sorted within runs.
+	if rowIndep && tbl.n == 1 && bx.sorted != nil && sp.nFree <= 2 {
+		newSorted[len(oldCols)] = true
+	}
+	tbl.vars = append(tbl.vars, sp.newNames...)
+	tbl.cols = out
+	tbl.sorted = newSorted
+	if len(out) > 0 {
+		tbl.n = len(out[len(out)-1])
+	} else {
+		tbl.n = 0
+	}
+	if bx.rowCap >= 0 && tbl.n > bx.rowCap {
+		for c := range tbl.cols {
+			tbl.cols[c] = tbl.cols[c][:bx.rowCap]
+		}
+		tbl.n = bx.rowCap
+	}
+	return nil
+}
+
+// candidates1 returns the candidate values of the single free position
+// for row r, appended into the reused scratch buffer — one sorted-list
+// copy under the store's lock with a SortedSource, a Match collection
+// otherwise.
+func (bx *batchExec) candidates1(sp *stepSpec, r int) ([]core.ID, error) {
+	s, p, o := bx.subst(sp, 0, r), bx.subst(sp, 1, r), bx.subst(sp, 2, r)
+	if bx.sorted != nil {
+		ids, err := bx.sorted.AppendSortedList(bx.bufA[:0], s, p, o)
+		if err != nil {
+			return nil, err
+		}
+		bx.bufA = ids
+		return ids, nil
+	}
+	free := 0
+	for j := 0; j < 3; j++ {
+		if sp.kind[j] == posFree {
+			free = j
+		}
+	}
+	bx.bufA = bx.bufA[:0]
+	if err := bx.src.Match(s, p, o, func(ms, mp, mo core.ID) bool {
+		bx.bufA = append(bx.bufA, pick(free, ms, mp, mo))
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return bx.bufA, nil
+}
+
+// candidates2 fills bufA/bufB with the value pairs of the two free
+// positions for row r, applying the repeated-variable constraint when
+// both positions share a slot (?x <p> ?x keeps only equal pairs, in
+// bufA alone). A non-negative limit stops collection once that many
+// pairs are kept.
+func (bx *batchExec) candidates2(sp *stepSpec, r, limit int) error {
+	s, p, o := bx.subst(sp, 0, r), bx.subst(sp, 1, r), bx.subst(sp, 2, r)
+	ja, jb := -1, -1
+	for j := 0; j < 3; j++ {
+		if sp.kind[j] == posFree {
+			if ja < 0 {
+				ja = j
+			} else {
+				jb = j
+			}
+		}
+	}
+	same := sp.slot[ja] == sp.slot[jb]
+	bx.bufA, bx.bufB = bx.bufA[:0], bx.bufB[:0]
+	add := func(a, b core.ID) bool {
+		if same {
+			if a == b {
+				bx.bufA = append(bx.bufA, a)
+			}
+		} else {
+			bx.bufA = append(bx.bufA, a)
+			bx.bufB = append(bx.bufB, b)
+		}
+		return limit < 0 || len(bx.bufA) < limit
+	}
+	if bx.sorted != nil {
+		return bx.sorted.SortedPairs(s, p, o, add)
+	}
+	return bx.src.Match(s, p, o, func(ms, mp, mo core.ID) bool {
+		return add(pick(ja, ms, mp, mo), pick(jb, ms, mp, mo))
+	})
+}
+
+// candidates3 fills bufA/bufB/bufC with the values of the (up to three
+// distinct) free variables of an all-free pattern, enforcing slot
+// equality for repeated names (?x ?x ?o, ?x ?p ?x, ?x ?x ?x). A
+// non-negative limit stops the scan once that many matches are kept.
+func (bx *batchExec) candidates3(sp *stepSpec, limit int) error {
+	bx.bufA, bx.bufB, bx.bufC = bx.bufA[:0], bx.bufB[:0], bx.bufC[:0]
+	bufs := [3]*[]core.ID{&bx.bufA, &bx.bufB, &bx.bufC}
+	return bx.src.Match(core.None, core.None, core.None, func(ms, mp, mo core.ID) bool {
+		vals := [3]core.ID{ms, mp, mo}
+		var out [3]core.ID
+		var seen [3]bool
+		for j := 0; j < 3; j++ {
+			sl := sp.slot[j]
+			if seen[sl] {
+				if out[sl] != vals[j] {
+					return true // repeated variable, differing values
+				}
+				continue
+			}
+			out[sl], seen[sl] = vals[j], true
+		}
+		for i := range sp.newNames {
+			*bufs[i] = append(*bufs[i], out[i])
+		}
+		return limit < 0 || len(bx.bufA) < limit
+	})
+}
+
+// filterRows applies one staged FILTER to every row.
+func (bx *batchExec) filterRows(f Filter) error {
+	tbl := &bx.tbl
+	keep := bx.keep[:0]
+	var r int
+	lookup := bx.rowLookup(&r)
+	for r = 0; r < tbl.n; r++ {
+		ok, err := bx.ev.evalFilterWith(f, lookup)
+		if err != nil {
+			return err
+		}
+		if ok {
+			keep = append(keep, r)
+		}
+	}
+	tbl.compact(keep)
+	bx.keep = keep
+	return nil
+}
+
+// rowLookup returns a variable lookup over the table row *r. Column
+// indices are resolved through a map built once per call, so per-row
+// lookups cost one hash probe instead of a scan over the column names.
+func (bx *batchExec) rowLookup(r *int) func(string) (core.ID, bool) {
+	tbl := &bx.tbl
+	colOf := make(map[string]int, len(tbl.vars))
+	for i, v := range tbl.vars {
+		colOf[v] = i
+	}
+	return func(name string) (core.ID, bool) {
+		if c, ok := colOf[name]; ok {
+			return tbl.cols[c][*r], true
+		}
+		return core.None, false
+	}
+}
+
+// emitRows materializes the table directly: per row, late filters run
+// on IDs, DISTINCT keys on the binary ID tuple, and terms are decoded
+// only for rows that survive.
+func (bx *batchExec) emitRows(lateFilters []Filter) error {
+	ev := bx.ev
+	var r int
+	lookup := bx.rowLookup(&r)
+	for r = 0; r < bx.tbl.n && !ev.done; r++ {
+		if err := ev.emitWith(lookup, lateFilters); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitRowsWithOptionals hands each surviving row to the tuple-at-a-time
+// optional matcher: the row's bindings are installed in the evaluator's
+// binding map, and each OPTIONAL group extends (or passes through) the
+// solution exactly as before.
+func (bx *batchExec) emitRowsWithOptionals(optionals [][]idPattern, lateFilters []Filter) error {
+	ev := bx.ev
+	tbl := &bx.tbl
+	clear(ev.binding) // drop bindings left over from a previous union branch
+	for r := 0; r < tbl.n && !ev.done; r++ {
+		for c, name := range tbl.vars {
+			ev.binding[name] = tbl.cols[c][r]
+		}
+		if err := ev.runOptionals(optionals, 0, lateFilters); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strconv"
@@ -111,12 +112,13 @@ func Eval(g graph.Graph, q *Query) (*Result, error) {
 	return ev.run()
 }
 
-// engineFor returns an index-aware engine when g is backed by the
-// in-memory Hexastore, and nil otherwise: generic backends price
-// patterns with scans, which is too expensive for per-step selectivity
-// tie-breaking.
+// engineFor returns an index-aware engine when g answers selectivity
+// without scanning — the in-memory Hexastore (vector-level estimates)
+// or any SortedSource backend such as the disk store (sorted-list
+// lengths). Generic backends price patterns with scans, which is too
+// expensive for per-step selectivity tie-breaking, so they get nil.
 func engineFor(g graph.Graph) *query.Engine {
-	if eng := query.NewGraphEngine(g); eng.Store() != nil {
+	if eng := query.NewGraphEngine(g); eng.Store() != nil || eng.Sorted() != nil {
 		return eng
 	}
 	return nil
@@ -140,6 +142,18 @@ type evaluator struct {
 	distinct map[string]bool
 	target   int // rows needed before OFFSET/LIMIT trimming; -1 = all
 	done     bool
+
+	// batch is the columnar join executor, one per evaluation; its
+	// binding table and scratch buffers are reused across branches.
+	batch batchExec
+
+	// keyBuf is the reusable buffer for binary DISTINCT / GROUP BY keys
+	// (fixed-width big-endian ids; None encodes unbound).
+	keyBuf []byte
+
+	// termCache memoizes dictionary decodes for the current query, so a
+	// term is decoded once however many rows it appears in.
+	termCache map[core.ID]rdf.Term
 
 	// orderKeys[i] holds the ORDER BY key terms of res.Rows[i]; kept
 	// separately because sort variables need not be projected.
@@ -173,6 +187,12 @@ func (ev *evaluator) run() (*Result, error) {
 	}
 	ev.optVars = q.OptionalVars()
 	ev.binding = make(map[string]core.ID)
+	ev.termCache = make(map[core.ID]rdf.Term)
+	ev.batch.ev = ev
+	ev.batch.src = ev.src
+	if ss, ok := graph.AsSortedSource(ev.src); ok {
+		ev.batch.sorted = ss
+	}
 	if len(q.Aggregates) > 0 {
 		ev.aggMode = true
 		ev.groups = make(map[string]*aggGroup)
@@ -321,62 +341,10 @@ func (ev *evaluator) runBranch(pats []idPattern, optionals [][]idPattern) error 
 		}
 	}
 
-	var walk func(step int) error
-	walk = func(step int) error {
-		if ev.done {
-			return nil
-		}
-		for _, f := range stepFilters[step] {
-			ok, err := ev.evalFilter(f)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-		}
-		if step == len(order) {
-			return ev.runOptionals(optionals, 0, lateFilters)
-		}
-
-		p := &pats[order[step]]
-		s, sVar := resolvePos(p, 0, ev.binding)
-		pr, pVar := resolvePos(p, 1, ev.binding)
-		o, oVar := resolvePos(p, 2, ev.binding)
-
-		var walkErr error
-		merr := ev.src.Match(s, pr, o, func(ms, mp, mo core.ID) bool {
-			// A variable may occur in several positions of one pattern
-			// (e.g. ?x <p> ?x); positions sharing a name must agree.
-			if sVar != "" {
-				ev.binding[sVar] = ms
-			}
-			if pVar != "" {
-				if pVar == sVar && mp != ms {
-					return true
-				}
-				ev.binding[pVar] = mp
-			}
-			if oVar != "" {
-				if (oVar == sVar && mo != ms) || (oVar == pVar && mo != mp) {
-					return true
-				}
-				ev.binding[oVar] = mo
-			}
-			walkErr = walk(step + 1)
-			return walkErr == nil && !ev.done
-		})
-		for _, v := range []string{sVar, pVar, oVar} {
-			if v != "" {
-				delete(ev.binding, v)
-			}
-		}
-		if walkErr != nil {
-			return walkErr
-		}
-		return merr
-	}
-	return walk(0)
+	// Join the required patterns with the columnar batch engine; rows
+	// that survive are materialized (or extended by OPTIONAL groups)
+	// from the binding table.
+	return ev.batch.runBatch(pats, order, stepFilters, optionals, lateFilters)
 }
 
 // runOptionals extends the current binding with optional group g onward,
@@ -453,11 +421,48 @@ func (ev *evaluator) runOptionals(optionals [][]idPattern, g int, lateFilters []
 	return nil
 }
 
+// bindingLookup reads a variable from the tuple-at-a-time binding map;
+// it is the lookup used by the OPTIONAL matcher. The batch engine
+// passes column-backed lookups instead.
+func (ev *evaluator) bindingLookup(name string) (core.ID, bool) {
+	id, ok := ev.binding[name]
+	return id, ok
+}
+
+// appendIDKey appends the fixed-width binary encoding of one id to a
+// DISTINCT / GROUP BY key: 8 bytes big-endian. None (never assigned to
+// a term) encodes an unbound optional variable.
+func appendIDKey(buf []byte, id core.ID) []byte {
+	return binary.BigEndian.AppendUint64(buf, uint64(id))
+}
+
+// decodeCached decodes id through the per-query term cache, so each
+// distinct term is materialized once no matter how many rows carry it.
+func (ev *evaluator) decodeCached(id core.ID) (rdf.Term, error) {
+	if t, ok := ev.termCache[id]; ok {
+		return t, nil
+	}
+	t, err := ev.dict.Decode(id)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	ev.termCache[id] = t
+	return t, nil
+}
+
 // emit projects the current binding into a row, applying late filters
 // and DISTINCT.
 func (ev *evaluator) emit(lateFilters []Filter) error {
+	return ev.emitWith(ev.bindingLookup, lateFilters)
+}
+
+// emitWith projects one solution, reading variables through lookup —
+// the binding map on the tuple-at-a-time path, a table column on the
+// batch path. Late materialization: DISTINCT is decided on the binary
+// ID tuple and terms are decoded only for rows that are actually kept.
+func (ev *evaluator) emitWith(lookup func(string) (core.ID, bool), lateFilters []Filter) error {
 	for _, f := range lateFilters {
-		ok, err := ev.evalFilter(f)
+		ok, err := ev.evalFilterWith(f, lookup)
 		if err != nil {
 			return err
 		}
@@ -466,42 +471,44 @@ func (ev *evaluator) emit(lateFilters []Filter) error {
 		}
 	}
 	if ev.aggMode {
-		return ev.fold()
+		return ev.foldWith(lookup)
+	}
+	if ev.distinct != nil {
+		key := ev.keyBuf[:0]
+		for _, name := range ev.vars {
+			id, ok := lookup(name)
+			if !ok && !ev.optVars[name] {
+				return fmt.Errorf("sparql: internal: variable ?%s unbound at solution", name)
+			}
+			key = appendIDKey(key, id) // unbound: id == None
+		}
+		ev.keyBuf = key
+		if ev.distinct[string(key)] {
+			return nil
+		}
+		ev.distinct[string(key)] = true
 	}
 	row := make(Row, len(ev.vars))
-	var key strings.Builder
 	for _, name := range ev.vars {
-		id, ok := ev.binding[name]
+		id, ok := lookup(name)
 		if !ok {
 			if !ev.optVars[name] {
 				return fmt.Errorf("sparql: internal: variable ?%s unbound at solution", name)
 			}
-			if ev.distinct != nil {
-				key.WriteString("-|")
-			}
 			continue
 		}
-		term, err := ev.dict.Decode(id)
+		term, err := ev.decodeCached(id)
 		if err != nil {
 			return err
 		}
 		row[name] = term
-		if ev.distinct != nil {
-			fmt.Fprintf(&key, "%d|", id)
-		}
-	}
-	if ev.distinct != nil {
-		if ev.distinct[key.String()] {
-			return nil
-		}
-		ev.distinct[key.String()] = true
 	}
 	ev.res.Rows = append(ev.res.Rows, row)
 	if len(ev.q.OrderBy) > 0 {
 		keys := make([]orderVal, len(ev.q.OrderBy))
 		for i, k := range ev.q.OrderBy {
-			if id, ok := ev.binding[k.Var]; ok {
-				term, err := ev.dict.Decode(id)
+			if id, ok := lookup(k.Var); ok {
+				term, err := ev.decodeCached(id)
 				if err != nil {
 					return err
 				}
@@ -516,17 +523,16 @@ func (ev *evaluator) emit(lateFilters []Filter) error {
 	return nil
 }
 
-// fold accumulates the current solution into its GROUP BY bucket.
-func (ev *evaluator) fold() error {
-	var key strings.Builder
+// foldWith accumulates the current solution into its GROUP BY bucket,
+// keyed by the fixed-width binary encoding of the group ids.
+func (ev *evaluator) foldWith(lookup func(string) (core.ID, bool)) error {
+	key := ev.keyBuf[:0]
 	for _, name := range ev.q.GroupBy {
-		if id, ok := ev.binding[name]; ok {
-			fmt.Fprintf(&key, "%d|", id)
-		} else {
-			key.WriteString("-|")
-		}
+		id, _ := lookup(name) // unbound: id == None
+		key = appendIDKey(key, id)
 	}
-	g, ok := ev.groups[key.String()]
+	ev.keyBuf = key
+	g, ok := ev.groups[string(key)]
 	if !ok {
 		g = &aggGroup{
 			keyIDs:   make(map[string]core.ID, len(ev.q.GroupBy)),
@@ -534,7 +540,7 @@ func (ev *evaluator) fold() error {
 			distinct: make([]map[core.ID]struct{}, len(ev.q.Aggregates)),
 		}
 		for _, name := range ev.q.GroupBy {
-			if id, ok := ev.binding[name]; ok {
+			if id, ok := lookup(name); ok {
 				g.keyIDs[name] = id
 			}
 		}
@@ -543,15 +549,15 @@ func (ev *evaluator) fold() error {
 				g.distinct[i] = make(map[core.ID]struct{})
 			}
 		}
-		ev.groups[key.String()] = g
-		ev.groupSeq = append(ev.groupSeq, key.String())
+		ev.groups[string(key)] = g
+		ev.groupSeq = append(ev.groupSeq, string(key))
 	}
 	for i, a := range ev.q.Aggregates {
 		if a.Var == "" {
 			g.counts[i]++
 			continue
 		}
-		id, bound := ev.binding[a.Var]
+		id, bound := lookup(a.Var)
 		if !bound {
 			continue // COUNT skips unbound (optional) values, as in SPARQL
 		}
@@ -593,14 +599,16 @@ func (ev *evaluator) materializeGroups() error {
 	return nil
 }
 
-// evalFilter evaluates f under the current binding. A filter whose
-// variable is unbound (possible only for optional variables) fails.
-func (ev *evaluator) evalFilter(f Filter) (bool, error) {
-	left, lok, err := ev.operand(f.Left)
+// evalFilterWith evaluates f with variables read through lookup — the
+// binding map on the tuple-at-a-time path, a table column on the batch
+// path. A filter whose variable is unbound (possible only for optional
+// variables) fails.
+func (ev *evaluator) evalFilterWith(f Filter, lookup func(string) (core.ID, bool)) (bool, error) {
+	left, lok, err := ev.operandWith(f.Left, lookup)
 	if err != nil {
 		return false, err
 	}
-	right, rok, err := ev.operand(f.Right)
+	right, rok, err := ev.operandWith(f.Right, lookup)
 	if err != nil {
 		return false, err
 	}
@@ -642,17 +650,17 @@ func (ev *evaluator) evalFilter(f Filter) (bool, error) {
 	}
 }
 
-// operand resolves a filter operand to a term; ok is false when the
-// operand is an unbound variable.
-func (ev *evaluator) operand(t Term) (rdf.Term, bool, error) {
+// operandWith resolves a filter operand to a term through lookup; ok is
+// false when the operand is an unbound variable.
+func (ev *evaluator) operandWith(t Term, lookup func(string) (core.ID, bool)) (rdf.Term, bool, error) {
 	if t.Kind == Const {
 		return t.RDF, true, nil
 	}
-	id, ok := ev.binding[t.Name]
+	id, ok := lookup(t.Name)
 	if !ok {
 		return rdf.Term{}, false, nil
 	}
-	term, err := ev.dict.Decode(id)
+	term, err := ev.decodeCached(id)
 	if err != nil {
 		return rdf.Term{}, false, err
 	}
@@ -776,24 +784,25 @@ func planOrder(eng *query.Engine, pats []idPattern, preBound map[string]bool) []
 		bound[v] = true
 	}
 
-	// Static selectivity with only constants bound. A nil engine (generic
-	// Source) prices every pattern equally, so ordering falls back to the
-	// pure most-bound-first heuristic.
-	constSel := func(p *idPattern) int {
-		if eng == nil {
-			return 0
+	// Static selectivity with only constants bound, priced once per
+	// pattern — it does not depend on the evolving bound set. A nil
+	// engine (generic Source) prices every pattern equally, so ordering
+	// falls back to the pure most-bound-first heuristic.
+	constSel := make([]int, n)
+	if eng != nil {
+		for i := range pats {
+			var qp query.Pattern
+			if pats[i].pat.S.Kind == Const {
+				qp.S = pats[i].ids[0]
+			}
+			if pats[i].pat.P.Kind == Const {
+				qp.P = pats[i].ids[1]
+			}
+			if pats[i].pat.O.Kind == Const {
+				qp.O = pats[i].ids[2]
+			}
+			constSel[i] = eng.Selectivity(qp)
 		}
-		var qp query.Pattern
-		if p.pat.S.Kind == Const {
-			qp.S = p.ids[0]
-		}
-		if p.pat.P.Kind == Const {
-			qp.P = p.ids[1]
-		}
-		if p.pat.O.Kind == Const {
-			qp.O = p.ids[2]
-		}
-		return eng.Selectivity(qp)
 	}
 
 	for len(chosen) < n {
@@ -809,7 +818,7 @@ func planOrder(eng *query.Engine, pats []idPattern, preBound map[string]bool) []
 					nb++
 				}
 			}
-			sel := constSel(&pats[i])
+			sel := constSel[i]
 			if nb > bestBound || (nb == bestBound && sel < bestSel) {
 				best, bestBound, bestSel = i, nb, sel
 			}
