@@ -11,7 +11,9 @@ package hexastore_test
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -390,6 +392,75 @@ func BenchmarkBulkLoadVsIncremental(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkBulkLoad times the sort-once index construction sequentially
+// and with the full worker budget on a pre-encoded triple set — the
+// isolated cost the parallel build pipeline (Builder.BuildParallel)
+// attacks. On a multi-core machine the Parallel series should win by
+// roughly the core count's share of the sort time; with GOMAXPROCS=1
+// the two are within noise (the parallel path degrades to the
+// sequential consuming build).
+func BenchmarkBulkLoad(b *testing.B) {
+	data := lubm.Config{Universities: 3, Seed: 4}.GenerateAll()
+	dict := hexastore.NewDictionary()
+	encoded := core.EncodeTriples(dict, data, runtime.GOMAXPROCS(0))
+	run := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bl := core.NewBuilder(dict)
+				for _, t := range encoded {
+					bl.Add(t[0], t[1], t[2])
+				}
+				_ = bl.BuildParallel(workers)
+			}
+		}
+	}
+	b.Run("Sequential", run(1))
+	b.Run("Parallel", run(runtime.GOMAXPROCS(0)))
+}
+
+// BenchmarkParallelEncode times the dictionary-encoding stage of the
+// load pipeline at several worker counts over the sharded dictionary.
+func BenchmarkParallelEncode(b *testing.B) {
+	data := lubm.Config{Universities: 2, Seed: 4}.GenerateAll()
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = core.EncodeTriples(hexastore.NewDictionary(), data, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkSPARQLJoinWorkers times the 3-pattern cyclic join with
+// intra-query parallelism off and at the full budget. The join's
+// binding tables exceed the parallel row threshold, so at GOMAXPROCS>1
+// the expansion and probe steps partition across cores.
+func BenchmarkSPARQLJoinWorkers(b *testing.B) {
+	s, _ := lubmFixture(b)
+	q, err := sparql.Parse(`
+		SELECT ?student ?course WHERE {
+			?student <lubm:advisor> ?prof .
+			?prof <lubm:teacherOf> ?course .
+			?student <lubm:takesCourse> ?course
+		}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.Memory(s.Hexa)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sparql.EvalWorkers(g, q, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSnapshotRestore measures the disk-image future-work feature.

@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime"
 	"strings"
 
 	"hexastore/internal/bench"
+	"hexastore/internal/sparql"
 )
 
 func main() {
@@ -36,10 +38,13 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		listFlag = flag.Bool("list", false, "list known figure ids and exit")
 		ablation = flag.String("ablation", "", "comma-separated extension ablations (disk,cracking,kowari) or 'all'")
-		jsonOut  = flag.Bool("json", false, "also run the SPARQL-engine suite and write timings+allocs to BENCH_<rev>.json")
+		jsonOut  = flag.Bool("json", false, "also run the bulk-load and SPARQL-engine suites and write timings+allocs to BENCH_<rev>.json")
 		rev      = flag.String("rev", "", "revision label for the -json snapshot (default: current git short hash, else 'dev')")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0),
+			"parallelism budget for the load pipeline and intra-query joins; 1 = sequential")
 	)
 	flag.Parse()
+	sparql.SetMaxWorkers(*workers)
 
 	if *listFlag {
 		for _, id := range bench.FigureIDs {
@@ -71,6 +76,7 @@ func main() {
 		Steps:            *steps,
 		Repeats:          *repeats,
 		Seed:             *seed,
+		Workers:          *workers,
 	}
 	var snapshot []*bench.Figure
 	if *all || *figFlag != "" {
@@ -108,11 +114,17 @@ func main() {
 	}
 
 	if *jsonOut {
+		loadFigs, err := bench.RunLoad(cfg, progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
+			os.Exit(1)
+		}
 		figs, err := bench.RunSPARQL(cfg, progress)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
 			os.Exit(1)
 		}
+		figs = append(loadFigs, figs...)
 		for _, f := range figs {
 			if err := f.WriteTable(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)

@@ -32,12 +32,14 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 
 	"hexastore/internal/core"
 	"hexastore/internal/disk"
 	"hexastore/internal/graph"
 	"hexastore/internal/rdf"
 	"hexastore/internal/server"
+	"hexastore/internal/sparql"
 )
 
 func main() {
@@ -46,7 +48,13 @@ func main() {
 	load := flag.String("load", "", "N-Triples file to load at startup")
 	turtle := flag.String("turtle", "", "Turtle file to load at startup")
 	cache := flag.Int("cache", 4096, "disk buffer pool capacity in pages")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"goroutines for the startup bulk load and per-query join parallelism; 1 = sequential")
 	flag.Parse()
+
+	// Large joins inside a single query partition across this many
+	// workers (requests are additionally served concurrently by net/http).
+	sparql.SetMaxWorkers(*workers)
 
 	var triples []rdf.Triple
 	for _, f := range []struct {
@@ -68,15 +76,15 @@ func main() {
 		err error
 	)
 	if *diskDir != "" {
-		g, err = openDisk(*diskDir, *cache, triples)
+		g, err = openDisk(*diskDir, *cache, triples, *workers)
 	} else {
 		// Sort-once bulk construction: far faster than per-triple Add,
 		// which pays the six-index insertion cost per statement (§4.2).
+		// Encoding and the index build spread across -workers cores, and
+		// the consuming build avoids a second copy of the triple set.
 		b := core.NewBuilder(nil)
-		for _, t := range triples {
-			b.AddTriple(t)
-		}
-		g = graph.Memory(b.Build())
+		b.AddAll(core.EncodeTriples(b.Dictionary(), triples, *workers))
+		g = graph.Memory(b.BuildParallel(*workers))
 	}
 	if err != nil {
 		log.Fatalf("hexserver: %v", err)
@@ -111,7 +119,7 @@ func readFile(path string, asTurtle bool) ([]rdf.Triple, error) {
 // openDisk opens (or creates) the disk store and bulk-loads the startup
 // triples. A fresh store takes the sorted BulkLoad path; an existing
 // store refuses startup files rather than silently double-loading.
-func openDisk(dir string, cache int, triples []rdf.Triple) (graph.Graph, error) {
+func openDisk(dir string, cache int, triples []rdf.Triple, workers int) (graph.Graph, error) {
 	opts := disk.Options{CacheSize: cache}
 	var (
 		st  *disk.Store
@@ -130,16 +138,8 @@ func openDisk(dir string, cache int, triples []rdf.Triple) (graph.Graph, error) 
 			st.Close()
 			return nil, fmt.Errorf("disk store %s already holds %d triples; refusing -load/-turtle", dir, n)
 		}
-		ids := make([][3]graph.ID, 0, len(triples))
-		dict := st.Dictionary()
-		for _, t := range triples {
-			if !t.Valid() {
-				continue
-			}
-			s, p, o := dict.EncodeTriple(t)
-			ids = append(ids, [3]graph.ID{s, p, o})
-		}
-		if err := st.BulkLoad(ids); err != nil {
+		ids := core.EncodeTriples(st.Dictionary(), triples, workers)
+		if err := st.BulkLoadParallel(ids, workers); err != nil {
 			st.Close()
 			return nil, err
 		}

@@ -304,20 +304,28 @@ func T(s, p, o Term) Triple { return rdf.T(s, p, o) }
 // ParseTriple parses one N-Triples line.
 func ParseTriple(line string) (Triple, error) { return rdf.ParseTriple(line) }
 
-// LoadNTriples bulk-loads an N-Triples stream into a new Store.
+// LoadNTriples bulk-loads an N-Triples stream into a new Store,
+// sequentially — dictionary ids are assigned in stream order. Use
+// LoadNTriplesParallel to spread parsing, encoding and index
+// construction across cores.
 func LoadNTriples(r io.Reader) (*Store, error) {
+	return LoadNTriplesParallel(r, 1)
+}
+
+// LoadNTriplesParallel bulk-loads an N-Triples stream into a new Store
+// using up to workers goroutines end to end: chunked line parsing and
+// dictionary encoding over a bounded channel (see core.Builder's
+// AddNTriples), then the parallel sort-once index build (BuildParallel).
+// workers <= 0 means runtime.GOMAXPROCS(0). The loaded graph is
+// identical for every worker count; only the dictionary's id assignment
+// order depends on it (ids stay dense either way). workers == 1 is
+// exactly LoadNTriples.
+func LoadNTriplesParallel(r io.Reader, workers int) (*Store, error) {
 	b := core.NewBuilder(nil)
-	rd := rdf.NewReader(r)
-	for {
-		t, err := rd.Read()
-		if err == io.EOF {
-			return b.Build(), nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		b.AddTriple(t)
+	if _, err := b.AddNTriples(r, workers); err != nil {
+		return nil, err
 	}
+	return b.BuildParallel(workers), nil
 }
 
 // WriteNTriples serializes every triple of g to w in N-Triples syntax.
@@ -366,18 +374,19 @@ func NewGraphPlanner(g Graph) *Planner { return sparql.NewPlanner(g) }
 // Turtle subset covers @prefix/@base, prefixed names, 'a', predicate and
 // object lists, and literal suffixes; see rdf.TurtleReader.
 func LoadTurtle(r io.Reader) (*Store, error) {
+	return LoadTurtleParallel(r, 1)
+}
+
+// LoadTurtleParallel bulk-loads a Turtle stream with up to workers
+// goroutines (workers <= 0 means runtime.GOMAXPROCS(0)). Turtle is
+// stateful (@prefix, predicate/object lists), so parsing stays on one
+// goroutine; dictionary encoding and the index build parallelize.
+func LoadTurtleParallel(r io.Reader, workers int) (*Store, error) {
 	b := core.NewBuilder(nil)
-	rd := rdf.NewTurtleReader(r)
-	for {
-		t, err := rd.Read()
-		if err == io.EOF {
-			return b.Build(), nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		b.AddTriple(t)
+	if _, err := b.AddTriples(rdf.NewTurtleReader(r), workers); err != nil {
+		return nil, err
 	}
+	return b.BuildParallel(workers), nil
 }
 
 // ParseTurtle parses a complete Turtle document.

@@ -81,6 +81,11 @@ type Config struct {
 	Steps            int // prefix points per figure (default 6)
 	Repeats          int // timing repeats, best-of (default 3)
 	Seed             int64
+	// Workers is the parallelism budget for the load pipeline and
+	// intra-query joins (default runtime.GOMAXPROCS(0)); it is recorded
+	// in the JSON snapshot alongside GOMAXPROCS so trajectories can be
+	// compared across machines.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +103,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"hexastore/internal/graph"
@@ -20,17 +21,24 @@ import (
 type Snapshot struct {
 	Revision  string    `json:"revision"`
 	Generated time.Time `json:"generated"`
-	Config    Config    `json:"config"`
-	Figures   []*Figure `json:"figures"`
+	// GoMaxProcs records the parallelism the numbers were taken at
+	// (the worker budget itself is in Config.Workers): a parallel-load
+	// or parallel-join win only reproduces on a machine with comparable
+	// GOMAXPROCS.
+	GoMaxProcs int       `json:"go_max_procs"`
+	Config     Config    `json:"config"`
+	Figures    []*Figure `json:"figures"`
 }
 
 // WriteJSON serializes a snapshot of the given figures.
 func WriteJSON(w io.Writer, rev string, cfg Config, figs []*Figure) error {
+	cfg = cfg.withDefaults()
 	snap := Snapshot{
-		Revision:  rev,
-		Generated: time.Now().UTC().Truncate(time.Second),
-		Config:    cfg.withDefaults(),
-		Figures:   figs,
+		Revision:   rev,
+		Generated:  time.Now().UTC().Truncate(time.Second),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Config:     cfg,
+		Figures:    figs,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -115,7 +123,7 @@ func RunSPARQL(cfg Config, progress func(string)) ([]*Figure, error) {
 				g := b.g
 				var evalErr error
 				p := measureBest(cfg.Repeats, func() {
-					if _, err := sparql.Eval(g, q); err != nil && evalErr == nil {
+					if _, err := sparql.EvalWorkers(g, q, cfg.Workers); err != nil && evalErr == nil {
 						evalErr = err
 					}
 				})

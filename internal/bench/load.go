@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+
+	"hexastore/internal/core"
+	"hexastore/internal/dictionary"
+	"hexastore/internal/lubm"
+)
+
+// LoadFigureIDs names the bulk-load figures RunLoad produces.
+var LoadFigureIDs = []string{"load01"}
+
+// RunLoad times the sort-once index construction — the cost EMBANKS-style
+// systems worry about for sextuple indexing — sequentially and with the
+// configured worker budget, over growing LUBM prefixes. The triples are
+// dictionary-encoded once up front and enter each timed run through one
+// bulk append (Builder.AddAll), so both series time the
+// sort+dedupe+build pipeline (core.Builder.BuildParallel) plus a single
+// memcopy, and the "Parallel" series' win is the multi-core one, not
+// cache warming.
+func RunLoad(cfg Config, progress func(string)) ([]*Figure, error) {
+	cfg = cfg.withDefaults()
+	data := lubm.Config{Universities: cfg.LUBMUniversities, Seed: cfg.Seed}.GenerateAll()
+
+	dict := dictionary.New()
+	encoded := core.EncodeTriples(dict, data, cfg.Workers)
+
+	fig := &Figure{
+		ID:     "load01",
+		Title:  fmt.Sprintf("Bulk load, sequential vs parallel (workers=%d)", cfg.Workers),
+		YLabel: "seconds",
+	}
+	series := []struct {
+		name    string
+		workers int
+	}{
+		{"Sequential", 1},
+		{"Parallel", cfg.Workers},
+	}
+	for _, n := range prefixSizes(len(encoded), cfg.Steps) {
+		if progress != nil {
+			progress(fmt.Sprintf("load: prefix of %d triples", n))
+		}
+		for si, sv := range series {
+			workers := sv.workers
+			var built int
+			p := measureBest(cfg.Repeats, func() {
+				b := core.NewBuilder(dict)
+				b.AddAll(encoded[:n])
+				built = b.BuildParallel(workers).Len()
+			})
+			p.Triples = built
+			if len(fig.Series) <= si {
+				fig.Series = append(fig.Series, Series{Name: sv.name})
+			}
+			fig.Series[si].Points = append(fig.Series[si].Points, p)
+		}
+	}
+	return []*Figure{fig}, nil
+}

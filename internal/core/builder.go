@@ -1,7 +1,9 @@
 package core
 
 import (
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 
 	"hexastore/internal/dictionary"
 	"hexastore/internal/idlist"
@@ -35,6 +37,24 @@ func (b *Builder) Add(s, p, o ID) {
 	b.triples = append(b.triples, [3]ID{s, p, o})
 }
 
+// AddAll bulk-records ts with one append (a single grow + copy), then
+// compacts out entries containing None — the slice-level counterpart of
+// calling Add per triple, used where the triples are already encoded
+// (EncodeTriples output, bench harnesses).
+func (b *Builder) AddAll(ts [][3]ID) {
+	start := len(b.triples)
+	b.triples = append(b.triples, ts...)
+	w := start
+	for _, t := range b.triples[start:] {
+		if t[0] == None || t[1] == None || t[2] == None {
+			continue
+		}
+		b.triples[w] = t
+		w++
+	}
+	b.triples = b.triples[:w]
+}
+
 // AddTriple dictionary-encodes and records an rdf.Triple. Invalid triples
 // are ignored and reported.
 func (b *Builder) AddTriple(t rdf.Triple) bool {
@@ -49,31 +69,110 @@ func (b *Builder) AddTriple(t rdf.Triple) bool {
 // Len returns the number of recorded triples (before deduplication).
 func (b *Builder) Len() int { return len(b.triples) }
 
+// Dictionary returns the dictionary the builder encodes with (and the
+// built store will share).
+func (b *Builder) Dictionary() *dictionary.Dictionary { return b.dict }
+
 // Build constructs the store. The builder may be reused afterwards; the
-// recorded triples are retained (Build copies what it needs).
+// recorded triples are retained (Build copies what it needs). Initial
+// loads that discard the builder should prefer BuildParallel, which
+// consumes the triple buffer instead of copying it and can use several
+// cores.
 func (b *Builder) Build() *Store {
-	st := NewShared(b.dict)
 	ts := make([][3]ID, len(b.triples))
 	copy(ts, b.triples)
+	return buildFrom(b.dict, ts, 1)
+}
+
+// BuildParallel constructs the store using up to workers goroutines
+// (workers <= 0 means runtime.GOMAXPROCS(0); 1 runs the sequential
+// passes). It consumes the recorded triples — the builder's buffer is
+// released rather than copied, so peak memory during million-triple loads
+// is one triple set, not two — and the builder must not be reused for
+// another Build afterwards (Add starts a fresh load).
+//
+// The resulting store is identical to Build's output for every worker
+// count: each index pass consumes the fully sorted triple set in its own
+// order, so neither goroutine scheduling nor the parallel sort's chunking
+// can change what is built.
+func (b *Builder) BuildParallel(workers int) *Store {
+	ts := b.triples
+	b.triples = nil
+	return buildFrom(b.dict, ts, workers)
+}
+
+// buildFrom runs the three sort+build passes over ts, which it owns.
+// With workers > 1 the (s,o,p) and (p,o,s) passes get their own sorted
+// copies and all three passes run concurrently — they touch disjoint
+// store maps (objLists/spo/pso, propLists/sop/osp, subjLists/pos/ops),
+// so no locking is needed.
+func buildFrom(dict *dictionary.Dictionary, ts [][3]ID, workers int) *Store {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	st := NewShared(dict)
 
 	// Dedupe on (s,p,o).
-	sortTriples(ts, 0, 1, 2)
+	sortTriples(ts, 0, 1, 2, workers)
 	ts = dedupeTriples(ts)
 	st.size = len(ts)
 
-	// Pass 1 — sorted by (s,p,o): object lists shared by spo and pso.
-	// Consecutive runs of equal (s,p) become one terminal list; the spo
-	// vectors receive their keys already in order.
+	if workers <= 1 {
+		// Pass 1 — sorted by (s,p,o): object lists shared by spo and pso.
+		// Consecutive runs of equal (s,p) become one terminal list; the
+		// spo vectors receive their keys already in order.
+		buildPass(ts, 0, 1, 2, st.objLists, st.idx[SPO], st.idx[PSO])
+
+		// Pass 2 — sorted by (s,o,p): property lists shared by sop and osp.
+		sortTriples(ts, 0, 2, 1, 1)
+		buildPass(ts, 0, 2, 1, st.propLists, st.idx[SOP], st.idx[OSP])
+
+		// Pass 3 — sorted by (p,o,s): subject lists shared by pos and ops.
+		sortTriples(ts, 1, 2, 0, 1)
+		buildPass(ts, 1, 2, 0, st.subjLists, st.idx[POS], st.idx[OPS])
+		return st
+	}
+
+	// Parallel passes: pass 1 reuses the (s,p,o)-sorted ts as is and runs
+	// on the calling goroutine (which would otherwise idle in Wait);
+	// passes 2 and 3 sort private copies. The spawned lanes stay within
+	// the budget: with workers == 2 a single lane handles both re-sorts
+	// sequentially, otherwise two lanes split the remaining workers-1
+	// budget between their sorts — so at most `workers` goroutines are
+	// CPU-bound at any moment.
+	ts2 := slices.Clone(ts)
+	ts3 := slices.Clone(ts)
+	pass2 := func(sortWorkers int) {
+		sortTriples(ts2, 0, 2, 1, sortWorkers)
+		buildPass(ts2, 0, 2, 1, st.propLists, st.idx[SOP], st.idx[OSP])
+	}
+	pass3 := func(sortWorkers int) {
+		sortTriples(ts3, 1, 2, 0, sortWorkers)
+		buildPass(ts3, 1, 2, 0, st.subjLists, st.idx[POS], st.idx[OPS])
+	}
+	var wg sync.WaitGroup
+	if workers == 2 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pass2(1)
+			pass3(1)
+		}()
+	} else {
+		s2 := (workers - 1) / 2
+		s3 := workers - 1 - s2
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			pass2(s2)
+		}()
+		go func() {
+			defer wg.Done()
+			pass3(s3)
+		}()
+	}
 	buildPass(ts, 0, 1, 2, st.objLists, st.idx[SPO], st.idx[PSO])
-
-	// Pass 2 — sorted by (s,o,p): property lists shared by sop and osp.
-	sortTriples(ts, 0, 2, 1)
-	buildPass(ts, 0, 2, 1, st.propLists, st.idx[SOP], st.idx[OSP])
-
-	// Pass 3 — sorted by (p,o,s): subject lists shared by pos and ops.
-	sortTriples(ts, 1, 2, 0)
-	buildPass(ts, 1, 2, 0, st.subjLists, st.idx[POS], st.idx[OPS])
-
+	wg.Wait()
 	return st
 }
 
@@ -119,15 +218,21 @@ func buildPass(ts [][3]ID, a, b, c int, lists map[pairKey]*idlist.List, fwd, mir
 	}
 }
 
-func sortTriples(ts [][3]ID, a, b, c int) {
-	sort.Slice(ts, func(i, j int) bool {
-		if ts[i][a] != ts[j][a] {
-			return ts[i][a] < ts[j][a]
+// sortTriples sorts ts by positions (a, b, c) using up to workers
+// goroutines. The comparator is a total order over the triple values, so
+// the sorted output — and everything built from it — is independent of
+// the worker count.
+func sortTriples(ts [][3]ID, a, b, c, workers int) {
+	idlist.ParallelSortFunc(ts, workers, func(x, y [3]ID) int {
+		for _, j := range [3]int{a, b, c} {
+			if x[j] != y[j] {
+				if x[j] < y[j] {
+					return -1
+				}
+				return 1
+			}
 		}
-		if ts[i][b] != ts[j][b] {
-			return ts[i][b] < ts[j][b]
-		}
-		return ts[i][c] < ts[j][c]
+		return 0
 	})
 }
 

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"slices"
+	"strings"
+	"testing"
+
+	"hexastore/internal/dictionary"
+	"hexastore/internal/rdf"
+)
+
+// genTriples returns n pseudo-random triples (with duplicates) encoded
+// into dict, the same sequence for a given seed.
+func genTriples(dict *dictionary.Dictionary, n int, seed int64) [][3]ID {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][3]ID, 0, n)
+	for i := 0; i < n; i++ {
+		s := dict.Encode(rdf.NewIRI(fmt.Sprintf("s%d", rng.Intn(n/8+1))))
+		p := dict.Encode(rdf.NewIRI(fmt.Sprintf("p%d", rng.Intn(24))))
+		o := dict.Encode(rdf.NewIRI(fmt.Sprintf("o%d", rng.Intn(n/4+1))))
+		out = append(out, [3]ID{s, p, o})
+	}
+	return out
+}
+
+func snapshotBytes(t *testing.T, st *Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := st.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestBuildParallelIdenticalToSequential is the determinism check the
+// parallel loader is held to: for any worker count the built store must
+// be indistinguishable from the sequential Build — verified on the
+// snapshot serialization, which covers the dictionary, the triple set,
+// and the spo iteration order.
+func TestBuildParallelIdenticalToSequential(t *testing.T) {
+	dict := dictionary.New()
+	triples := genTriples(dict, 40_000, 42)
+
+	seq := NewBuilder(dict)
+	for _, tr := range triples {
+		seq.Add(tr[0], tr[1], tr[2])
+	}
+	want := snapshotBytes(t, seq.Build())
+
+	for _, workers := range []int{1, 2, 8} {
+		par := NewBuilder(dict)
+		for _, tr := range triples {
+			par.Add(tr[0], tr[1], tr[2])
+		}
+		st := par.BuildParallel(workers)
+		if got := snapshotBytes(t, st); !bytes.Equal(got, want) {
+			t.Fatalf("BuildParallel(%d) snapshot differs from sequential Build", workers)
+		}
+		if par.Len() != 0 {
+			t.Fatalf("BuildParallel(%d) left %d triples in the builder, want 0 (consuming build)", workers, par.Len())
+		}
+	}
+}
+
+// decodeSorted flattens a store to its decoded N-Triples lines, sorted —
+// an id-assignment-independent fingerprint for comparing stores whose
+// dictionaries were populated in different orders.
+func decodeSorted(t *testing.T, st *Store) []string {
+	t.Helper()
+	var lines []string
+	var derr error
+	st.Match(None, None, None, func(s, p, o ID) bool {
+		tr, err := st.Dictionary().DecodeTriple(s, p, o)
+		if err != nil {
+			derr = err
+			return false
+		}
+		lines = append(lines, tr.String())
+		return true
+	})
+	if derr != nil {
+		t.Fatalf("decode: %v", derr)
+	}
+	slices.Sort(lines)
+	return lines
+}
+
+func TestAddNTriplesParallelEquivalent(t *testing.T) {
+	var doc strings.Builder
+	doc.WriteString("# header comment\n\n")
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&doc, "<s%d> <p%d> \"o %d\" .\n", rng.Intn(500), rng.Intn(20), rng.Intn(800))
+		if i%97 == 0 {
+			doc.WriteString("\n# interleaved comment\n")
+		}
+	}
+
+	var want []string
+	wantAdded := 0
+	for _, workers := range []int{1, 2, 8} {
+		b := NewBuilder(nil)
+		added, err := b.AddNTriples(strings.NewReader(doc.String()), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: AddNTriples: %v", workers, err)
+		}
+		got := decodeSorted(t, b.BuildParallel(workers))
+		if workers == 1 {
+			want, wantAdded = got, added
+			continue
+		}
+		if added != wantAdded {
+			t.Errorf("workers=%d: added %d triples, sequential added %d", workers, added, wantAdded)
+		}
+		if !slices.Equal(got, want) {
+			t.Errorf("workers=%d: loaded triple set differs from sequential", workers)
+		}
+	}
+}
+
+func TestAddNTriplesReportsEarliestParseError(t *testing.T) {
+	var doc strings.Builder
+	for i := 1; i <= 4000; i++ {
+		if i == 2777 {
+			doc.WriteString("<s> <p> .\n") // malformed: missing object
+			continue
+		}
+		fmt.Fprintf(&doc, "<s%d> <p> <o%d> .\n", i, i)
+	}
+	for _, workers := range []int{1, 4} {
+		b := NewBuilder(nil)
+		_, err := b.AddNTriples(strings.NewReader(doc.String()), workers)
+		var pe *rdf.ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *rdf.ParseError", workers, err)
+		}
+		if pe.Line != 2777 {
+			t.Errorf("workers=%d: error line = %d, want 2777", workers, pe.Line)
+		}
+	}
+}
+
+// stubReader feeds a fixed triple slice through the TripleReader shape,
+// standing in for the stateful Turtle reader.
+type stubReader struct {
+	ts []rdf.Triple
+	i  int
+	// failAt, when >= 0, errors after that many reads.
+	failAt int
+}
+
+func (r *stubReader) Read() (rdf.Triple, error) {
+	if r.failAt >= 0 && r.i == r.failAt {
+		return rdf.Triple{}, errors.New("stub read failure")
+	}
+	if r.i >= len(r.ts) {
+		return rdf.Triple{}, io.EOF
+	}
+	t := r.ts[r.i]
+	r.i++
+	return t, nil
+}
+
+func TestAddTriplesParallelEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ts := make([]rdf.Triple, 0, 6000)
+	for i := 0; i < 6000; i++ {
+		ts = append(ts, rdf.T(
+			rdf.NewIRI(fmt.Sprintf("s%d", rng.Intn(400))),
+			rdf.NewIRI(fmt.Sprintf("p%d", rng.Intn(16))),
+			rdf.NewLiteral(fmt.Sprintf("o%d", rng.Intn(700)))))
+	}
+	ts[17] = rdf.Triple{} // invalid: skipped by every path
+
+	var want []string
+	wantAdded := 0
+	for _, workers := range []int{1, 3, 8} {
+		b := NewBuilder(nil)
+		added, err := b.AddTriples(&stubReader{ts: ts, failAt: -1}, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: AddTriples: %v", workers, err)
+		}
+		got := decodeSorted(t, b.BuildParallel(workers))
+		if workers == 1 {
+			want, wantAdded = got, added
+			continue
+		}
+		if added != wantAdded {
+			t.Errorf("workers=%d: added %d, want %d", workers, added, wantAdded)
+		}
+		if !slices.Equal(got, want) {
+			t.Errorf("workers=%d: triple set differs from sequential", workers)
+		}
+	}
+
+	// A mid-stream read error surfaces from every worker count.
+	for _, workers := range []int{1, 4} {
+		b := NewBuilder(nil)
+		if _, err := b.AddTriples(&stubReader{ts: ts, failAt: 100}, workers); err == nil {
+			t.Errorf("workers=%d: AddTriples swallowed the read error", workers)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+// The parallel bulk-load pipeline: chunked input feeding concurrent
+// dictionary encoding over bounded channels. Encoding — hashing and
+// interning three term strings per statement — dominates single-threaded
+// load profiles once parsing is cheap, and the sharded dictionary lets
+// any number of encoders proceed concurrently; N-Triples input is
+// line-delimited, so even the parsing distributes across workers. The
+// builder's triple order is irrelevant (Build sorts), which is what
+// makes out-of-order chunk completion harmless.
+
+import (
+	"bufio"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hexastore/internal/dictionary"
+	"hexastore/internal/rdf"
+)
+
+// TripleReader is the streaming source shape the load pipeline accepts;
+// rdf.Reader and rdf.TurtleReader satisfy it.
+type TripleReader interface {
+	Read() (rdf.Triple, error)
+}
+
+// loadChunk is the pipeline batch size: large enough to amortize channel
+// hand-offs, small enough to keep every worker busy near end of input.
+const loadChunk = 1024
+
+// AddTriples drains rd into the builder, dictionary-encoding with up to
+// workers concurrent encoders (workers <= 0 means runtime.GOMAXPROCS(0)).
+// Parsing stays on the calling goroutine — use AddNTriples for
+// line-parallel N-Triples parsing — so it suits stateful formats like
+// Turtle whose parse cannot be split. It returns the number of valid
+// triples recorded. With workers == 1 it is exactly the sequential
+// AddTriple loop. On a read error the already-parsed prefix remains
+// recorded, like the sequential loop.
+func (b *Builder) AddTriples(rd TripleReader, workers int) (int, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		added := 0
+		for {
+			t, err := rd.Read()
+			if err == io.EOF {
+				return added, nil
+			}
+			if err != nil {
+				return added, err
+			}
+			if b.AddTriple(t) {
+				added++
+			}
+		}
+	}
+
+	chunks := make(chan []rdf.Triple, workers)
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex // guards b.triples
+		added atomic.Int64
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ch := range chunks {
+				enc := make([][3]ID, 0, len(ch))
+				for _, t := range ch {
+					if !t.Valid() {
+						continue
+					}
+					s, p, o := b.dict.EncodeTriple(t)
+					enc = append(enc, [3]ID{s, p, o})
+				}
+				added.Add(int64(len(enc)))
+				mu.Lock()
+				b.triples = append(b.triples, enc...)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	var readErr error
+	buf := make([]rdf.Triple, 0, loadChunk)
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+		buf = append(buf, t)
+		if len(buf) == loadChunk {
+			chunks <- buf
+			buf = make([]rdf.Triple, 0, loadChunk)
+		}
+	}
+	if len(buf) > 0 {
+		chunks <- buf
+	}
+	close(chunks)
+	wg.Wait()
+	return int(added.Load()), readErr
+}
+
+// EncodeTriples dictionary-encodes ts with up to workers concurrent
+// encoders (workers <= 0 means runtime.GOMAXPROCS(0)), skipping invalid
+// triples. The result preserves input order — each worker writes the
+// slots of its own contiguous range, then the skipped slots are
+// compacted — so the output is independent of the worker count (the
+// dictionary's id assignment is not, but ids stay dense and bijective).
+func EncodeTriples(dict *dictionary.Dictionary, ts []rdf.Triple, workers int) [][3]ID {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([][3]ID, len(ts))
+	encodeRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !ts[i].Valid() {
+				continue // slot stays {None,None,None}
+			}
+			s, p, o := dict.EncodeTriple(ts[i])
+			out[i] = [3]ID{s, p, o}
+		}
+	}
+	if workers == 1 || len(ts) < loadChunk {
+		encodeRange(0, len(ts))
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*len(ts)/workers, (w+1)*len(ts)/workers
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				encodeRange(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	// Compact out the invalid slots.
+	w := 0
+	for _, tr := range out {
+		if tr == ([3]ID{}) {
+			continue
+		}
+		out[w] = tr
+		w++
+	}
+	return out[:w]
+}
+
+// lineChunk is one batch of raw input lines; base is the 1-based line
+// number of lines[0], for parse-error reporting.
+type lineChunk struct {
+	base  int
+	lines []string
+}
+
+// AddNTriples parses an N-Triples stream and records its triples,
+// splitting both the parsing and the dictionary encoding across up to
+// workers goroutines (workers <= 0 means runtime.GOMAXPROCS(0); 1 is
+// exactly the sequential rdf.Reader loop). Lines are distributed in
+// chunks over a bounded channel; each worker parses and encodes its
+// chunk independently — N-Triples is one statement per line, so the
+// split needs no parser state.
+//
+// Errors carry the same *rdf.ParseError (with 1-based line number) the
+// sequential reader produces; when several chunks fail concurrently the
+// earliest line is reported, matching what a sequential scan would have
+// hit first. After an error the builder holds an unspecified subset of
+// the stream's triples; callers that care discard the builder (as the
+// LoadNTriples facade does).
+func (b *Builder) AddNTriples(r io.Reader, workers int) (int, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return b.AddTriples(rdf.NewReader(r), 1)
+	}
+
+	chunks := make(chan lineChunk, workers)
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex // guards b.triples
+		added atomic.Int64
+
+		errMu    sync.Mutex
+		parseErr *rdf.ParseError
+		stop     atomic.Bool
+	)
+	record := func(e *rdf.ParseError) {
+		errMu.Lock()
+		if parseErr == nil || e.Line < parseErr.Line {
+			parseErr = e
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ch := range chunks {
+				enc := make([][3]ID, 0, len(ch.lines))
+				for i, raw := range ch.lines {
+					line := strings.TrimSpace(raw)
+					if line == "" || strings.HasPrefix(line, "#") {
+						continue
+					}
+					t, err := rdf.ParseTriple(line)
+					if err != nil {
+						record(&rdf.ParseError{Line: ch.base + i, Text: line, Err: err})
+						break
+					}
+					s, p, o := b.dict.EncodeTriple(t)
+					enc = append(enc, [3]ID{s, p, o})
+				}
+				added.Add(int64(len(enc)))
+				mu.Lock()
+				b.triples = append(b.triples, enc...)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	buf := make([]string, 0, loadChunk)
+	base := 1
+	for !stop.Load() && sc.Scan() {
+		line++
+		buf = append(buf, sc.Text())
+		if len(buf) == loadChunk {
+			chunks <- lineChunk{base: base, lines: buf}
+			buf = make([]string, 0, loadChunk)
+			base = line + 1
+		}
+	}
+	if len(buf) > 0 {
+		chunks <- lineChunk{base: base, lines: buf}
+	}
+	close(chunks)
+	wg.Wait()
+
+	if parseErr != nil {
+		return int(added.Load()), parseErr
+	}
+	if err := sc.Err(); err != nil {
+		return int(added.Load()), err
+	}
+	return int(added.Load()), nil
+}

@@ -324,6 +324,58 @@ func (st *Store) terminalListLocked(s, p, o ID) *idlist.List {
 	}
 }
 
+// PatternCardinality returns the exact number of triples matching
+// ⟨s,p,o⟩ (None = wildcard) without scanning triples: terminal-list
+// lengths for 2–3 bound positions, a vector walk summing list lengths
+// for 1, the store size for 0. The whole computation happens under one
+// read-lock acquisition, so — unlike summing over lists returned by
+// Head/Objects, which alias store internals and are only valid until
+// the next mutation — it is safe to call concurrently with writers.
+// It is the selectivity primitive the SPARQL planner orders patterns
+// with while updates may be in flight.
+func (st *Store) PatternCardinality(s, p, o ID) int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	switch {
+	case s != None && p != None && o != None:
+		if st.objLists[pairKey{s, p}].Contains(o) {
+			return 1
+		}
+		return 0
+	case s != None && p != None:
+		st.advisor.hit(SPO)
+		return st.objLists[pairKey{s, p}].Len()
+	case s != None && o != None:
+		st.advisor.hit(SOP)
+		return st.propLists[pairKey{s, o}].Len()
+	case p != None && o != None:
+		st.advisor.hit(POS)
+		return st.subjLists[pairKey{p, o}].Len()
+	case s != None:
+		st.advisor.hit(SPO)
+		return vecSumLocked(st.idx[SPO][s])
+	case p != None:
+		st.advisor.hit(PSO)
+		return vecSumLocked(st.idx[PSO][p])
+	case o != None:
+		st.advisor.hit(OSP)
+		return vecSumLocked(st.idx[OSP][o])
+	default:
+		return st.size
+	}
+}
+
+// vecSumLocked sums the terminal-list lengths of v; the caller must
+// hold st.mu.
+func vecSumLocked(v *Vec) int {
+	n := 0
+	v.Range(func(_ ID, list *idlist.List) bool {
+		n += list.Len()
+		return true
+	})
+	return n
+}
+
 // AppendSorted appends the sorted candidate values of the single None
 // position of a 2-bound pattern to dst and returns the extended slice.
 // Unlike TerminalList, the copy is taken under the read lock, so the

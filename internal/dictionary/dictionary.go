@@ -20,39 +20,84 @@ type ID uint64
 // the unbound marker.
 const None ID = 0
 
-// Dictionary is a bidirectional, append-only mapping between RDF terms and
-// IDs. It is safe for concurrent use. Terms are never removed: stores that
-// delete triples may leave orphaned dictionary entries, which matches the
-// paper's architecture (the mapping table only grows).
-type Dictionary struct {
+// numShards stripes the forward (term → id) map. Must be a power of two.
+// 32 stripes keep the per-shard maps warm while making lock collisions
+// between concurrent encoders rare even at high worker counts.
+const numShards = 32
+
+// shard is one stripe of the forward map with its own lock, so concurrent
+// Encode calls on distinct terms proceed without serializing on a single
+// dictionary-wide mutex.
+type shard struct {
 	mu      sync.RWMutex
 	forward map[string]ID
-	reverse []string // reverse[id-1] = term key
+}
+
+// Dictionary is a bidirectional, append-only mapping between RDF terms and
+// IDs. It is safe for concurrent use and Encode scales across cores: the
+// forward map is hash-sharded into independently locked stripes, and only
+// the id allocation (an append to the shared reverse view) is serialized.
+// Terms are never removed: stores that delete triples may leave orphaned
+// dictionary entries, which matches the paper's architecture (the mapping
+// table only grows).
+//
+// ID assignment order is first-come-first-served: a single-threaded caller
+// sees exactly the historical dense 1,2,3,… assignment in encounter order;
+// concurrent callers see a dense but interleaving-dependent assignment.
+type Dictionary struct {
+	shards [numShards]shard
+
+	// revMu guards reverse, the merged id → term-key view all shards
+	// allocate from; reverse[id-1] = term key. Lock order: a shard mutex
+	// may be held when taking revMu, never the other way around.
+	revMu   sync.RWMutex
+	reverse []string
 }
 
 // New returns an empty Dictionary.
 func New() *Dictionary {
-	return &Dictionary{forward: make(map[string]ID)}
+	d := &Dictionary{}
+	for i := range d.shards {
+		d.shards[i].forward = make(map[string]ID)
+	}
+	return d
+}
+
+// shardOf returns the stripe for key (FNV-1a over the key bytes).
+func (d *Dictionary) shardOf(key string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &d.shards[h&(numShards-1)]
 }
 
 // Encode returns the ID for term, assigning a fresh one if the term has
 // not been seen before.
 func (d *Dictionary) Encode(term rdf.Term) ID {
 	key := term.Key()
-	d.mu.RLock()
-	id, ok := d.forward[key]
-	d.mu.RUnlock()
+	sh := d.shardOf(key)
+	sh.mu.RLock()
+	id, ok := sh.forward[key]
+	sh.mu.RUnlock()
 	if ok {
 		return id
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if id, ok = d.forward[key]; ok {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok = sh.forward[key]; ok {
 		return id
 	}
+	d.revMu.Lock()
 	d.reverse = append(d.reverse, key)
 	id = ID(len(d.reverse))
-	d.forward[key] = id
+	d.revMu.Unlock()
+	sh.forward[key] = id
 	return id
 }
 
@@ -64,16 +109,18 @@ func (d *Dictionary) EncodeTriple(t rdf.Triple) (s, p, o ID) {
 // Lookup returns the ID for term without assigning one. The second result
 // reports whether the term is present.
 func (d *Dictionary) Lookup(term rdf.Term) (ID, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	id, ok := d.forward[term.Key()]
+	key := term.Key()
+	sh := d.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	id, ok := sh.forward[key]
 	return id, ok
 }
 
 // Decode returns the term for id.
 func (d *Dictionary) Decode(id ID) (rdf.Term, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.revMu.RLock()
+	defer d.revMu.RUnlock()
 	if id == None || int(id) > len(d.reverse) {
 		return rdf.Term{}, fmt.Errorf("dictionary: unknown id %d", id)
 	}
@@ -109,8 +156,8 @@ func (d *Dictionary) DecodeTriple(s, p, o ID) (rdf.Triple, error) {
 
 // Len returns the number of distinct terms encoded so far.
 func (d *Dictionary) Len() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.revMu.RLock()
+	defer d.revMu.RUnlock()
 	return len(d.reverse)
 }
 
@@ -118,8 +165,8 @@ func (d *Dictionary) Len() int {
 // payloads plus per-entry bookkeeping (map bucket + reverse slice entry).
 // It is used by the memory-usage experiment (paper Figure 15).
 func (d *Dictionary) SizeBytes() int64 {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.revMu.RLock()
+	defer d.revMu.RUnlock()
 	var n int64
 	for _, s := range d.reverse {
 		// String payload counted twice (map key shares the backing array

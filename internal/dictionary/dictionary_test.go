@@ -145,6 +145,90 @@ func TestConcurrentEncode(t *testing.T) {
 	}
 }
 
+// TestConcurrentEncodeLookupDecode races all three access paths over a
+// shared key space; run with -race. Every Encode result must decode back
+// to its term, and Lookup must never observe an id Decode rejects.
+func TestConcurrentEncodeLookupDecode(t *testing.T) {
+	d := New()
+	const goroutines = 12
+	const perG = 400
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				term := rdf.NewIRI(fmt.Sprintf("t-%d", (g*perG+i)%300))
+				switch g % 3 {
+				case 0:
+					id := d.Encode(term)
+					got, err := d.Decode(id)
+					if err != nil || got != term {
+						t.Errorf("Decode(Encode(%v)) = %v, %v", term, got, err)
+						return
+					}
+				case 1:
+					if id, ok := d.Lookup(term); ok {
+						if got, err := d.Decode(id); err != nil || got != term {
+							t.Errorf("Decode(Lookup(%v)) = %v, %v", term, got, err)
+							return
+						}
+					}
+				default:
+					if n := d.Len(); n > 0 {
+						if _, err := d.Decode(ID(n)); err != nil {
+							t.Errorf("Decode(Len()=%d): %v", n, err)
+							return
+						}
+					}
+					d.Encode(term)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentEncodeAssignsDenseIDs checks that ids stay a dense
+// bijection 1..Len() under concurrent encoding of distinct terms across
+// every shard, whatever the interleaving.
+func TestConcurrentEncodeAssignsDenseIDs(t *testing.T) {
+	d := New()
+	const goroutines = 8
+	const perG = 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				d.Encode(rdf.NewIRI(fmt.Sprintf("g%d-i%d", g, i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() != goroutines*perG {
+		t.Fatalf("Len = %d, want %d", d.Len(), goroutines*perG)
+	}
+	seen := make(map[ID]bool, d.Len())
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			term := rdf.NewIRI(fmt.Sprintf("g%d-i%d", g, i))
+			id, ok := d.Lookup(term)
+			if !ok || id == None || int(id) > d.Len() {
+				t.Fatalf("Lookup(%v) = (%d, %v), want dense id", term, id, ok)
+			}
+			if seen[id] {
+				t.Fatalf("id %d assigned to two terms", id)
+			}
+			seen[id] = true
+			if got := d.MustDecode(id); got != term {
+				t.Fatalf("MustDecode(%d) = %v, want %v", id, got, term)
+			}
+		}
+	}
+}
+
 func TestRoundTripProperty(t *testing.T) {
 	d := New()
 	f := func(kindSel uint8, value string) bool {

@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 
 	"hexastore/internal/btree"
@@ -424,27 +425,73 @@ func (st *Store) DecodeMatch(s, p, o ID, fn func(rdf.Triple) bool) error {
 // triples, bulk-building each of the six trees from a sorted permutation.
 // This is the fast path for loading a dataset from scratch.
 func (st *Store) BulkLoad(triples [][3]ID) error {
+	return st.BulkLoadParallel(triples, 1)
+}
+
+// BulkLoadParallel is BulkLoad with the CPU-bound half — permuting and
+// sorting the six key arrays — spread over up to workers goroutines
+// (workers <= 0 means runtime.GOMAXPROCS(0)). The tree builds themselves
+// stay sequential: all six trees share one pagefile, and writing them one
+// at a time keeps the buffer pool working on a single tree's pages. Key
+// preparation runs ahead over a bounded channel, so at most two prepared
+// key arrays are in memory beyond the one being built. The resulting
+// store is identical to BulkLoad's for every worker count.
+func (st *Store) BulkLoadParallel(triples [][3]ID, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.trees[core.SPO].Len() != 0 {
 		return fmt.Errorf("disk: BulkLoad on non-empty store")
 	}
-	keys := make([]btree.Key, 0, len(triples))
-	for _, ix := range core.AllIndexes {
-		keys = keys[:0]
-		for _, t := range triples {
-			if t[0] == None || t[1] == None || t[2] == None {
-				continue
+	if workers == 1 {
+		keys := make([]btree.Key, 0, len(triples))
+		for _, ix := range core.AllIndexes {
+			keys = keys[:0]
+			for _, t := range triples {
+				if t[0] == None || t[1] == None || t[2] == None {
+					continue
+				}
+				keys = append(keys, permute(ix, t[0], t[1], t[2]))
 			}
-			keys = append(keys, permute(ix, t[0], t[1], t[2]))
+			sortKeys(keys)
+			keys = dedupeKeys(keys)
+			if err := st.trees[ix].BulkBuild(keys); err != nil {
+				return err
+			}
 		}
-		sortKeys(keys)
-		keys = dedupeKeys(keys)
-		if err := st.trees[ix].BulkBuild(keys); err != nil {
-			return err
-		}
+		return nil
 	}
-	return nil
+
+	type prepared struct {
+		ix   core.Index
+		keys []btree.Key
+	}
+	ready := make(chan prepared, 1) // bounds prepared-but-unbuilt arrays
+	sortWorkers := (workers + 1) / 2
+	go func() {
+		for _, ix := range core.AllIndexes {
+			keys := make([]btree.Key, 0, len(triples))
+			for _, t := range triples {
+				if t[0] == None || t[1] == None || t[2] == None {
+					continue
+				}
+				keys = append(keys, permute(ix, t[0], t[1], t[2]))
+			}
+			sortSliceWorkers(keys, sortWorkers)
+			ready <- prepared{ix: ix, keys: dedupeKeys(keys)}
+		}
+		close(ready)
+	}()
+	var err error
+	for p := range ready {
+		if err != nil {
+			continue // drain so the preparer can exit
+		}
+		err = st.trees[p.ix].BulkBuild(p.keys)
+	}
+	return err
 }
 
 // Flush persists all dirty pages and new dictionary terms.

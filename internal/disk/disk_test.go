@@ -291,6 +291,56 @@ func TestBulkLoad(t *testing.T) {
 	}
 }
 
+// TestBulkLoadParallelIdentical loads the same triples sequentially and
+// with several worker counts, requiring byte-identical scans: the
+// parallel path only moves the permute+sort work onto goroutines, so
+// tree contents (and even page layout, since builds stay sequential and
+// in index order) must not depend on the worker count.
+func TestBulkLoadParallelIdentical(t *testing.T) {
+	var triples [][3]ID
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 20_000; i++ {
+		triples = append(triples, [3]ID{ID(rng.Intn(300) + 1), ID(rng.Intn(12) + 1), ID(rng.Intn(400) + 1)})
+	}
+	triples = append(triples, [3]ID{1, None, 1}) // invalid: skipped
+
+	scan := func(st *Store) [][3]ID {
+		var out [][3]ID
+		if err := st.Match(None, None, None, func(s, p, o ID) bool {
+			out = append(out, [3]ID{s, p, o})
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	ref := newStore(t)
+	if err := ref.BulkLoad(triples); err != nil {
+		t.Fatalf("BulkLoad: %v", err)
+	}
+	want := scan(ref)
+
+	for _, workers := range []int{2, 8} {
+		st := newStore(t)
+		if err := st.BulkLoadParallel(triples, workers); err != nil {
+			t.Fatalf("BulkLoadParallel(%d): %v", workers, err)
+		}
+		if err := st.CheckIntegrity(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := scan(st)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d triples, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: triple %d = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestBulkLoadRejectsNonEmpty(t *testing.T) {
 	st := newStore(t)
 	mustAdd(t, st, 1, 2, 3)

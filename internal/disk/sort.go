@@ -1,12 +1,17 @@
 package disk
 
 import (
-	"sort"
-
 	"hexastore/internal/btree"
+	"hexastore/internal/idlist"
 )
 
 // sortSlice sorts keys lexicographically in place.
-func sortSlice(keys []btree.Key) {
-	sort.Slice(keys, func(i, j int) bool { return btree.Less(keys[i], keys[j]) })
+func sortSlice(keys []btree.Key) { sortSliceWorkers(keys, 1) }
+
+// sortSliceWorkers sorts keys lexicographically in place using up to
+// workers goroutines (chunk sort + pairwise merges; see
+// idlist.ParallelSortFunc). The comparator is total, so the output is
+// identical for every worker count.
+func sortSliceWorkers(keys []btree.Key, workers int) {
+	idlist.ParallelSortFunc(keys, workers, btree.Compare)
 }

@@ -19,6 +19,13 @@ import (
 // handing out aliased store internals, the results stay valid across
 // concurrent mutations.
 //
+// Implementations must additionally be safe for concurrent readers: the
+// batch engine's intra-query parallelism has several workers fetch
+// candidate lists simultaneously, each into its own buffer (the memory
+// store serves them under a shared read lock; the disk store runs one
+// independent prefix scan per call over its internally locked buffer
+// pool).
+//
 // Use AsSortedSource to obtain it; the concrete Graph value may be a
 // wrapper around the capable store.
 type SortedSource interface {

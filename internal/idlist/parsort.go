@@ -1,0 +1,113 @@
+package idlist
+
+import (
+	"slices"
+	"sync"
+)
+
+// parallelSortMin is the slice length below which ParallelSortFunc falls
+// back to a plain sort: goroutine + merge overhead dominates under it.
+const parallelSortMin = 1 << 13
+
+// ParallelSortFunc sorts xs with cmp using up to workers goroutines: the
+// slice is split into one run per worker, runs are sorted concurrently,
+// then adjacent runs are merged pairwise (also concurrently) through one
+// scratch buffer — log₂(workers) merge rounds in all. cmp must define a
+// total order; equal elements keep the left run's copy first, so for
+// value-equal duplicates (the only ties the callers have) the output is
+// identical to a sequential sort whatever the worker count.
+//
+// It is the substrate of the parallel bulk-load pipeline: core.Builder
+// sorts its triple permutations with it and the disk bulk loader its
+// B+-tree key arrays.
+func ParallelSortFunc[E any](xs []E, workers int, cmp func(a, b E) int) {
+	if workers > len(xs)/parallelSortMin {
+		workers = len(xs) / parallelSortMin
+	}
+	if workers <= 1 {
+		slices.SortFunc(xs, cmp)
+		return
+	}
+
+	// Cut into `workers` nearly equal runs and sort them concurrently.
+	bounds := make([]int, workers+1)
+	for i := 0; i <= workers; i++ {
+		bounds[i] = i * len(xs) / workers
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			slices.SortFunc(xs[lo:hi], cmp)
+		}(bounds[i], bounds[i+1])
+	}
+	wg.Wait()
+
+	// Pairwise merge rounds, ping-ponging between xs and one scratch
+	// buffer. Each round halves the run count; merges of one round are
+	// disjoint ranges, so they run concurrently.
+	scratch := make([]E, len(xs))
+	src, dst := xs, scratch
+	for len(bounds) > 2 {
+		var next []int
+		next = append(next, 0)
+		var mg sync.WaitGroup
+		for i := 0; i+2 < len(bounds); i += 2 {
+			lo, mid, hi := bounds[i], bounds[i+1], bounds[i+2]
+			mg.Add(1)
+			go func() {
+				defer mg.Done()
+				mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi], cmp)
+			}()
+			next = append(next, hi)
+		}
+		if len(bounds)%2 == 0 { // odd run count: carry the last run over
+			lo, hi := bounds[len(bounds)-2], bounds[len(bounds)-1]
+			mg.Add(1)
+			go func() {
+				defer mg.Done()
+				copy(dst[lo:hi], src[lo:hi])
+			}()
+			next = append(next, hi)
+		}
+		mg.Wait()
+		bounds = next
+		src, dst = dst, src
+	}
+	if &src[0] != &xs[0] {
+		copy(xs, src)
+	}
+}
+
+// mergeRuns stably merges the sorted runs a and b into out
+// (len(out) == len(a)+len(b)); ties take from a first.
+func mergeRuns[E any](out, a, b []E, cmp func(x, y E) int) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if cmp(a[i], b[j]) <= 0 {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}
+
+// ParallelSort sorts ids ascending using up to workers goroutines.
+func ParallelSort(ids []ID, workers int) {
+	ParallelSortFunc(ids, workers, func(a, b ID) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package idlist
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestParallelSortMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 100, parallelSortMin - 1, parallelSortMin * 3, 100_000} {
+		in := make([]ID, n)
+		for i := range in {
+			in[i] = ID(rng.Intn(n/2 + 1)) // plenty of duplicates
+		}
+		want := slices.Clone(in)
+		slices.Sort(want)
+		for _, workers := range []int{1, 2, 3, 8} {
+			got := slices.Clone(in)
+			ParallelSort(got, workers)
+			if !slices.Equal(got, want) {
+				t.Fatalf("n=%d workers=%d: parallel sort differs from sequential", n, workers)
+			}
+		}
+	}
+}
+
+func TestParallelSortFuncTriples(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := parallelSortMin * 4
+	in := make([][3]ID, n)
+	for i := range in {
+		in[i] = [3]ID{ID(rng.Intn(50)), ID(rng.Intn(50)), ID(rng.Intn(50))}
+	}
+	cmp := func(a, b [3]ID) int {
+		for j := 0; j < 3; j++ {
+			if a[j] != b[j] {
+				if a[j] < b[j] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	want := slices.Clone(in)
+	slices.SortFunc(want, cmp)
+	for _, workers := range []int{2, 5, 16} {
+		got := slices.Clone(in)
+		ParallelSortFunc(got, workers, cmp)
+		if !slices.Equal(got, want) {
+			t.Fatalf("workers=%d: parallel triple sort differs from sequential", workers)
+		}
+	}
+}

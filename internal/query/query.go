@@ -133,36 +133,11 @@ func (e *Engine) Selectivity(pat Pattern) int {
 		}
 		return n
 	}
-	switch {
-	case pat.S != None && pat.P != None && pat.O != None:
-		if st.Has(pat.S, pat.P, pat.O) {
-			return 1
-		}
-		return 0
-	case pat.S != None && pat.P != None:
-		return st.Objects(pat.S, pat.P).Len()
-	case pat.S != None && pat.O != None:
-		return st.Properties(pat.S, pat.O).Len()
-	case pat.P != None && pat.O != None:
-		return st.Subjects(pat.P, pat.O).Len()
-	case pat.S != None:
-		return vecCardinality(st.Head(core.SPO, pat.S))
-	case pat.P != None:
-		return vecCardinality(st.Head(core.PSO, pat.P))
-	case pat.O != None:
-		return vecCardinality(st.Head(core.OSP, pat.O))
-	default:
-		return st.Len()
-	}
-}
-
-func vecCardinality(v *core.Vec) int {
-	n := 0
-	v.Range(func(_ ID, list *idlist.List) bool {
-		n += list.Len()
-		return true
-	})
-	return n
+	// One locked index computation: planners run concurrently with
+	// updates, so the estimate must not read through accessors whose
+	// results alias store internals (Head/Objects are only valid until
+	// the next mutation).
+	return st.PatternCardinality(pat.S, pat.P, pat.O)
 }
 
 // SubjectsRelatedToBothObjects returns the subjects related — by any

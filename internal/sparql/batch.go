@@ -119,6 +119,10 @@ type batchExec struct {
 	sorted graph.SortedSource // nil → Match-collect fallback
 	tbl    batchTable
 
+	// workers is the intra-query parallelism budget for this evaluation
+	// (see parallel.go); 1 keeps every step on the calling goroutine.
+	workers int
+
 	// Reusable scratch, to keep the steady state allocation-free.
 	keep []int
 	bufA []core.ID
@@ -278,6 +282,9 @@ func (bx *batchExec) filterStep(sp *stepSpec) error {
 	default:
 		// Two or more bound columns: per-row existence probe, which the
 		// store answers from the right index for any binding shape.
+		if bx.parallelOK(tbl.n) {
+			return bx.probeRowsParallel(sp)
+		}
 		keep := bx.keep[:0]
 		for r := 0; r < tbl.n; r++ {
 			if bx.rowCap >= 0 && len(keep) >= bx.rowCap {
@@ -356,6 +363,12 @@ func appendRun(dst []core.ID, v core.ID, k int) []core.ID {
 func (bx *batchExec) expandStep(sp *stepSpec) error {
 	tbl := &bx.tbl
 	rowIndep := sp.nCols == 0
+	// Row-dependent expansions over a large table partition across
+	// workers; row-independent fetches are a single shared list and the
+	// all-free seed is one scan, so neither benefits from splitting.
+	if !rowIndep && sp.nFree <= 2 && bx.parallelOK(tbl.n) {
+		return bx.expandStepParallel(sp)
+	}
 	oldCols := tbl.cols
 	out := make([][]core.ID, len(oldCols)+len(sp.newNames))
 
@@ -491,14 +504,23 @@ func (bx *batchExec) expandStep(sp *stepSpec) error {
 // copy under the store's lock with a SortedSource, a Match collection
 // otherwise.
 func (bx *batchExec) candidates1(sp *stepSpec, r int) ([]core.ID, error) {
+	ids, err := bx.fetchOne(sp, r, bx.bufA[:0])
+	if err != nil {
+		return nil, err
+	}
+	bx.bufA = ids
+	return ids, nil
+}
+
+// fetchOne appends the candidate values of the single free position for
+// row r into dst and returns the extended slice. It reads only immutable
+// step state and the table columns, so concurrent workers may call it as
+// long as each owns its dst (both backends' sorted accessors and Match
+// are safe for concurrent readers).
+func (bx *batchExec) fetchOne(sp *stepSpec, r int, dst []core.ID) ([]core.ID, error) {
 	s, p, o := bx.subst(sp, 0, r), bx.subst(sp, 1, r), bx.subst(sp, 2, r)
 	if bx.sorted != nil {
-		ids, err := bx.sorted.AppendSortedList(bx.bufA[:0], s, p, o)
-		if err != nil {
-			return nil, err
-		}
-		bx.bufA = ids
-		return ids, nil
+		return bx.sorted.AppendSortedList(dst, s, p, o)
 	}
 	free := 0
 	for j := 0; j < 3; j++ {
@@ -506,14 +528,13 @@ func (bx *batchExec) candidates1(sp *stepSpec, r int) ([]core.ID, error) {
 			free = j
 		}
 	}
-	bx.bufA = bx.bufA[:0]
 	if err := bx.src.Match(s, p, o, func(ms, mp, mo core.ID) bool {
-		bx.bufA = append(bx.bufA, pick(free, ms, mp, mo))
+		dst = append(dst, pick(free, ms, mp, mo))
 		return true
 	}); err != nil {
 		return nil, err
 	}
-	return bx.bufA, nil
+	return dst, nil
 }
 
 // candidates2 fills bufA/bufB with the value pairs of the two free
@@ -522,6 +543,16 @@ func (bx *batchExec) candidates1(sp *stepSpec, r int) ([]core.ID, error) {
 // bufA alone). A non-negative limit stops collection once that many
 // pairs are kept.
 func (bx *batchExec) candidates2(sp *stepSpec, r, limit int) error {
+	a, b, err := bx.fetchPair(sp, r, limit, bx.bufA[:0], bx.bufB[:0])
+	bx.bufA, bx.bufB = a, b
+	return err
+}
+
+// fetchPair collects the value pairs of the two free positions for row r
+// into the caller's a/b buffers (a alone when the positions share a slot)
+// and returns the extended slices. Like fetchOne it is safe for
+// concurrent workers with private buffers.
+func (bx *batchExec) fetchPair(sp *stepSpec, r, limit int, a, b []core.ID) ([]core.ID, []core.ID, error) {
 	s, p, o := bx.subst(sp, 0, r), bx.subst(sp, 1, r), bx.subst(sp, 2, r)
 	ja, jb := -1, -1
 	for j := 0; j < 3; j++ {
@@ -534,24 +565,26 @@ func (bx *batchExec) candidates2(sp *stepSpec, r, limit int) error {
 		}
 	}
 	same := sp.slot[ja] == sp.slot[jb]
-	bx.bufA, bx.bufB = bx.bufA[:0], bx.bufB[:0]
-	add := func(a, b core.ID) bool {
+	add := func(x, y core.ID) bool {
 		if same {
-			if a == b {
-				bx.bufA = append(bx.bufA, a)
+			if x == y {
+				a = append(a, x)
 			}
 		} else {
-			bx.bufA = append(bx.bufA, a)
-			bx.bufB = append(bx.bufB, b)
+			a = append(a, x)
+			b = append(b, y)
 		}
-		return limit < 0 || len(bx.bufA) < limit
+		return limit < 0 || len(a) < limit
 	}
+	var err error
 	if bx.sorted != nil {
-		return bx.sorted.SortedPairs(s, p, o, add)
+		err = bx.sorted.SortedPairs(s, p, o, add)
+	} else {
+		err = bx.src.Match(s, p, o, func(ms, mp, mo core.ID) bool {
+			return add(pick(ja, ms, mp, mo), pick(jb, ms, mp, mo))
+		})
 	}
-	return bx.src.Match(s, p, o, func(ms, mp, mo core.ID) bool {
-		return add(pick(ja, ms, mp, mo), pick(jb, ms, mp, mo))
-	})
+	return a, b, err
 }
 
 // candidates3 fills bufA/bufB/bufC with the values of the (up to three

@@ -103,11 +103,20 @@ func EvalSource(g graph.Graph, q *Query) (*Result, error) {
 // earliest step where their variables are bound; OPTIONAL groups extend
 // solutions after the required patterns.
 func Eval(g graph.Graph, q *Query) (*Result, error) {
+	return EvalWorkers(g, q, MaxWorkers())
+}
+
+// EvalWorkers is Eval with an explicit intra-query worker budget,
+// overriding the package-wide SetMaxWorkers default for this evaluation
+// (workers <= 1 keeps execution single-threaded; see parallel.go for
+// what parallelizes and why results are identical for every budget).
+func EvalWorkers(g graph.Graph, q *Query, workers int) (*Result, error) {
 	ev := &evaluator{
-		src:  g,
-		dict: g.Dictionary(),
-		q:    q,
-		eng:  engineFor(g),
+		src:     g,
+		dict:    g.Dictionary(),
+		q:       q,
+		eng:     engineFor(g),
+		workers: workers,
 	}
 	return ev.run()
 }
@@ -133,6 +142,10 @@ type evaluator struct {
 	// sum, when non-nil, switches pattern ordering to the cost-based
 	// planner (see Planner).
 	sum *stats.Summary
+
+	// workers is the intra-query parallelism budget (0 is normalized to
+	// 1 at run time).
+	workers int
 
 	vars    []string
 	optVars map[string]bool
@@ -190,6 +203,10 @@ func (ev *evaluator) run() (*Result, error) {
 	ev.termCache = make(map[core.ID]rdf.Term)
 	ev.batch.ev = ev
 	ev.batch.src = ev.src
+	ev.batch.workers = ev.workers
+	if ev.batch.workers < 1 {
+		ev.batch.workers = 1
+	}
 	if ss, ok := graph.AsSortedSource(ev.src); ok {
 		ev.batch.sorted = ss
 	}

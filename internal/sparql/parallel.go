@@ -1,0 +1,221 @@
+package sparql
+
+// Intra-query parallelism for the batch engine. When a join step's
+// binding table is large, its per-row work — existence probes in
+// filterStep, candidate fetches in expandStep — partitions across
+// workers: each worker owns a contiguous row range, private scratch
+// buffers, and private output columns, and the partial results are
+// spliced back in partition order. Because every partition computes
+// exactly what the sequential loop would have computed for its rows, and
+// the splice preserves row order, the binding table after a parallel
+// step is identical to the sequential one — which is what lets the
+// differential suites assert worker-count invariance, and why results
+// and row ordering never depend on GOMAXPROCS.
+//
+// Steps whose row cap is active (the final step of an ASK/LIMIT branch)
+// stay sequential: the cap is an early-termination contract that a
+// partitioned loop would either break or have to coordinate on; capped
+// steps produce few rows by construction, so there is nothing to win.
+// Emission, FILTER evaluation and OPTIONAL matching also stay
+// sequential — they funnel into shared evaluator state (result rows,
+// DISTINCT set, decode cache) and are a small fraction of join time.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hexastore/internal/core"
+)
+
+// maxWorkersSetting holds the configured package-wide worker budget;
+// <= 0 means "use runtime.GOMAXPROCS(0) at evaluation time".
+var maxWorkersSetting atomic.Int64
+
+// SetMaxWorkers sets the package-wide intra-query worker budget used by
+// Eval and Planner.Eval (the hexserver/hexbench -workers flag lands
+// here). n <= 0 restores the default, runtime.GOMAXPROCS(0); n == 1
+// disables intra-query parallelism. Safe to call concurrently with
+// running queries; in-flight evaluations keep the budget they started
+// with.
+func SetMaxWorkers(n int) { maxWorkersSetting.Store(int64(n)) }
+
+// MaxWorkers returns the current intra-query worker budget.
+func MaxWorkers() int {
+	if n := maxWorkersSetting.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// DefaultParallelRowThreshold is the default binding-table row count
+// above which join steps partition across workers. Below it, goroutine
+// startup and partial-column splicing cost more than the row loop.
+const DefaultParallelRowThreshold = 2048
+
+// rowThresholdSetting holds the configured threshold; <= 0 means the
+// default.
+var rowThresholdSetting atomic.Int64
+
+// SetParallelRowThreshold overrides the row count at which join steps go
+// parallel (n <= 0 restores DefaultParallelRowThreshold). Tests lower it
+// to drive the parallel paths on small fixtures; deployments with very
+// cheap rows can raise it.
+func SetParallelRowThreshold(n int) { rowThresholdSetting.Store(int64(n)) }
+
+// ParallelRowThreshold returns the active row threshold.
+func ParallelRowThreshold() int {
+	if n := rowThresholdSetting.Load(); n > 0 {
+		return int(n)
+	}
+	return DefaultParallelRowThreshold
+}
+
+// parallelOK reports whether the current step should partition rows:
+// a worker budget above one, no active row cap, and a table big enough
+// to amortize the fan-out.
+func (bx *batchExec) parallelOK(rows int) bool {
+	return bx.workers > 1 && bx.rowCap < 0 && rows >= ParallelRowThreshold()
+}
+
+// partitionRows splits [0, n) into at most workers contiguous,
+// near-equal ranges.
+func partitionRows(n, workers int) [][2]int {
+	if workers > n {
+		workers = n
+	}
+	parts := make([][2]int, 0, workers)
+	for i := 0; i < workers; i++ {
+		lo, hi := i*n/workers, (i+1)*n/workers
+		if lo < hi {
+			parts = append(parts, [2]int{lo, hi})
+		}
+	}
+	return parts
+}
+
+// probeRowsParallel is filterStep's multi-bound-column case with the
+// existence probes partitioned across workers. Each worker collects the
+// surviving absolute row indices of its range; concatenating the ranges
+// in order yields the same keep list the sequential loop builds.
+func (bx *batchExec) probeRowsParallel(sp *stepSpec) error {
+	tbl := &bx.tbl
+	parts := partitionRows(tbl.n, bx.workers)
+	keeps := make([][]int, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for w, pr := range parts {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			keep := make([]int, 0, hi-lo)
+			for r := lo; r < hi; r++ {
+				ok, err := bx.src.Has(bx.subst(sp, 0, r), bx.subst(sp, 1, r), bx.subst(sp, 2, r))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if ok {
+					keep = append(keep, r)
+				}
+			}
+			keeps[w] = keep
+		}(w, pr[0], pr[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	keep := bx.keep[:0]
+	for _, k := range keeps {
+		keep = append(keep, k...)
+	}
+	tbl.compact(keep)
+	bx.keep = keep
+	return nil
+}
+
+// expandStepParallel runs a row-dependent expansion (one or two new
+// variables) with the rows partitioned across workers. Every worker
+// fetches candidates into private scratch (per-worker cursors into the
+// backend: the memory store copies terminal lists under its read lock,
+// the disk store runs an independent B+-tree prefix scan per call) and
+// builds private output columns; the partials are spliced in partition
+// order, so the resulting table equals the sequential one row for row.
+func (bx *batchExec) expandStepParallel(sp *stepSpec) error {
+	tbl := &bx.tbl
+	oldCols := tbl.cols
+	nNew := len(sp.newNames)
+	parts := partitionRows(tbl.n, bx.workers)
+	outs := make([][][]core.ID, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for w, pr := range parts {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			out := make([][]core.ID, len(oldCols)+nNew)
+			var bufA, bufB []core.ID
+			for r := lo; r < hi; r++ {
+				var k int
+				if sp.nFree == 1 {
+					ids, err := bx.fetchOne(sp, r, bufA[:0])
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					bufA = ids
+					k = len(ids)
+					if k == 0 {
+						continue
+					}
+					out[len(oldCols)] = append(out[len(oldCols)], ids...)
+				} else {
+					var err error
+					bufA, bufB, err = bx.fetchPair(sp, r, -1, bufA[:0], bufB[:0])
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					k = len(bufA)
+					if k == 0 {
+						continue
+					}
+					out[len(oldCols)] = append(out[len(oldCols)], bufA...)
+					if nNew == 2 {
+						out[len(oldCols)+1] = append(out[len(oldCols)+1], bufB...)
+					}
+				}
+				for c := range oldCols {
+					out[c] = appendRun(out[c], oldCols[c][r], k)
+				}
+			}
+			outs[w] = out
+		}(w, pr[0], pr[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	out := make([][]core.ID, len(oldCols)+nNew)
+	for _, po := range outs {
+		for c := range out {
+			out[c] = append(out[c], po[c]...)
+		}
+	}
+	// The table had at least parallelRowThreshold rows, so no column can
+	// seed the sorted flag here (that needs the one-row unit table);
+	// existing flags survive because row order is preserved.
+	newSorted := make([]bool, len(out))
+	copy(newSorted, tbl.sorted)
+	tbl.vars = append(tbl.vars, sp.newNames...)
+	tbl.cols = out
+	tbl.sorted = newSorted
+	tbl.n = len(out[len(out)-1])
+	return nil
+}

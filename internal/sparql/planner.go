@@ -50,14 +50,16 @@ func (pl *Planner) Exec(src string) (*Result, error) {
 	return pl.Eval(q)
 }
 
-// Eval evaluates a parsed query with cost-based planning.
+// Eval evaluates a parsed query with cost-based planning, using the
+// package-wide intra-query worker budget (SetMaxWorkers).
 func (pl *Planner) Eval(q *Query) (*Result, error) {
 	ev := &evaluator{
-		src:  pl.g,
-		dict: pl.g.Dictionary(),
-		q:    q,
-		sum:  pl.sum,
-		eng:  engineFor(pl.g),
+		src:     pl.g,
+		dict:    pl.g.Dictionary(),
+		q:       q,
+		sum:     pl.sum,
+		eng:     engineFor(pl.g),
+		workers: MaxWorkers(),
 	}
 	return ev.run()
 }
