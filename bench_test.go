@@ -21,6 +21,7 @@ import (
 	"hexastore/internal/barton"
 	"hexastore/internal/bench"
 	"hexastore/internal/core"
+	"hexastore/internal/delta"
 	"hexastore/internal/disk"
 	"hexastore/internal/graph"
 	"hexastore/internal/idlist"
@@ -563,5 +564,84 @@ func BenchmarkSPARQLJoinBackends(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkWrite01 is the Go-benchmark twin of the hexbench write01
+// figure: the bench.MixedWorkload mixed read/write driver (concurrent
+// chain-join SELECTs against a stream of INSERT/DELETE batches) per
+// concurrency discipline — the request-locked store versus the MVCC
+// delta overlay, with and without the group-committed WAL. The
+// BENCH_<rev>.json trajectory tracks the same workload via
+// `hexbench -json`.
+func BenchmarkWrite01(b *testing.B) {
+	s, _ := lubmFixture(b)
+	var triples [][3]core.ID
+	s.Hexa.Match(core.None, core.None, core.None, func(ts, tp, to core.ID) bool {
+		triples = append(triples, [3]core.ID{ts, tp, to})
+		return true
+	})
+	q, err := sparql.Parse(`SELECT ?student ?course WHERE {
+		?student <lubm:advisor> ?prof .
+		?prof <lubm:teacherOf> ?course }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func() *core.Store {
+		bl := core.NewBuilder(s.Dict)
+		bl.AddAll(triples)
+		return bl.BuildParallel(runtime.GOMAXPROCS(0))
+	}
+
+	b.Run("Locked", func(b *testing.B) {
+		g := graph.Memory(build())
+		var mu sync.RWMutex
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			err := bench.MixedWorkload(func() error {
+				mu.RLock()
+				defer mu.RUnlock()
+				_, err := sparql.Eval(g, q)
+				return err
+			}, func(ops []graph.TripleOp) error {
+				mu.Lock()
+				defer mu.Unlock()
+				_, _, err := graph.ApplyTriples(g, ops)
+				return err
+			}, fmt.Sprintf("locked%d", i))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, withWAL := range []bool{false, true} {
+		name := "Overlay"
+		if withWAL {
+			name = "OverlayWAL"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := delta.Options{}
+			if withWAL {
+				opts.WALPath = b.TempDir() + "/bench.wal"
+			}
+			ov, err := delta.Open(graph.Memory(build()), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ov.Close()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				err := bench.MixedWorkload(func() error {
+					_, err := sparql.Eval(ov, q)
+					return err
+				}, func(ops []graph.TripleOp) error {
+					_, _, err := ov.ApplyTriples(ops)
+					return err
+				}, fmt.Sprintf("%s%d", name, i))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

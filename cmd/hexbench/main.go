@@ -38,7 +38,8 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		listFlag = flag.Bool("list", false, "list known figure ids and exit")
 		ablation = flag.String("ablation", "", "comma-separated extension ablations (disk,cracking,kowari) or 'all'")
-		jsonOut  = flag.Bool("json", false, "also run the bulk-load and SPARQL-engine suites and write timings+allocs to BENCH_<rev>.json")
+		write    = flag.Bool("write", false, "run the write01 mixed read/write figure (locked store vs MVCC overlay vs overlay+WAL)")
+		jsonOut  = flag.Bool("json", false, "also run the bulk-load, mixed read/write and SPARQL-engine suites and write timings+allocs to BENCH_<rev>.json")
 		rev      = flag.String("rev", "", "revision label for the -json snapshot (default: current git short hash, else 'dev')")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"parallelism budget for the load pipeline and intra-query joins; 1 = sequential")
@@ -53,16 +54,39 @@ func main() {
 		for _, id := range bench.AblationIDs {
 			fmt.Println("ablation-" + id)
 		}
+		for _, id := range bench.LoadFigureIDs {
+			fmt.Println(id)
+		}
+		for _, id := range bench.WriteFigureIDs {
+			fmt.Println(id)
+		}
 		return
 	}
 
 	var ids []string
 	if *figFlag != "" {
 		ids = strings.Split(*figFlag, ",")
-	} else if !*all && *ablation == "" && !*jsonOut {
-		fmt.Fprintln(os.Stderr, "hexbench: pass -all, -fig <ids>, -ablation <ids>, or -json; see -list for ids")
+	} else if !*all && *ablation == "" && !*jsonOut && !*write {
+		fmt.Fprintln(os.Stderr, "hexbench: pass -all, -fig <ids>, -ablation <ids>, -write, or -json; see -list for ids")
 		os.Exit(2)
 	}
+
+	// -list advertises the load and write suites alongside the paper
+	// figures; accept their ids through -fig too instead of bouncing
+	// users to the dedicated flags.
+	runLoad, runWrite := false, *write
+	figIDs := ids[:0]
+	for _, id := range ids {
+		switch id {
+		case "load01":
+			runLoad = true
+		case "write01":
+			runWrite = true
+		default:
+			figIDs = append(figIDs, id)
+		}
+	}
+	ids = figIDs
 
 	progress := func(msg string) {
 		if !*quiet {
@@ -78,9 +102,11 @@ func main() {
 		Seed:             *seed,
 		Workers:          *workers,
 	}
+	// runSuite executes one benchmark suite, prints its tables, and
+	// collects the figures for the -json snapshot; any failure is fatal.
 	var snapshot []*bench.Figure
-	if *all || *figFlag != "" {
-		figs, err := bench.Run(cfg, ids, progress)
+	runSuite := func(run func(bench.Config, func(string)) ([]*bench.Figure, error)) {
+		figs, err := run(cfg, progress)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
 			os.Exit(1)
@@ -92,6 +118,12 @@ func main() {
 			}
 		}
 		snapshot = append(snapshot, figs...)
+	}
+
+	if *all || len(ids) > 0 {
+		runSuite(func(cfg bench.Config, progress func(string)) ([]*bench.Figure, error) {
+			return bench.Run(cfg, ids, progress)
+		})
 	}
 
 	if *ablation != "" {
@@ -99,39 +131,22 @@ func main() {
 		if *ablation != "all" {
 			abl = strings.Split(*ablation, ",")
 		}
-		figs, err := bench.RunAblations(cfg, abl, progress)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
-			os.Exit(1)
-		}
-		for _, f := range figs {
-			if err := f.WriteTable(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
-				os.Exit(1)
-			}
-		}
-		snapshot = append(snapshot, figs...)
+		runSuite(func(cfg bench.Config, progress func(string)) ([]*bench.Figure, error) {
+			return bench.RunAblations(cfg, abl, progress)
+		})
+	}
+
+	if runLoad && !*jsonOut {
+		runSuite(bench.RunLoad)
+	}
+	if runWrite && !*jsonOut {
+		runSuite(bench.RunWrite)
 	}
 
 	if *jsonOut {
-		loadFigs, err := bench.RunLoad(cfg, progress)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
-			os.Exit(1)
-		}
-		figs, err := bench.RunSPARQL(cfg, progress)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
-			os.Exit(1)
-		}
-		figs = append(loadFigs, figs...)
-		for _, f := range figs {
-			if err := f.WriteTable(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "hexbench: %v\n", err)
-				os.Exit(1)
-			}
-		}
-		snapshot = append(snapshot, figs...)
+		runSuite(bench.RunLoad)
+		runSuite(bench.RunWrite)
+		runSuite(bench.RunSPARQL)
 
 		label := *rev
 		if label == "" {

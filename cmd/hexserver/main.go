@@ -2,39 +2,53 @@
 // endpoint (SPARQL 1.1 JSON results), a SPARQL UPDATE endpoint
 // (INSERT DATA / DELETE DATA), bulk N-Triples/Turtle ingestion, and
 // store statistics. The same HTTP API serves either the in-memory
-// Hexastore (default) or the disk-based Hexastore (-disk).
+// Hexastore (default) or the disk-based Hexastore (-disk), optionally
+// behind the live-update subsystem (-live / -wal): an MVCC delta overlay
+// in which queries pin consistent snapshots and never block on updates,
+// plus a group-committed write-ahead log for crash recovery.
 //
 // Usage:
 //
 //	hexserver [-addr :8751] [-disk dir] [-load data.nt] [-turtle data.ttl]
+//	          [-live] [-wal path] [-compact-threshold n]
 //
 // Endpoints:
 //
 //	GET/POST /sparql?query=SELECT...   run a query
 //	POST     /sparql update=INSERT...  apply an update (also Content-Type application/sparql-update)
 //	POST     /triples                  ingest N-Triples (or text/turtle)
-//	GET      /stats                    store statistics
+//	GET      /stats                    store statistics (incl. delta/WAL state when -live)
 //	GET      /healthz                  liveness probe
 //
 // Example session:
 //
-//	hexserver -load university.nt &
+//	hexserver -load university.nt -wal university.wal &
 //	curl 'localhost:8751/sparql?query=SELECT+?s+WHERE+{?s+?p+?o}+LIMIT+5'
 //	curl -d 'update=INSERT DATA { <s> <p> <o> }' localhost:8751/sparql
 //
 // With -disk the store persists across restarts; startup files bulk-load
-// only into a fresh (empty) disk store.
+// only into a fresh (empty) disk store. With -wal, updates survive a
+// crash: the log replays on the next start, and SIGINT/SIGTERM trigger a
+// graceful shutdown — in-flight requests drain, then the store
+// checkpoints (delta compacted, snapshot/flush written, WAL truncated)
+// before exit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"hexastore/internal/core"
+	"hexastore/internal/delta"
 	"hexastore/internal/disk"
 	"hexastore/internal/graph"
 	"hexastore/internal/rdf"
@@ -50,6 +64,13 @@ func main() {
 	cache := flag.Int("cache", 4096, "disk buffer pool capacity in pages")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"goroutines for the startup bulk load and per-query join parallelism; 1 = sequential")
+	live := flag.Bool("live", false,
+		"serve through the MVCC delta overlay: queries pin snapshots and never block on updates")
+	walPath := flag.String("wal", "",
+		"write-ahead log path for crash-safe updates (implies -live); replayed on start, truncated at checkpoints")
+	compactThreshold := flag.Int("compact-threshold", 0,
+		"delta size triggering background compaction (0 = default, negative = manual only)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 
 	// Large joins inside a single query partition across this many
@@ -71,30 +92,68 @@ func main() {
 		triples = append(triples, ts...)
 	}
 
-	var (
-		g   graph.Graph
-		err error
-	)
-	if *diskDir != "" {
-		g, err = openDisk(*diskDir, *cache, triples, *workers)
-	} else {
-		// Sort-once bulk construction: far faster than per-triple Add,
-		// which pays the six-index insertion cost per statement (§4.2).
-		// Encoding and the index build spread across -workers cores, and
-		// the consuming build avoids a second copy of the triple set.
-		b := core.NewBuilder(nil)
-		b.AddAll(core.EncodeTriples(b.Dictionary(), triples, *workers))
-		g = graph.Memory(b.BuildParallel(*workers))
-	}
+	g, closer, err := openStore(*diskDir, *cache, *walPath, triples, *workers)
 	if err != nil {
 		log.Fatalf("hexserver: %v", err)
 	}
 
+	if *live || *walPath != "" {
+		ov, oerr := delta.Open(g, delta.Options{
+			WALPath:          *walPath,
+			SnapshotPath:     snapshotPath(*diskDir, *walPath),
+			CompactThreshold: *compactThreshold,
+		})
+		if oerr != nil {
+			log.Fatalf("hexserver: open overlay: %v", oerr)
+		}
+		// Overlay.Close checkpoints, closes the WAL and the main store.
+		g, closer = ov, ov.Close
+		if st := ov.Stats(); st.WALBytes > 8 || st.DeltaAdds+st.DeltaDels > 0 {
+			log.Printf("hexserver: WAL replay recovered %d pending adds, %d tombstones (%d WAL bytes)",
+				st.DeltaAdds, st.DeltaDels, st.WALBytes)
+		}
+	}
+
 	log.Printf("hexserver: %d triples loaded, listening on %s", g.Len(), *addr)
 	srv := server.NewGraph(g)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		log.Fatalf("hexserver: %v", err)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Graceful shutdown: trap SIGINT/SIGTERM, drain in-flight requests,
+	// then checkpoint/flush the store so nothing relies on the WAL alone.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("hexserver: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("hexserver: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := httpSrv.Shutdown(shutdownCtx)
+		cancel()
+		if err != nil {
+			log.Printf("hexserver: drain: %v", err)
+		}
 	}
+	if closer != nil {
+		if err := closer(); err != nil {
+			log.Fatalf("hexserver: checkpoint on shutdown: %v", err)
+		}
+	}
+	log.Printf("hexserver: store checkpointed, bye")
+}
+
+// snapshotPath picks the checkpoint snapshot destination for a
+// memory-backed WAL deployment (the disk backend flushes in place).
+func snapshotPath(diskDir, walPath string) string {
+	if diskDir != "" || walPath == "" {
+		return ""
+	}
+	return walPath + ".snapshot"
 }
 
 // readFile parses one startup data file.
@@ -114,6 +173,43 @@ func readFile(path string, asTurtle bool) ([]rdf.Triple, error) {
 		return nil, fmt.Errorf("load %s: %w", path, err)
 	}
 	return triples, nil
+}
+
+// openStore builds the base graph: the disk store (opened or created,
+// bulk-loading startup triples into a fresh one) or the in-memory store
+// (restored from a WAL checkpoint snapshot when one exists, else
+// bulk-built from the startup triples).
+func openStore(diskDir string, cache int, walPath string, triples []rdf.Triple, workers int) (graph.Graph, func() error, error) {
+	if diskDir != "" {
+		g, err := openDisk(diskDir, cache, triples, workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		st := graph.Unwrap(g).(*disk.Store)
+		return g, st.Close, nil
+	}
+
+	if snap := snapshotPath(diskDir, walPath); snap != "" {
+		st, ok, err := delta.RestoreSnapshot(snap)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			if len(triples) > 0 {
+				return nil, nil, fmt.Errorf("snapshot %s already holds %d triples; refusing -load/-turtle", snap, st.Len())
+			}
+			log.Printf("hexserver: restored %d triples from %s", st.Len(), snap)
+			return graph.Memory(st), nil, nil
+		}
+	}
+
+	// Sort-once bulk construction: far faster than per-triple Add,
+	// which pays the six-index insertion cost per statement (§4.2).
+	// Encoding and the index build spread across -workers cores, and
+	// the consuming build avoids a second copy of the triple set.
+	b := core.NewBuilder(nil)
+	b.AddAll(core.EncodeTriples(b.Dictionary(), triples, workers))
+	return graph.Memory(b.BuildParallel(workers)), nil, nil
 }
 
 // openDisk opens (or creates) the disk store and bulk-loads the startup

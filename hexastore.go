@@ -46,6 +46,7 @@ import (
 	"sync"
 
 	"hexastore/internal/core"
+	"hexastore/internal/delta"
 	"hexastore/internal/dictionary"
 	"hexastore/internal/disk"
 	"hexastore/internal/graph"
@@ -122,8 +123,15 @@ type DB struct {
 	graph.Graph
 	closer io.Closer
 
+	// overlay is the delta overlay behind Graph when Open was given
+	// WithWAL or WithDeltaOverlay; nil otherwise.
+	overlay *delta.Overlay
+
 	// mu orders DB-level operations: queries and serializers share it,
-	// mutations take it exclusively.
+	// mutations take it exclusively. With a delta overlay the lock is
+	// not taken at all — readers pin immutable snapshots and the
+	// overlay serializes its own writers, so queries stream concurrently
+	// with updates.
 	mu sync.RWMutex
 }
 
@@ -133,10 +141,13 @@ func (db *DB) Unwrap() any { return graph.Unwrap(db.Graph) }
 
 // options collects the Open configuration.
 type options struct {
-	dir       string
-	cacheSize int
-	dict      *dictionary.Dictionary
-	baseline  bool
+	dir              string
+	cacheSize        int
+	dict             *dictionary.Dictionary
+	baseline         bool
+	overlay          bool
+	walPath          string
+	compactThreshold int
 }
 
 // Option configures Open.
@@ -160,14 +171,48 @@ func WithDictionary(d *Dictionary) Option { return func(o *options) { o.dict = d
 // differential-testing reference.
 func WithBaseline() Option { return func(o *options) { o.baseline = true } }
 
+// WithDeltaOverlay wraps the chosen backend in the live-update MVCC
+// overlay (package delta): the main indexes stay immutable for readers,
+// writes land in a small sorted in-memory delta, queries pin consistent
+// snapshots without locking against writers, and background compaction
+// folds the delta into the main. Durability follows the backend: on the
+// disk backend every DB.Update still ends durable (Flush merges the
+// delta into the trees eagerly when no WAL absorbs it); on the memory
+// backend there is none. Combine with WithWAL for group-committed
+// durability and crash recovery on either backend.
+func WithDeltaOverlay() Option { return func(o *options) { o.overlay = true } }
+
+// WithWAL enables the write-ahead log at path (implies WithDeltaOverlay):
+// every update is group-committed to the log before it becomes visible,
+// and Open replays the log after a crash. For the in-memory backend,
+// checkpoints additionally persist the compacted store to path+".snapshot"
+// (restored by Open) so the log can be truncated; the disk backend
+// truncates after flushing its trees.
+func WithWAL(path string) Option {
+	return func(o *options) {
+		o.walPath = path
+		o.overlay = true
+	}
+}
+
+// WithCompactThreshold sets the delta size (pending adds + tombstones)
+// that triggers background compaction of a delta overlay; 0 keeps the
+// default (delta.DefaultCompactThreshold), negative disables automatic
+// compaction. No effect without WithDeltaOverlay/WithWAL.
+func WithCompactThreshold(n int) Option { return func(o *options) { o.compactThreshold = n } }
+
 // Open returns a Graph-backed store handle. With no options it opens an
-// empty in-memory Hexastore; see WithDisk, WithBaseline, WithDictionary
-// and WithDiskCache.
+// empty in-memory Hexastore; see WithDisk, WithBaseline, WithDictionary,
+// WithDiskCache, WithDeltaOverlay and WithWAL.
 func Open(opts ...Option) (*DB, error) {
 	var o options
 	for _, fn := range opts {
 		fn(&o)
 	}
+	var (
+		base       graph.Graph
+		baseCloser io.Closer
+	)
 	switch {
 	case o.dir != "" && o.baseline:
 		return nil, errors.New("hexastore: WithDisk and WithBaseline are mutually exclusive")
@@ -187,18 +232,55 @@ func Open(opts ...Option) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &DB{Graph: graph.Disk(st), closer: st}, nil
+		base, baseCloser = graph.Disk(st), st
 	case o.baseline:
-		return &DB{Graph: graph.Baseline(triplestore.New(o.dict))}, nil
+		base = graph.Baseline(triplestore.New(o.dict))
 	default:
 		var st *core.Store
-		if o.dict != nil {
+		switch {
+		case o.walPath != "" && o.dict != nil:
+			return nil, errors.New("hexastore: WithDictionary is not supported with WithWAL (the dictionary is restored from the snapshot)")
+		case o.walPath != "":
+			// Crash recovery, step 1: restore the last checkpoint
+			// snapshot, if one was written; WAL replay (step 2, inside
+			// delta.Open) re-applies everything since.
+			restored, ok, err := delta.RestoreSnapshot(o.walPath + ".snapshot")
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				st = restored
+			} else {
+				st = core.New()
+			}
+		case o.dict != nil:
 			st = core.NewShared(o.dict)
-		} else {
+		default:
 			st = core.New()
 		}
-		return &DB{Graph: graph.Memory(st)}, nil
+		base = graph.Memory(st)
 	}
+
+	if !o.overlay {
+		return &DB{Graph: base, closer: baseCloser}, nil
+	}
+	dopts := delta.Options{
+		WALPath:          o.walPath,
+		CompactThreshold: o.compactThreshold,
+	}
+	if o.walPath != "" && o.dir == "" && !o.baseline {
+		dopts.SnapshotPath = o.walPath + ".snapshot"
+	}
+	ov, err := delta.Open(base, dopts)
+	if err != nil {
+		if baseCloser != nil {
+			baseCloser.Close()
+		}
+		return nil, err
+	}
+	// The overlay's Close checkpoints, closes the WAL and closes the
+	// underlying store, so it replaces the base closer.
+	return &DB{Graph: ov, overlay: ov, closer: ov}, nil
 }
 
 // Close flushes and releases the backend. In-memory backends are a
@@ -213,39 +295,86 @@ func (db *DB) Close() error {
 // Flush persists buffered state on durable backends; a no-op otherwise.
 func (db *DB) Flush() error { return graph.Flush(db.Graph) }
 
+// Checkpoint folds a delta overlay into its main store, persists the
+// result (disk flush, or the WAL-side snapshot for the in-memory
+// backend) and truncates the WAL. Without an overlay it is Flush.
+func (db *DB) Checkpoint() error {
+	if db.overlay != nil {
+		return db.overlay.Checkpoint()
+	}
+	return db.Flush()
+}
+
+// Compact synchronously merges a delta overlay's pending writes into the
+// main indexes; a no-op without an overlay.
+func (db *DB) Compact() error {
+	if db.overlay != nil {
+		return db.overlay.Compact()
+	}
+	return nil
+}
+
+// DeltaStats reports the live-update state of the delta overlay; ok is
+// false when the DB was opened without one.
+func (db *DB) DeltaStats() (stats delta.Stats, ok bool) {
+	if db.overlay == nil {
+		return delta.Stats{}, false
+	}
+	return db.overlay.Stats(), true
+}
+
+// rlock takes the shared DB lock unless the backend is an overlay
+// (whose readers pin immutable snapshots instead of locking).
+func (db *DB) rlock() func() {
+	if db.overlay != nil {
+		return func() {}
+	}
+	db.mu.RLock()
+	return db.mu.RUnlock
+}
+
+// wlock takes the exclusive DB lock unless the backend is an overlay
+// (which serializes its own writers without blocking readers).
+func (db *DB) wlock() func() {
+	if db.overlay != nil {
+		return func() {}
+	}
+	db.mu.Lock()
+	return db.mu.Unlock
+}
+
 // AddTriple dictionary-encodes and inserts a triple.
 func (db *DB) AddTriple(t Triple) (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	defer db.wlock()()
 	return graph.AddTriple(db.Graph, t)
 }
 
 // RemoveTriple deletes a triple.
 func (db *DB) RemoveTriple(t Triple) (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	defer db.wlock()()
 	return graph.RemoveTriple(db.Graph, t)
 }
 
 // HasTriple reports whether a triple is present.
 func (db *DB) HasTriple(t Triple) (bool, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	defer db.rlock()()
 	return graph.HasTriple(db.Graph, t)
 }
 
-// Query parses and evaluates a SPARQL-subset SELECT/ASK query.
+// Query parses and evaluates a SPARQL-subset SELECT/ASK query. On an
+// overlay backend the evaluation pins one consistent snapshot and runs
+// without blocking (or being blocked by) Update.
 func (db *DB) Query(src string) (*Result, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	defer db.rlock()()
 	return sparql.Exec(db.Graph, src)
 }
 
 // Update parses and applies a SPARQL UPDATE request (INSERT DATA /
-// DELETE DATA) and flushes durable backends.
+// DELETE DATA) and flushes durable backends. On an overlay backend the
+// whole request is one atomic batch (single WAL group commit, single
+// version swap).
 func (db *DB) Update(src string) (*UpdateResult, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	defer db.wlock()()
 	res, err := sparql.ExecUpdate(db.Graph, src)
 	if err != nil {
 		return res, err
@@ -255,16 +384,14 @@ func (db *DB) Update(src string) (*UpdateResult, error) {
 
 // WriteNTriples serializes the store to w in N-Triples syntax.
 func (db *DB) WriteNTriples(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return WriteNTriples(db.Graph, w)
+	defer db.rlock()()
+	return WriteNTriples(graph.Snapshot(db.Graph), w)
 }
 
 // WriteTurtle serializes the store to w in Turtle syntax.
 func (db *DB) WriteTurtle(w io.Writer, prefixes map[string]string) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return WriteTurtle(db.Graph, w, prefixes)
+	defer db.rlock()()
+	return WriteTurtle(graph.Snapshot(db.Graph), w, prefixes)
 }
 
 // New returns an empty in-memory Hexastore with a fresh dictionary.

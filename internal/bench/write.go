@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"hexastore/internal/core"
+	"hexastore/internal/delta"
+	"hexastore/internal/dictionary"
+	"hexastore/internal/graph"
+	"hexastore/internal/lubm"
+	"hexastore/internal/rdf"
+	"hexastore/internal/sparql"
+)
+
+// WriteFigureIDs names the mixed read/write figures RunWrite produces.
+var WriteFigureIDs = []string{"write01"}
+
+// writeMixQueries is the read side of the mixed workload: the 2-pattern
+// chain join from the SPARQL suite, evaluated repeatedly while updates
+// stream in.
+const writeMixQuery = `SELECT ?student ?course WHERE {
+	?student <lubm:advisor> ?prof .
+	?prof <lubm:teacherOf> ?course }`
+
+// lockedGraph reproduces the pre-overlay concurrency discipline (the
+// DB/server request lock): queries share an RWMutex, updates take it
+// exclusively — so every update stalls every reader for its duration.
+// It is the baseline the MVCC overlay is measured against.
+type lockedGraph struct {
+	mu sync.RWMutex
+	g  graph.Graph
+}
+
+func (l *lockedGraph) query(q *sparql.Query) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	_, err := sparql.Eval(l.g, q)
+	return err
+}
+
+func (l *lockedGraph) update(ops []graph.TripleOp) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _, err := graph.ApplyTriples(l.g, ops)
+	return err
+}
+
+// overlayGraph is the live-update path: snapshot-pinned queries, no
+// request lock in either direction.
+type overlayGraph struct{ ov *delta.Overlay }
+
+func (o overlayGraph) query(q *sparql.Query) error {
+	_, err := sparql.Eval(o.ov, q)
+	return err
+}
+
+func (o overlayGraph) update(ops []graph.TripleOp) error {
+	_, _, err := o.ov.ApplyTriples(ops)
+	return err
+}
+
+type mixedStore interface {
+	query(q *sparql.Query) error
+	update(ops []graph.TripleOp) error
+}
+
+// runMixed adapts a mixedStore to the exported workload driver.
+func runMixed(ms mixedStore, q *sparql.Query, tag string) error {
+	return MixedWorkload(func() error { return ms.query(q) }, ms.update, tag)
+}
+
+// MixedWorkload drives the write01 mixed read/write workload against
+// one store discipline: 2 reader goroutines each run 40 evaluations of
+// the query while 2 writer goroutines each commit 40 update batches
+// (5 inserts followed, one batch later, by their 5 deletes — so the
+// store returns to its initial state and repeats stay comparable). The
+// same driver backs the hexbench write01 figure and BenchmarkWrite01,
+// so the benchmark twin cannot drift from the figure it mirrors. tag
+// namespaces the written triples, keeping every invocation's inserts
+// fresh.
+func MixedWorkload(query func() error, update func([]graph.TripleOp) error, tag string) error {
+	const (
+		readers    = 2
+		writers    = 2
+		queriesPer = 40
+		batchesPer = 40
+		batchSize  = 5
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers+writers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < queriesPer; i++ {
+				if err := query(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := func(b int, del bool) []graph.TripleOp {
+				ops := make([]graph.TripleOp, batchSize)
+				for i := range ops {
+					ops[i] = graph.TripleOp{Del: del, T: rdf.T(
+						rdf.NewIRI(fmt.Sprintf("bench:%s/w%d/b%d/s%d", tag, w, b, i)),
+						rdf.NewIRI("lubm:advisor"),
+						rdf.NewIRI(fmt.Sprintf("bench:%s/w%d/prof", tag, w)),
+					)}
+				}
+				return ops
+			}
+			for b := 0; b < batchesPer; b++ {
+				if err := update(batch(b, false)); err != nil {
+					errCh <- err
+					return
+				}
+				if b > 0 {
+					if err := update(batch(b-1, true)); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+			if err := update(batch(batchesPer-1, true)); err != nil {
+				errCh <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunWrite times the write01 figure: a fixed mixed read/write workload
+// (concurrent chain-join SELECTs against a stream of INSERT/DELETE
+// batches) over growing LUBM prefixes, once per concurrency discipline —
+// the request-locked store, the MVCC delta overlay, and the overlay with
+// a group-committed WAL (durability included in the measured path).
+func RunWrite(cfg Config, progress func(string)) ([]*Figure, error) {
+	cfg = cfg.withDefaults()
+	data := lubm.Config{Universities: cfg.LUBMUniversities, Seed: cfg.Seed}.GenerateAll()
+
+	dict := dictionary.New()
+	encoded := core.EncodeTriples(dict, data, cfg.Workers)
+	q, err := sparql.Parse(writeMixQuery)
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &Figure{
+		ID:     "write01",
+		Title:  "Mixed read/write throughput: request lock vs MVCC overlay vs overlay+WAL",
+		YLabel: "seconds",
+	}
+	walDir, err := os.MkdirTemp("", "hexbench-wal")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(walDir)
+
+	series := []string{"Locked", "Overlay", "Overlay+WAL"}
+	run := 0
+	for _, n := range prefixSizes(len(encoded), cfg.Steps) {
+		if progress != nil {
+			progress(fmt.Sprintf("write: prefix of %d triples", n))
+		}
+		for si, name := range series {
+			// A fresh store per series, bulk-built on the shared
+			// dictionary so query constants resolve identically.
+			build := func() *core.Store {
+				b := core.NewBuilder(dict)
+				b.AddAll(encoded[:n])
+				return b.BuildParallel(cfg.Workers)
+			}
+			var (
+				ms      mixedStore
+				closeFn func() error
+			)
+			switch name {
+			case "Locked":
+				ms = &lockedGraph{g: graph.Memory(build())}
+			default:
+				opts := delta.Options{}
+				if name == "Overlay+WAL" {
+					run++
+					opts.WALPath = filepath.Join(walDir, fmt.Sprintf("w%d.log", run))
+				}
+				ov, oerr := delta.Open(graph.Memory(build()), opts)
+				if oerr != nil {
+					return nil, oerr
+				}
+				ms = overlayGraph{ov: ov}
+				closeFn = ov.Close
+			}
+
+			var runErr error
+			tag := 0
+			p := measureBest(cfg.Repeats, func() {
+				tag++
+				if err := runMixed(ms, q, fmt.Sprintf("%d-%d", run, tag)); err != nil && runErr == nil {
+					runErr = err
+				}
+			})
+			if closeFn != nil {
+				if err := closeFn(); err != nil && runErr == nil {
+					runErr = err
+				}
+			}
+			if runErr != nil {
+				return nil, fmt.Errorf("bench: write01 %s: %w", name, runErr)
+			}
+			p.Triples = n
+			if len(fig.Series) <= si {
+				fig.Series = append(fig.Series, Series{Name: name})
+			}
+			fig.Series[si].Points = append(fig.Series[si].Points, p)
+		}
+	}
+	return []*Figure{fig}, nil
+}

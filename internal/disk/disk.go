@@ -93,10 +93,16 @@ func Create(dir string, opts Options) (*Store, error) {
 	for i := range st.trees {
 		st.trees[i] = btree.New(pf, 2*i, 2*i+1)
 	}
-	// Write the dictionary header eagerly so Open can validate it.
+	// Write the dictionary header eagerly so Open can validate it, and
+	// sync the empty pagefile so a crash right after Create leaves an
+	// openable (empty) store for WAL replay to rebuild onto.
 	if err := os.WriteFile(st.dictPath, []byte(dictMagic), 0o644); err != nil {
 		pf.Close()
 		return nil, fmt.Errorf("disk: write dictionary: %w", err)
+	}
+	if err := pf.Sync(); err != nil {
+		pf.Close()
+		return nil, err
 	}
 	return st, nil
 }
@@ -192,6 +198,10 @@ func (st *Store) flushDictionary() error {
 		f.Close()
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("disk: sync dictionary: %w", err)
+	}
 	if err := f.Close(); err != nil {
 		return err
 	}
@@ -201,6 +211,18 @@ func (st *Store) flushDictionary() error {
 
 // Dictionary returns the store's dictionary.
 func (st *Store) Dictionary() *dictionary.Dictionary { return st.dict }
+
+// FlushDictionary durably persists any terms encoded since the last
+// flush, without touching the pagefile. Callers that are about to write
+// id-encoded rows into the trees (the delta overlay's merge) call this
+// first, so a buffer-pool eviction can never leak a tree page whose ids
+// the dictionary sidecar does not durably map — the invariant that
+// makes WAL replay's term re-encoding safe after a crash.
+func (st *Store) FlushDictionary() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.flushDictionary()
+}
 
 // Dir returns the directory the store lives in.
 func (st *Store) Dir() string { return st.dir }
@@ -249,7 +271,15 @@ func unpermute(ix core.Index, k btree.Key) (s, p, o ID) {
 }
 
 // Add inserts the triple ⟨s,p,o⟩ into all six trees. It reports whether
-// the store changed.
+// the store changed (the SPO tree's verdict).
+//
+// All six trees are touched even when SPO already holds the key: each
+// per-tree insert is idempotent, so re-applying an Add repairs a store
+// whose trees diverged — e.g. a crash after buffer-pool eviction
+// persisted some trees' pages but not others mid-flush. WAL replay and
+// compaction retries rely on this self-healing property; with an
+// early-out on the SPO verdict, a replayed op would be skipped as
+// "already present" while the other five indexes still miss it.
 func (st *Store) Add(s, p, o ID) (bool, error) {
 	if s == None || p == None || o == None {
 		return false, nil
@@ -257,7 +287,7 @@ func (st *Store) Add(s, p, o ID) (bool, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	added, err := st.trees[core.SPO].Insert(permute(core.SPO, s, p, o))
-	if err != nil || !added {
+	if err != nil {
 		return false, err
 	}
 	for _, ix := range core.AllIndexes[1:] {
@@ -265,16 +295,18 @@ func (st *Store) Add(s, p, o ID) (bool, error) {
 			return false, err
 		}
 	}
-	return true, nil
+	return added, nil
 }
 
 // Remove deletes the triple from all six trees. It reports whether the
-// store changed.
+// store changed (the SPO tree's verdict). Like Add, every tree is
+// touched regardless of the SPO verdict, so re-applying a Remove
+// finishes a half-applied deletion instead of skipping it.
 func (st *Store) Remove(s, p, o ID) (bool, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	removed, err := st.trees[core.SPO].Delete(permute(core.SPO, s, p, o))
-	if err != nil || !removed {
+	if err != nil {
 		return false, err
 	}
 	for _, ix := range core.AllIndexes[1:] {
@@ -282,7 +314,7 @@ func (st *Store) Remove(s, p, o ID) (bool, error) {
 			return false, err
 		}
 	}
-	return true, nil
+	return removed, nil
 }
 
 // Has reports whether the triple is present.
@@ -494,23 +526,30 @@ func (st *Store) BulkLoadParallel(triples [][3]ID, workers int) error {
 	return err
 }
 
-// Flush persists all dirty pages and new dictionary terms.
+// Flush persists all dirty pages and new dictionary terms durably: both
+// the dictionary sidecar and the pagefile are fsynced, so a triple whose
+// Add was followed by Flush survives an OS crash, not just a process
+// exit. (Before this, Flush only wrote dirty pages into the OS cache —
+// the durability gap the WAL/live-update work closed.)
 func (st *Store) Flush() error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if err := st.flushDictionary(); err != nil {
 		return err
 	}
-	return st.pf.Flush()
+	return st.pf.Sync()
 }
 
-// Close flushes and closes the store.
+// Close flushes durably and closes the store. The flush error, if any,
+// is surfaced — Add/Remove calls without a later Flush are made durable
+// here rather than silently dropped on the error path.
 func (st *Store) Close() error {
-	if err := st.Flush(); err != nil {
-		st.pf.Close()
-		return err
+	flushErr := st.Flush()
+	closeErr := st.pf.Close()
+	if flushErr != nil {
+		return flushErr
 	}
-	return st.pf.Close()
+	return closeErr
 }
 
 // FileStats reports buffer pool activity of the underlying pagefile.

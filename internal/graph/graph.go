@@ -62,6 +62,80 @@ type Flusher interface {
 	Flush() error
 }
 
+// Snapshotter is an optional Graph capability: a consistent, immutable
+// read view of the graph at one instant. Multi-step readers (the SPARQL
+// evaluator, serializers) pin one snapshot for their whole run, so a
+// stream of concurrent updates cannot make two pattern fetches of the
+// same query observe different states. The delta-overlay backend
+// implements it with an atomic state-pointer load — pinning is free and
+// never blocks writers. Use Snapshot to pin when supported.
+type Snapshotter interface {
+	// Snapshot returns a read-only view of the graph's current state.
+	// Mutating the view is an error; the view stays valid (and
+	// unchanging) however many writes land on the parent graph.
+	Snapshot() Graph
+}
+
+// Snapshot pins a consistent read view of g when the backend supports
+// it, and returns g itself otherwise. Backends without the capability
+// either serialize writers externally (the DB/server request locks) or
+// accept per-call-consistent reads.
+func Snapshot(g Graph) Graph {
+	if s, ok := g.(Snapshotter); ok {
+		return s.Snapshot()
+	}
+	return g
+}
+
+// TripleOp is one entry of a batched update: an insert, or a delete when
+// Del is set.
+type TripleOp struct {
+	Del bool
+	T   rdf.Triple
+}
+
+// BatchUpdater is an optional Graph capability: apply a sequence of
+// triple operations as one atomic, durable batch. The delta overlay uses
+// it to absorb a whole SPARQL UPDATE request with a single WAL group
+// commit and a single copy-on-write state swap, instead of paying both
+// per triple; readers observe either none or all of the batch.
+type BatchUpdater interface {
+	// ApplyTriples applies ops in order and reports how many triples
+	// were actually inserted (not present before) and deleted (present
+	// before). A backend error aborts the whole batch.
+	ApplyTriples(ops []TripleOp) (inserted, deleted int, err error)
+}
+
+// ApplyTriples applies a batch of triple operations to g: through one
+// atomic BatchUpdater call when the backend supports it, or triple by
+// triple otherwise (counts and final state are identical; only atomicity
+// and write amplification differ).
+func ApplyTriples(g Graph, ops []TripleOp) (inserted, deleted int, err error) {
+	if bu, ok := g.(BatchUpdater); ok {
+		return bu.ApplyTriples(ops)
+	}
+	for _, op := range ops {
+		if op.Del {
+			changed, err := RemoveTriple(g, op.T)
+			if err != nil {
+				return inserted, deleted, err
+			}
+			if changed {
+				deleted++
+			}
+		} else {
+			changed, err := AddTriple(g, op.T)
+			if err != nil {
+				return inserted, deleted, err
+			}
+			if changed {
+				inserted++
+			}
+		}
+	}
+	return inserted, deleted, nil
+}
+
 // memBackend is the common method shape of the error-free in-memory
 // stores (core.Store and triplestore.Store).
 type memBackend interface {

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"hexastore/internal/core"
+	"hexastore/internal/delta"
 	"hexastore/internal/graph"
 	"hexastore/internal/rdf"
 	"hexastore/internal/sparql"
@@ -25,16 +26,24 @@ import (
 // Server serves one Graph backend. It is safe for concurrent use: the
 // backend carries its own synchronization, the planner pointer is
 // guarded here, and mutating requests are serialized against query
-// evaluation (see reqMu).
+// evaluation (see reqMu) — unless the backend offers consistent
+// snapshots (graph.Snapshotter, the delta overlay), in which case
+// queries and updates run fully concurrently: each query pins one
+// immutable version and updates never block readers.
 type Server struct {
 	g graph.Graph
+
+	// snapshots records that g is a graph.Snapshotter, so request-level
+	// writer exclusion is unnecessary.
+	snapshots bool
 
 	// reqMu orders whole requests: queries share it, mutations take it
 	// exclusively. Query evaluation nests Match calls (the depth-first
 	// bind join re-enters the store's read lock per pattern step), so a
 	// store-level writer arriving between two nested read locks would
 	// deadlock reader and writer; excluding writers for the duration of
-	// a query removes that interleaving.
+	// a query removes that interleaving. Snapshot-capable backends skip
+	// this lock entirely.
 	reqMu sync.RWMutex
 
 	mu sync.RWMutex
@@ -46,7 +55,29 @@ func New(st *core.Store) *Server { return NewGraph(graph.Memory(st)) }
 
 // NewGraph returns a Server over any Graph backend.
 func NewGraph(g graph.Graph) *Server {
-	return &Server{g: g, pl: sparql.NewPlanner(g)}
+	_, snapshots := g.(graph.Snapshotter)
+	return &Server{g: g, snapshots: snapshots, pl: sparql.NewPlanner(g)}
+}
+
+// rlock acquires the shared request lock (no-op on snapshot backends)
+// and returns the unlock.
+func (s *Server) rlock() func() {
+	if s.snapshots {
+		return func() {}
+	}
+	s.reqMu.RLock()
+	return s.reqMu.RUnlock
+}
+
+// wlock acquires the exclusive request lock (no-op on snapshot
+// backends, which serialize writers internally without blocking
+// readers) and returns the unlock.
+func (s *Server) wlock() func() {
+	if s.snapshots {
+		return func() {}
+	}
+	s.reqMu.Lock()
+	return s.reqMu.Unlock
 }
 
 // Graph returns the backend the server serves.
@@ -148,9 +179,9 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.reqMu.RLock()
+	unlock := s.rlock()
 	res, err := s.planner().Exec(queryText)
-	s.reqMu.RUnlock()
+	unlock()
 	if err != nil {
 		// Parse and projection errors are the client's; anything else
 		// (backend I/O mid-evaluation) is ours.
@@ -165,10 +196,11 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resultsJSON(res))
 }
 
-// execUpdate applies a SPARQL UPDATE request and reports its effect.
+// execUpdate applies a SPARQL UPDATE request and reports its effect. On
+// an overlay backend the request is one atomic batch (single WAL group
+// commit) and concurrent queries keep streaming from their snapshots.
 func (s *Server) execUpdate(w http.ResponseWriter, updateText string) {
-	s.reqMu.Lock()
-	defer s.reqMu.Unlock()
+	defer s.wlock()()
 	res, err := sparql.ExecUpdate(s.g, updateText)
 	if err != nil {
 		if _, ok := err.(*sparql.SyntaxError); ok {
@@ -242,18 +274,17 @@ func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "parse: %v", err)
 		return
 	}
-	s.reqMu.Lock()
-	defer s.reqMu.Unlock()
-	added := 0
-	for _, t := range triples {
-		ok, aerr := graph.AddTriple(s.g, t)
-		if aerr != nil {
-			httpError(w, http.StatusInternalServerError, "insert: %v", aerr)
-			return
-		}
-		if ok {
-			added++
-		}
+	defer s.wlock()()
+	// One batch: on a BatchUpdater backend (the delta overlay) the whole
+	// ingest is a single WAL commit and version swap.
+	ops := make([]graph.TripleOp, len(triples))
+	for i, t := range triples {
+		ops[i] = graph.TripleOp{T: t}
+	}
+	added, _, err := graph.ApplyTriples(s.g, ops)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "insert: %v", err)
+		return
 	}
 	if added > 0 {
 		if err := graph.Flush(s.g); err != nil {
@@ -279,9 +310,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"distinctPreds":    sum.DistinctP,
 		"distinctObjects":  sum.DistinctO,
 	}
+	// A delta overlay reports the live-update subsystem's state: delta
+	// size, WAL footprint, compaction count. The index-layout stats
+	// below then describe the overlay's main store.
+	inner := s.g
+	if ov, ok := s.g.(*delta.Overlay); ok {
+		ds := ov.Stats()
+		out["deltaAdds"] = ds.DeltaAdds
+		out["deltaDels"] = ds.DeltaDels
+		out["compactThreshold"] = ds.CompactThreshold
+		out["compactions"] = ds.Compactions
+		out["mainTriples"] = ds.MainTriples
+		if ds.WALPath != "" {
+			out["walBytes"] = ds.WALBytes
+			out["walPath"] = ds.WALPath
+		}
+		inner = ov.Main()
+	}
 	// The in-memory Hexastore additionally reports its index layout and
 	// the §4.1 space-expansion factor.
-	if st, ok := graph.Unwrap(s.g).(*core.Store); ok {
+	if st, ok := graph.Unwrap(inner).(*core.Store); ok {
 		stats := st.Stats()
 		out["headers"] = stats.Headers
 		out["vectorEntries"] = stats.VectorEntries

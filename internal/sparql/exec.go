@@ -110,7 +110,13 @@ func Eval(g graph.Graph, q *Query) (*Result, error) {
 // overriding the package-wide SetMaxWorkers default for this evaluation
 // (workers <= 1 keeps execution single-threaded; see parallel.go for
 // what parallelizes and why results are identical for every budget).
+//
+// When the backend offers consistent snapshots (graph.Snapshotter — the
+// delta overlay), the whole evaluation is pinned to one snapshot, so a
+// query's many pattern fetches all observe the same store version even
+// while writers commit concurrently.
 func EvalWorkers(g graph.Graph, q *Query, workers int) (*Result, error) {
+	g = graph.Snapshot(g)
 	ev := &evaluator{
 		src:     g,
 		dict:    g.Dictionary(),

@@ -51,14 +51,18 @@ func (pl *Planner) Exec(src string) (*Result, error) {
 }
 
 // Eval evaluates a parsed query with cost-based planning, using the
-// package-wide intra-query worker budget (SetMaxWorkers).
+// package-wide intra-query worker budget (SetMaxWorkers). Like
+// EvalWorkers, the evaluation pins one consistent snapshot when the
+// backend offers them (graph.Snapshotter); the cached statistics
+// summary needs no pinning — stale stats only affect pattern order.
 func (pl *Planner) Eval(q *Query) (*Result, error) {
+	g := graph.Snapshot(pl.g)
 	ev := &evaluator{
-		src:     pl.g,
-		dict:    pl.g.Dictionary(),
+		src:     g,
+		dict:    g.Dictionary(),
 		q:       q,
 		sum:     pl.sum,
-		eng:     engineFor(pl.g),
+		eng:     engineFor(g),
 		workers: MaxWorkers(),
 	}
 	return ev.run()

@@ -14,8 +14,10 @@ type UpdateResult struct {
 
 // ExecUpdate parses and applies a SPARQL UPDATE request (INSERT DATA /
 // DELETE DATA, ';'-separated) against any Graph backend. Operations
-// apply in request order; a backend error aborts the request mid-way
-// with the counts accumulated so far.
+// apply in request order. On a batch-atomic backend (the delta overlay)
+// a backend error aborts the whole request with nothing applied; on
+// per-triple backends it aborts mid-way with the counts accumulated so
+// far.
 func ExecUpdate(g graph.Graph, src string) (*UpdateResult, error) {
 	u, err := ParseUpdate(src)
 	if err != nil {
@@ -25,28 +27,20 @@ func ExecUpdate(g graph.Graph, src string) (*UpdateResult, error) {
 }
 
 // EvalUpdate applies a parsed update request against any Graph backend.
+// The whole request is flattened (in statement order) into one batch:
+// on a graph.BatchUpdater backend — the delta overlay — it lands as a
+// single atomic write with one WAL group commit and one version swap;
+// other backends apply it triple by triple with identical counts and
+// final state.
 func EvalUpdate(g graph.Graph, u *Update) (*UpdateResult, error) {
-	res := &UpdateResult{}
+	var ops []graph.TripleOp
 	for _, op := range u.Ops {
 		for _, t := range op.Triples {
-			if op.Delete {
-				changed, err := graph.RemoveTriple(g, t)
-				if err != nil {
-					return res, err
-				}
-				if changed {
-					res.Deleted++
-				}
-			} else {
-				changed, err := graph.AddTriple(g, t)
-				if err != nil {
-					return res, err
-				}
-				if changed {
-					res.Inserted++
-				}
-			}
+			ops = append(ops, graph.TripleOp{Del: op.Delete, T: t})
 		}
 	}
-	return res, nil
+	res := &UpdateResult{}
+	var err error
+	res.Inserted, res.Deleted, err = graph.ApplyTriples(g, ops)
+	return res, err
 }

@@ -1,0 +1,190 @@
+package hexastore_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"hexastore"
+	"hexastore/internal/disk"
+	"hexastore/internal/graph"
+)
+
+// TestOpenWithDeltaOverlay: the overlay option must be behaviorally
+// invisible — same query/update results as the plain backends — over
+// every backend kind.
+func TestOpenWithDeltaOverlay(t *testing.T) {
+	for name, opts := range map[string][]hexastore.Option{
+		"memory":   {hexastore.WithDeltaOverlay()},
+		"baseline": {hexastore.WithBaseline(), hexastore.WithDeltaOverlay()},
+		"disk":     {hexastore.WithDisk(t.TempDir()), hexastore.WithDeltaOverlay()},
+	} {
+		t.Run(name, func(t *testing.T) {
+			db, err := hexastore.Open(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			if _, err := db.Update(`INSERT DATA { <a> <p> <b> . <b> <p> <c> }`); err != nil {
+				t.Fatal(err)
+			}
+			res, err := db.Query(`SELECT ?x ?z WHERE { ?x <p> ?y . ?y <p> ?z }`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != 1 || res.Rows[0]["x"] != hexastore.IRI("a") || res.Rows[0]["z"] != hexastore.IRI("c") {
+				t.Fatalf("rows = %v", res.Rows)
+			}
+			if _, err := db.Update(`DELETE DATA { <b> <p> <c> }`); err != nil {
+				t.Fatal(err)
+			}
+			res, err = db.Query(`SELECT ?x ?z WHERE { ?x <p> ?y . ?y <p> ?z }`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != 0 {
+				t.Fatalf("rows after delete = %v", res.Rows)
+			}
+			stats, ok := db.DeltaStats()
+			if !ok {
+				t.Fatal("DeltaStats: overlay missing")
+			}
+			if stats.Visible != 1 {
+				t.Fatalf("DeltaStats.Visible = %d, want 1", stats.Visible)
+			}
+			if err := db.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDiskOverlayFlushDurability: even WITHOUT a WAL, DB.Update on a
+// disk-backed overlay must end durable — Flush merges the delta into
+// the trees eagerly — so the overlay never silently downgrades the disk
+// backend's per-update durability contract. Simulated crash: the DB is
+// dropped without Close and the store re-opened raw.
+func TestDiskOverlayFlushDurability(t *testing.T) {
+	dir := t.TempDir()
+	db, err := hexastore.Open(hexastore.WithDisk(dir), hexastore.WithDeltaOverlay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Update(`INSERT DATA { <a> <p> <b> . <c> <p> <d> }`); err != nil {
+		t.Fatal(err)
+	}
+	db = nil //nolint:ineffassign — crash: no Close, no Checkpoint
+
+	ds, err := disk.Open(dir, disk.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if n := ds.Len(); n != 2 {
+		t.Fatalf("raw disk store holds %d triples after crash, want 2 (Update was acknowledged durable)", n)
+	}
+	ok, err := graph.HasTriple(graph.Disk(ds), hexastore.T(
+		hexastore.IRI("c"), hexastore.IRI("p"), hexastore.IRI("d")))
+	if err != nil || !ok {
+		t.Fatalf("acknowledged triple lost (ok=%v err=%v)", ok, err)
+	}
+}
+
+// TestOpenWithWALRecovery: updates through a WAL-backed DB survive a
+// crash (no Close) for both the memory and disk backends, end to end
+// through the facade.
+func TestOpenWithWALRecovery(t *testing.T) {
+	for _, backend := range []string{"memory", "disk"} {
+		t.Run(backend, func(t *testing.T) {
+			dir := t.TempDir()
+			walPath := filepath.Join(dir, "db.wal")
+			open := func() *hexastore.DB {
+				t.Helper()
+				opts := []hexastore.Option{hexastore.WithWAL(walPath), hexastore.WithCompactThreshold(-1)}
+				if backend == "disk" {
+					opts = append(opts, hexastore.WithDisk(filepath.Join(dir, "store")))
+				}
+				db, err := hexastore.Open(opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return db
+			}
+
+			db := open()
+			for i := 0; i < 30; i++ {
+				if _, err := db.Update(fmt.Sprintf(`INSERT DATA { <s%d> <p> <o%d> }`, i, i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := db.Update(`DELETE DATA { <s7> <p> <o7> }`); err != nil {
+				t.Fatal(err)
+			}
+			db = nil //nolint:ineffassign — crash: no Close
+
+			re := open()
+			if re.Len() != 29 {
+				t.Fatalf("recovered %d triples, want 29", re.Len())
+			}
+			ok, err := re.HasTriple(hexastore.T(hexastore.IRI("s7"), hexastore.IRI("p"), hexastore.IRI("o7")))
+			if err != nil || ok {
+				t.Fatalf("deleted triple resurrected (ok=%v err=%v)", ok, err)
+			}
+			// Clean shutdown: Close checkpoints (snapshot or tree flush) and
+			// truncates the WAL; reopening must see the same state.
+			if err := re.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			re2 := open()
+			defer re2.Close()
+			if re2.Len() != 29 {
+				t.Fatalf("after checkpointed restart: %d triples, want 29", re2.Len())
+			}
+			if st, ok := re2.DeltaStats(); !ok || st.WALBytes > 8 {
+				t.Fatalf("WAL not truncated by Close: %+v", st)
+			}
+		})
+	}
+}
+
+// TestOverlayConcurrentDBAccess exercises the facade's lock-free overlay
+// path: queries and updates through the same *DB from many goroutines
+// (run under -race in CI).
+func TestOverlayConcurrentDBAccess(t *testing.T) {
+	db, err := hexastore.Open(hexastore.WithDeltaOverlay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := db.Update(fmt.Sprintf(`INSERT DATA { <w%d-%d> <p> <o> }`, w, i)); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				if _, err := db.Query(`SELECT ?s WHERE { ?s <p> <o> }`); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if db.Len() != 150 {
+		t.Fatalf("Len = %d, want 150", db.Len())
+	}
+}
