@@ -509,6 +509,47 @@ func BenchmarkSPARQLJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkSPARQLJoinCompression times the same cyclic join on the
+// block-compressed (default) and raw index layouts of the memory
+// backend — the acceptance tracker for the space/speed trade: the
+// compressed path must stay within ~1.2x of raw (block-skipping merges
+// and smaller working sets win back most of the varint decode cost).
+func BenchmarkSPARQLJoinCompression(b *testing.B) {
+	data := lubm.Config{
+		Universities: 5, Seed: 1, DeptsPerUniv: 8,
+		UndergradPerDept: 60, GradPerDept: 15, CoursesPerDept: 15,
+	}.GenerateAll()
+	q, err := sparql.Parse(`
+		SELECT ?student ?course WHERE {
+			?student <lubm:advisor> ?prof .
+			?prof <lubm:teacherOf> ?course .
+			?student <lubm:takesCourse> ?course
+		}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name     string
+		compress bool
+	}{{"Raw", false}, {"Compressed", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			bld := core.NewBuilder(nil)
+			bld.SetCompression(mode.compress)
+			for _, t := range data {
+				bld.AddTriple(t)
+			}
+			st := bld.BuildParallel(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sparql.Eval(graph.Memory(st), q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSPARQLJoinBackends times the evaluator suite of
 // bench.SPARQLQueries — the same workload `hexbench -json` snapshots —
 // across the three Graph backends: the in-memory Hexastore and the disk

@@ -74,7 +74,7 @@ func main() {
 	// -list advertises the load and write suites alongside the paper
 	// figures; accept their ids through -fig too instead of bouncing
 	// users to the dedicated flags.
-	runLoad, runWrite := false, *write
+	runLoad, runWrite, runSpace := false, *write, false
 	figIDs := ids[:0]
 	for _, id := range ids {
 		switch id {
@@ -82,6 +82,8 @@ func main() {
 			runLoad = true
 		case "write01":
 			runWrite = true
+		case "space01":
+			runSpace = true
 		default:
 			figIDs = append(figIDs, id)
 		}
@@ -142,10 +144,14 @@ func main() {
 	if runWrite && !*jsonOut {
 		runSuite(bench.RunWrite)
 	}
+	if runSpace && !*jsonOut {
+		runSuite(bench.RunSpace)
+	}
 
 	if *jsonOut {
 		runSuite(bench.RunLoad)
 		runSuite(bench.RunWrite)
+		runSuite(bench.RunSpace)
 		runSuite(bench.RunSPARQL)
 
 		label := *rev

@@ -7,8 +7,11 @@
 //	hexquery -turtle data.ttl 'ASK { <alice> <knows> <bob> }'
 //	hexquery -restore data.hex 'SELECT DISTINCT ?p WHERE { <alice> ?p ?o }'
 //	hexquery -disk /path/to/store 'SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 5'
+//	hexquery -workers 4 -f data.nt 'SELECT ?s WHERE { ?s ?p ?o } LIMIT 10'
 //
-// With no query argument the query text is read from stdin.
+// With no query argument the query text is read from stdin. -workers
+// bounds the parallelism of both the load pipeline and the intra-query
+// join workers (default GOMAXPROCS), matching hexload/hexserver/hexbench.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"hexastore"
@@ -29,8 +33,11 @@ func main() {
 		turtle  = flag.String("turtle", "", "Turtle file to load instead of -f")
 		restore = flag.String("restore", "", "binary snapshot to load instead of -f")
 		diskDir = flag.String("disk", "", "query an existing disk-based Hexastore directory")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
+			"parallelism budget for the load pipeline and intra-query joins; 1 = sequential")
 	)
 	flag.Parse()
+	sparql.SetMaxWorkers(*workers)
 
 	var (
 		st      *hexastore.Store
@@ -50,13 +57,13 @@ func main() {
 	case *turtle != "":
 		var f *os.File
 		if f, err = os.Open(*turtle); err == nil {
-			st, err = hexastore.LoadTurtle(f)
+			st, err = hexastore.LoadTurtleParallel(f, *workers)
 			f.Close()
 		}
 	case *file != "":
 		var f *os.File
 		if f, err = os.Open(*file); err == nil {
-			st, err = hexastore.LoadNTriples(f)
+			st, err = hexastore.LoadNTriplesParallel(f, *workers)
 			f.Close()
 		}
 	default:

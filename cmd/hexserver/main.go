@@ -190,7 +190,7 @@ func openStore(diskDir string, cache int, walPath string, triples []rdf.Triple, 
 	}
 
 	if snap := snapshotPath(diskDir, walPath); snap != "" {
-		st, ok, err := delta.RestoreSnapshot(snap)
+		st, ok, err := delta.RestoreSnapshot(snap, true)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -180,9 +180,16 @@ func RunWrite(cfg Config, progress func(string)) ([]*Figure, error) {
 		}
 		for si, name := range series {
 			// A fresh store per series, bulk-built on the shared
-			// dictionary so query constants resolve identically.
-			build := func() *core.Store {
+			// dictionary so query constants resolve identically. The
+			// Locked series mutates its store in place, so it gets the
+			// raw layout (a compressed store would decompress itself on
+			// the first write, billing an O(n) conversion to this
+			// figure); the overlay series keep the compressed default —
+			// the overlay never mutates its main, which is exactly the
+			// configuration compression is designed for.
+			build := func(compress bool) *core.Store {
 				b := core.NewBuilder(dict)
+				b.SetCompression(compress)
 				b.AddAll(encoded[:n])
 				return b.BuildParallel(cfg.Workers)
 			}
@@ -192,14 +199,14 @@ func RunWrite(cfg Config, progress func(string)) ([]*Figure, error) {
 			)
 			switch name {
 			case "Locked":
-				ms = &lockedGraph{g: graph.Memory(build())}
+				ms = &lockedGraph{g: graph.Memory(build(false))}
 			default:
 				opts := delta.Options{}
 				if name == "Overlay+WAL" {
 					run++
 					opts.WALPath = filepath.Join(walDir, fmt.Sprintf("w%d.log", run))
 				}
-				ov, oerr := delta.Open(graph.Memory(build()), opts)
+				ov, oerr := delta.Open(graph.Memory(build(true)), opts)
 				if oerr != nil {
 					return nil, oerr
 				}

@@ -39,21 +39,38 @@ func Less(a, b Key) bool { return Compare(a, b) < 0 }
 // MaxKey is the largest possible key, useful as an inclusive scan bound.
 var MaxKey = Key{^uint64(0), ^uint64(0), ^uint64(0)}
 
-// Page layout. Both node kinds begin with a one-byte type tag and a
+// Page layout. All node kinds begin with a one-byte type tag and a
 // two-byte key count.
 //
-//	leaf:     [0]=tagLeaf  [2:4]=count [4:8]=next leaf id   [8:]=keys
-//	internal: [0]=tagInner [2:4]=count [8:8+4*(maxInnerKeys+1)]=children
-//	          [innerKeysOff:]=keys
+//	leaf:      [0]=tagLeaf  [2:4]=count [4:8]=next leaf id   [8:]=keys
+//	comp leaf: [0]=tagCompLeaf [2:4]=count [4:8]=next leaf id
+//	           [8:10]=byte length of the delta stream [10:]=stream
+//	internal:  [0]=tagInner [2:4]=count [8:8+4*(maxInnerKeys+1)]=children
+//	           [innerKeysOff:]=keys
+//
+// A compressed leaf holds its keys as a prefix-delta uvarint stream
+// (see appendKeyDelta) instead of fixed 24-byte records, typically
+// packing 3-6x more keys per page — fewer pages, fewer I/Os, and a
+// smaller buffer-pool working set for the same triple set. Leaves of
+// both kinds coexist in one tree: bulk builds emit compressed leaves
+// (when the tree's compression flag is on) and in-place mutation
+// re-encodes or splits them, so the formats are distinguished per page
+// by the tag alone.
 const (
-	tagLeaf  = 1
-	tagInner = 2
+	tagLeaf     = 1
+	tagInner    = 2
+	tagCompLeaf = 3
 
 	keySize = 24
 
 	leafKeysOff = 8
-	// MaxLeafKeys is the leaf fanout.
+	// MaxLeafKeys is the raw leaf fanout.
 	MaxLeafKeys = (pagefile.PayloadSize - leafKeysOff) / keySize
+
+	// compLeafDataOff is where a compressed leaf's delta stream starts;
+	// compLeafCap is the stream's byte capacity.
+	compLeafDataOff = 10
+	compLeafCap     = pagefile.PayloadSize - compLeafDataOff
 
 	// MaxInnerKeys is the internal fanout minus one.
 	MaxInnerKeys = (pagefile.PayloadSize - 8 - 4) / (keySize + 4)
@@ -71,7 +88,20 @@ type Tree struct {
 	countSlot int
 	root      pagefile.PageID
 	count     uint64
+
+	// compress makes BulkBuild emit compressed leaves. Reads and
+	// mutations handle both leaf kinds regardless of the flag (the
+	// format is per-page, carried by the tag).
+	compress bool
+
+	// scratch buffers reused across compressed-leaf decodes and
+	// re-encodes; a Tree is single-goroutine (the disk store locks).
+	scratchKeys []Key
+	scratchBuf  []byte
 }
+
+// SetCompression selects whether BulkBuild writes compressed leaves.
+func (t *Tree) SetCompression(on bool) { t.compress = on }
 
 // New attaches to the tree whose state lives in the given root slots of
 // pf, creating an empty tree if the slots are zero.
@@ -136,6 +166,105 @@ func putChildAt(d []byte, i int, id pagefile.PageID) {
 	binary.LittleEndian.PutUint32(d[childrenOff+4*i:], uint32(id))
 }
 
+// Compressed-leaf codec. Keys are emitted as prefix deltas: the first
+// key as three full uvarints, each following key as
+//
+//	uvarint(k0-p0); if the delta is nonzero, k1 and k2 follow in full;
+//	otherwise uvarint(k1-p1); if nonzero, k2 follows in full; otherwise
+//	uvarint(k2-p2) (>= 1, since keys are strictly increasing).
+//
+// Shared triple prefixes — the normal case inside one leaf of one
+// ordering — cost one byte each, so a typical key takes 3-6 bytes
+// instead of 24.
+
+// appendKeyDelta appends k's delta encoding relative to prev.
+func appendKeyDelta(dst []byte, prev, k Key, first bool) []byte {
+	if first {
+		dst = binary.AppendUvarint(dst, k[0])
+		dst = binary.AppendUvarint(dst, k[1])
+		return binary.AppendUvarint(dst, k[2])
+	}
+	d0 := k[0] - prev[0]
+	dst = binary.AppendUvarint(dst, d0)
+	if d0 != 0 {
+		dst = binary.AppendUvarint(dst, k[1])
+		return binary.AppendUvarint(dst, k[2])
+	}
+	d1 := k[1] - prev[1]
+	dst = binary.AppendUvarint(dst, d1)
+	if d1 != 0 {
+		return binary.AppendUvarint(dst, k[2])
+	}
+	return binary.AppendUvarint(dst, k[2]-prev[2])
+}
+
+// encodeLeafStream renders keys as a delta stream into dst (reset to
+// zero length first).
+func encodeLeafStream(dst []byte, keys []Key) []byte {
+	dst = dst[:0]
+	var prev Key
+	for i, k := range keys {
+		dst = appendKeyDelta(dst, prev, k, i == 0)
+		prev = k
+	}
+	return dst
+}
+
+// compLeafStreamLen returns the byte length of a compressed leaf's
+// delta stream.
+func compLeafStreamLen(d []byte) int {
+	return int(binary.LittleEndian.Uint16(d[8:10]))
+}
+
+// forEachCompKey streams a compressed leaf's keys in ascending order
+// until fn returns false, decoding one key at a time with no buffer.
+// It returns the stream position reached and the stream's recorded
+// byte length (equal when every key was visited — CheckInvariants
+// validates exactly that). Every reader of the compressed leaf format
+// goes through this walk, so the layout lives in one place.
+func forEachCompKey(d []byte, fn func(Key) bool) (pos, streamLen int) {
+	n := nodeCount(d)
+	streamLen = compLeafStreamLen(d)
+	stream := d[compLeafDataOff : compLeafDataOff+streamLen]
+	var k Key
+	for i := 0; i < n; i++ {
+		k, pos = decodeNextKey(stream, pos, k, i == 0)
+		if !fn(k) {
+			return pos, streamLen
+		}
+	}
+	return pos, streamLen
+}
+
+// decodeCompLeaf decodes a compressed leaf's keys into dst (reset to
+// zero length first).
+func decodeCompLeaf(d []byte, dst []Key) []Key {
+	dst = dst[:0]
+	forEachCompKey(d, func(k Key) bool {
+		dst = append(dst, k)
+		return true
+	})
+	return dst
+}
+
+func streamUvarint(b []byte, pos int) (uint64, int) {
+	if v := b[pos]; v < 0x80 {
+		return uint64(v), pos + 1
+	}
+	v, k := binary.Uvarint(b[pos:])
+	return v, pos + k
+}
+
+// writeCompLeaf writes keys into page payload d as a compressed leaf,
+// preserving the next-leaf pointer already in d. stream must be the
+// encoded form of keys and fit compLeafCap.
+func writeCompLeaf(d []byte, keys []Key, stream []byte) {
+	d[0] = tagCompLeaf
+	setNodeCount(d, len(keys))
+	binary.LittleEndian.PutUint16(d[8:10], uint16(len(stream)))
+	copy(d[compLeafDataOff:], stream)
+}
+
 // searchKeys returns the index of the first key at off >= k.
 func searchKeys(d []byte, off, count int, k Key) int {
 	lo, hi := 0, count
@@ -161,6 +290,61 @@ func removeKeyAt(d []byte, off, count, i int) {
 	copy(d[off+i*keySize:off+(count-1)*keySize], d[off+(i+1)*keySize:off+count*keySize])
 }
 
+// containsCompLeaf reports whether k is in the compressed leaf payload
+// d, decoding the delta stream one key at a time and stopping at the
+// first key >= k — no buffer, so concurrent readers stay allocation-
+// and state-free.
+func containsCompLeaf(d []byte, k Key) bool {
+	found := false
+	forEachCompKey(d, func(cur Key) bool {
+		switch Compare(cur, k) {
+		case 0:
+			found = true
+			return false
+		case 1:
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// decodeNextKey decodes one delta-encoded key from stream at pos.
+func decodeNextKey(stream []byte, pos int, prev Key, first bool) (Key, int) {
+	var k Key
+	if first {
+		var v uint64
+		v, pos = streamUvarint(stream, pos)
+		k[0] = v
+		v, pos = streamUvarint(stream, pos)
+		k[1] = v
+		v, pos = streamUvarint(stream, pos)
+		k[2] = v
+		return k, pos
+	}
+	var d0, v uint64
+	d0, pos = streamUvarint(stream, pos)
+	k[0] = prev[0] + d0
+	if d0 != 0 {
+		v, pos = streamUvarint(stream, pos)
+		k[1] = v
+		v, pos = streamUvarint(stream, pos)
+		k[2] = v
+		return k, pos
+	}
+	var d1 uint64
+	d1, pos = streamUvarint(stream, pos)
+	k[1] = prev[1] + d1
+	if d1 != 0 {
+		v, pos = streamUvarint(stream, pos)
+		k[2] = v
+		return k, pos
+	}
+	v, pos = streamUvarint(stream, pos)
+	k[2] = prev[2] + v
+	return k, pos
+}
+
 // Contains reports whether k is in the tree.
 func (t *Tree) Contains(k Key) (bool, error) {
 	if t.root == pagefile.NilPage {
@@ -173,10 +357,15 @@ func (t *Tree) Contains(k Key) (bool, error) {
 			return false, err
 		}
 		d := p.Data()
-		if nodeTag(d) == tagLeaf {
+		switch nodeTag(d) {
+		case tagLeaf:
 			n := nodeCount(d)
 			i := searchKeys(d, leafKeysOff, n, k)
 			found := i < n && Compare(keyAt(d, leafKeysOff, i), k) == 0
+			t.pf.Release(p)
+			return found, nil
+		case tagCompLeaf:
+			found := containsCompLeaf(d, k)
 			t.pf.Release(p)
 			return found, nil
 		}
@@ -188,6 +377,16 @@ func (t *Tree) Contains(k Key) (bool, error) {
 		id = childAt(d, i)
 		t.pf.Release(p)
 	}
+}
+
+// splitRef describes one new right sibling produced by a node
+// mutation: its smallest-key separator and its page id. Raw leaves and
+// internal nodes yield at most one; a compressed leaf that overflows
+// its page on re-encode can burst into several (it holds many more
+// keys than a raw page can), which is why mutation results are a list.
+type splitRef struct {
+	sep   Key
+	right pagefile.PageID
 }
 
 // Insert adds k, reporting whether the tree changed (false if k was
@@ -208,25 +407,12 @@ func (t *Tree) Insert(k Key) (bool, error) {
 		t.setCount(1)
 		return true, nil
 	}
-	added, split, sep, right, err := t.insert(t.root, k)
+	added, splits, err := t.mutate(t.root, k, false)
 	if err != nil {
 		return false, err
 	}
-	if split {
-		// Grow a new root.
-		p, err := t.pf.Allocate()
-		if err != nil {
-			return false, err
-		}
-		d := p.Data()
-		d[0] = tagInner
-		setNodeCount(d, 1)
-		putKeyAt(d, innerKeysOff, 0, sep)
-		putChildAt(d, 0, t.root)
-		putChildAt(d, 1, right)
-		p.MarkDirty()
-		t.setRoot(p.ID())
-		t.pf.Release(p)
+	if err := t.growRoot(splits); err != nil {
+		return false, err
 	}
 	if added {
 		t.setCount(t.count + 1)
@@ -234,155 +420,297 @@ func (t *Tree) Insert(k Key) (bool, error) {
 	return added, nil
 }
 
-// insert descends into page id. When the child splits it returns
-// split=true with the separator key and the new right sibling's id.
-func (t *Tree) insert(id pagefile.PageID, k Key) (added, split bool, sep Key, right pagefile.PageID, err error) {
-	p, err := t.pf.Get(id)
-	if err != nil {
-		return false, false, Key{}, 0, err
-	}
-	defer t.pf.Release(p)
-	d := p.Data()
-
-	if nodeTag(d) == tagLeaf {
-		n := nodeCount(d)
-		i := searchKeys(d, leafKeysOff, n, k)
-		if i < n && Compare(keyAt(d, leafKeysOff, i), k) == 0 {
-			return false, false, Key{}, 0, nil
-		}
-		if n < MaxLeafKeys {
-			insertKeyAt(d, leafKeysOff, n, i, k)
-			setNodeCount(d, n+1)
-			p.MarkDirty()
-			return true, false, Key{}, 0, nil
-		}
-		// Split the leaf: left keeps [0:mid), right takes [mid:n); then
-		// insert k into the proper half.
-		rp, err := t.pf.Allocate()
-		if err != nil {
-			return false, false, Key{}, 0, err
-		}
-		defer t.pf.Release(rp)
-		rd := rp.Data()
-		rd[0] = tagLeaf
-		mid := n / 2
-		moved := n - mid
-		copy(rd[leafKeysOff:leafKeysOff+moved*keySize], d[leafKeysOff+mid*keySize:leafKeysOff+n*keySize])
-		setNodeCount(rd, moved)
-		setNodeCount(d, mid)
-		setLeafNext(rd, leafNext(d))
-		setLeafNext(d, rp.ID())
-		sep = keyAt(rd, leafKeysOff, 0)
-		if Less(k, sep) {
-			insertKeyAt(d, leafKeysOff, mid, searchKeys(d, leafKeysOff, mid, k), k)
-			setNodeCount(d, mid+1)
-		} else {
-			i := searchKeys(rd, leafKeysOff, moved, k)
-			insertKeyAt(rd, leafKeysOff, moved, i, k)
-			setNodeCount(rd, moved+1)
-		}
-		p.MarkDirty()
-		rp.MarkDirty()
-		return true, true, sep, rp.ID(), nil
-	}
-
-	// Internal node.
-	n := nodeCount(d)
-	ci := searchKeys(d, innerKeysOff, n, k)
-	if ci < n && Compare(keyAt(d, innerKeysOff, ci), k) == 0 {
-		ci++
-	}
-	added, csplit, csep, cright, err := t.insert(childAt(d, ci), k)
-	if err != nil || !csplit {
-		return added, false, Key{}, 0, err
-	}
-	if n < MaxInnerKeys {
-		insertKeyAt(d, innerKeysOff, n, ci, csep)
-		copy(d[childrenOff+4*(ci+2):childrenOff+4*(n+2)], d[childrenOff+4*(ci+1):childrenOff+4*(n+1)])
-		putChildAt(d, ci+1, cright)
-		setNodeCount(d, n+1)
-		p.MarkDirty()
-		return added, false, Key{}, 0, nil
-	}
-	// Split the internal node. Conceptually insert (csep, cright) then
-	// push up the median. Materialize the widened arrays first.
-	keys := make([]Key, 0, n+1)
-	children := make([]pagefile.PageID, 0, n+2)
-	for i := 0; i < n; i++ {
-		keys = append(keys, keyAt(d, innerKeysOff, i))
-	}
-	for i := 0; i <= n; i++ {
-		children = append(children, childAt(d, i))
-	}
-	keys = append(keys[:ci], append([]Key{csep}, keys[ci:]...)...)
-	children = append(children[:ci+1], append([]pagefile.PageID{cright}, children[ci+1:]...)...)
-
-	midI := len(keys) / 2
-	sep = keys[midI]
-	rp, err := t.pf.Allocate()
-	if err != nil {
-		return false, false, Key{}, 0, err
-	}
-	defer t.pf.Release(rp)
-	rd := rp.Data()
-	rd[0] = tagInner
-	rightKeys := keys[midI+1:]
-	rightChildren := children[midI+1:]
-	for i, kk := range rightKeys {
-		putKeyAt(rd, innerKeysOff, i, kk)
-	}
-	for i, c := range rightChildren {
-		putChildAt(rd, i, c)
-	}
-	setNodeCount(rd, len(rightKeys))
-	for i, kk := range keys[:midI] {
-		putKeyAt(d, innerKeysOff, i, kk)
-	}
-	for i, c := range children[:midI+1] {
-		putChildAt(d, i, c)
-	}
-	setNodeCount(d, midI)
-	p.MarkDirty()
-	rp.MarkDirty()
-	return added, true, sep, rp.ID(), nil
-}
-
-// Delete removes k, reporting whether the tree changed. Leaves are not
-// rebalanced or reclaimed (lazy deletion): scans skip empty leaves via
-// the leaf chain.
+// Delete removes k, reporting whether the tree changed. Raw leaves are
+// not rebalanced or reclaimed (lazy deletion): scans skip empty leaves
+// via the leaf chain. Compressed leaves re-encode in place; in the
+// rare case the re-encoded stream grows past the page (removing a key
+// can lengthen its successor's delta), the leaf splits like an insert
+// would.
 func (t *Tree) Delete(k Key) (bool, error) {
 	if t.root == pagefile.NilPage {
 		return false, nil
 	}
-	id := t.root
-	for {
-		p, err := t.pf.Get(id)
-		if err != nil {
-			return false, err
-		}
-		d := p.Data()
-		if nodeTag(d) == tagLeaf {
+	removed, splits, err := t.mutate(t.root, k, true)
+	if err != nil {
+		return false, err
+	}
+	if err := t.growRoot(splits); err != nil {
+		return false, err
+	}
+	if removed {
+		t.setCount(t.count - 1)
+	}
+	return removed, nil
+}
+
+// growRoot installs a new root over the old root and the split-off
+// right siblings, when a mutation split the root.
+func (t *Tree) growRoot(splits []splitRef) error {
+	if len(splits) == 0 {
+		return nil
+	}
+	p, err := t.pf.Allocate()
+	if err != nil {
+		return err
+	}
+	d := p.Data()
+	d[0] = tagInner
+	setNodeCount(d, len(splits))
+	putChildAt(d, 0, t.root)
+	for i, s := range splits {
+		putKeyAt(d, innerKeysOff, i, s.sep)
+		putChildAt(d, i+1, s.right)
+	}
+	p.MarkDirty()
+	t.setRoot(p.ID())
+	t.pf.Release(p)
+	return nil
+}
+
+// mutate applies one insert (del=false) or delete (del=true) of k under
+// page id, returning whether the tree changed and the right siblings
+// the page split into (ascending, possibly several for a bursting
+// compressed leaf).
+func (t *Tree) mutate(id pagefile.PageID, k Key, del bool) (changed bool, splits []splitRef, err error) {
+	p, err := t.pf.Get(id)
+	if err != nil {
+		return false, nil, err
+	}
+	defer t.pf.Release(p)
+	d := p.Data()
+
+	switch nodeTag(d) {
+	case tagLeaf:
+		if del {
 			n := nodeCount(d)
 			i := searchKeys(d, leafKeysOff, n, k)
 			if i >= n || Compare(keyAt(d, leafKeysOff, i), k) != 0 {
-				t.pf.Release(p)
-				return false, nil
+				return false, nil, nil
 			}
 			removeKeyAt(d, leafKeysOff, n, i)
 			setNodeCount(d, n-1)
 			p.MarkDirty()
-			t.pf.Release(p)
-			t.setCount(t.count - 1)
-			return true, nil
+			return true, nil, nil
 		}
+		return t.insertRawLeaf(p, k)
+
+	case tagCompLeaf:
+		return t.mutateCompLeaf(p, k, del)
+
+	default: // internal node
 		n := nodeCount(d)
-		i := searchKeys(d, innerKeysOff, n, k)
-		if i < n && Compare(keyAt(d, innerKeysOff, i), k) == 0 {
-			i++
+		ci := searchKeys(d, innerKeysOff, n, k)
+		if ci < n && Compare(keyAt(d, innerKeysOff, ci), k) == 0 {
+			ci++
 		}
-		id = childAt(d, i)
-		t.pf.Release(p)
+		changed, csplits, err := t.mutate(childAt(d, ci), k, del)
+		if err != nil || len(csplits) == 0 {
+			return changed, nil, err
+		}
+		m := len(csplits)
+		if n+m <= MaxInnerKeys {
+			// In-place: shift keys [ci,n) and children [ci+1,n+1) right
+			// by m, then write the new separators and children.
+			copy(d[innerKeysOff+(ci+m)*keySize:innerKeysOff+(n+m)*keySize],
+				d[innerKeysOff+ci*keySize:innerKeysOff+n*keySize])
+			copy(d[childrenOff+4*(ci+1+m):childrenOff+4*(n+1+m)],
+				d[childrenOff+4*(ci+1):childrenOff+4*(n+1)])
+			for j, s := range csplits {
+				putKeyAt(d, innerKeysOff, ci+j, s.sep)
+				putChildAt(d, ci+1+j, s.right)
+			}
+			setNodeCount(d, n+m)
+			p.MarkDirty()
+			return changed, nil, nil
+		}
+		// Overflow: materialize the widened arrays and split the node
+		// into as many internal nodes as needed, pushing one separator
+		// up between each pair.
+		keys := make([]Key, 0, n+m)
+		children := make([]pagefile.PageID, 0, n+m+1)
+		for i := 0; i < n; i++ {
+			keys = append(keys, keyAt(d, innerKeysOff, i))
+		}
+		for i := 0; i <= n; i++ {
+			children = append(children, childAt(d, i))
+		}
+		keys = append(keys, make([]Key, m)...)
+		copy(keys[ci+m:], keys[ci:n])
+		children = append(children, make([]pagefile.PageID, m)...)
+		copy(children[ci+1+m:], children[ci+1:n+1])
+		for j, s := range csplits {
+			keys[ci+j] = s.sep
+			children[ci+1+j] = s.right
+		}
+		splits, err := t.splitInternal(p, keys, children)
+		return changed, splits, err
 	}
+}
+
+// insertRawLeaf inserts k into the raw leaf p, splitting once when
+// full — the pre-existing single-split path.
+func (t *Tree) insertRawLeaf(p *pagefile.Page, k Key) (bool, []splitRef, error) {
+	d := p.Data()
+	n := nodeCount(d)
+	i := searchKeys(d, leafKeysOff, n, k)
+	if i < n && Compare(keyAt(d, leafKeysOff, i), k) == 0 {
+		return false, nil, nil
+	}
+	if n < MaxLeafKeys {
+		insertKeyAt(d, leafKeysOff, n, i, k)
+		setNodeCount(d, n+1)
+		p.MarkDirty()
+		return true, nil, nil
+	}
+	// Split the leaf: left keeps [0:mid), right takes [mid:n); then
+	// insert k into the proper half.
+	rp, err := t.pf.Allocate()
+	if err != nil {
+		return false, nil, err
+	}
+	defer t.pf.Release(rp)
+	rd := rp.Data()
+	rd[0] = tagLeaf
+	mid := n / 2
+	moved := n - mid
+	copy(rd[leafKeysOff:leafKeysOff+moved*keySize], d[leafKeysOff+mid*keySize:leafKeysOff+n*keySize])
+	setNodeCount(rd, moved)
+	setNodeCount(d, mid)
+	setLeafNext(rd, leafNext(d))
+	setLeafNext(d, rp.ID())
+	sep := keyAt(rd, leafKeysOff, 0)
+	if Less(k, sep) {
+		insertKeyAt(d, leafKeysOff, mid, searchKeys(d, leafKeysOff, mid, k), k)
+		setNodeCount(d, mid+1)
+	} else {
+		i := searchKeys(rd, leafKeysOff, moved, k)
+		insertKeyAt(rd, leafKeysOff, moved, i, k)
+		setNodeCount(rd, moved+1)
+	}
+	p.MarkDirty()
+	rp.MarkDirty()
+	return true, []splitRef{{sep: sep, right: rp.ID()}}, nil
+}
+
+// mutateCompLeaf applies an insert or delete to a compressed leaf:
+// decode, modify, re-encode. When the re-encoded stream no longer fits
+// the page, the key set is split into encodable halves — the first
+// rewrites the page, the rest become new chained compressed leaves.
+func (t *Tree) mutateCompLeaf(p *pagefile.Page, k Key, del bool) (bool, []splitRef, error) {
+	d := p.Data()
+	t.scratchKeys = decodeCompLeaf(d, t.scratchKeys)
+	keys := t.scratchKeys
+	i := 0
+	for i < len(keys) && Less(keys[i], k) {
+		i++
+	}
+	found := i < len(keys) && Compare(keys[i], k) == 0
+	if del {
+		if !found {
+			return false, nil, nil
+		}
+		keys = append(keys[:i], keys[i+1:]...)
+	} else {
+		if found {
+			return false, nil, nil
+		}
+		keys = append(keys, Key{})
+		copy(keys[i+1:], keys[i:])
+		keys[i] = k
+	}
+	t.scratchKeys = keys
+
+	t.scratchBuf = encodeLeafStream(t.scratchBuf, keys)
+	if len(t.scratchBuf) <= compLeafCap {
+		writeCompLeaf(d, keys, t.scratchBuf)
+		p.MarkDirty()
+		return true, nil, nil
+	}
+
+	// Burst: halve recursively until every group encodes within a page.
+	groups := splitEncodable(keys)
+	next := leafNext(d)
+	var splits []splitRef
+	// Rewrite this page with the first group.
+	t.scratchBuf = encodeLeafStream(t.scratchBuf, groups[0])
+	writeCompLeaf(d, groups[0], t.scratchBuf)
+	prev := p
+	for gi := 1; gi < len(groups); gi++ {
+		rp, err := t.pf.Allocate()
+		if err != nil {
+			return false, nil, err
+		}
+		rd := rp.Data()
+		t.scratchBuf = encodeLeafStream(t.scratchBuf, groups[gi])
+		writeCompLeaf(rd, groups[gi], t.scratchBuf)
+		setLeafNext(prev.Data(), rp.ID())
+		prev.MarkDirty()
+		if prev != p {
+			t.pf.Release(prev)
+		}
+		splits = append(splits, splitRef{sep: groups[gi][0], right: rp.ID()})
+		prev = rp
+	}
+	setLeafNext(prev.Data(), next)
+	prev.MarkDirty()
+	if prev != p {
+		t.pf.Release(prev)
+	}
+	return true, splits, nil
+}
+
+// splitInternal rewrites the overflowing internal node p (whose
+// widened keys/children arrays are given; len(keys) > MaxInnerKeys)
+// as several internal nodes, pushing one separator up between each
+// pair. Children are distributed evenly, so every part keeps at least
+// one key.
+func (t *Tree) splitInternal(p *pagefile.Page, keys []Key, children []pagefile.PageID) ([]splitRef, error) {
+	parts := (len(children) + MaxInnerKeys) / (MaxInnerKeys + 1)
+	base := len(children) / parts
+	extra := len(children) % parts
+	var splits []splitRef
+	idx := 0
+	for part := 0; part < parts; part++ {
+		cnt := base
+		if part < extra {
+			cnt++
+		}
+		node := p
+		if part > 0 {
+			rp, err := t.pf.Allocate()
+			if err != nil {
+				return nil, err
+			}
+			defer t.pf.Release(rp)
+			node = rp
+			splits = append(splits, splitRef{sep: keys[idx-1], right: rp.ID()})
+		}
+		d := node.Data()
+		d[0] = tagInner
+		group := children[idx : idx+cnt]
+		groupKeys := keys[idx : idx+cnt-1]
+		for i, c := range group {
+			putChildAt(d, i, c)
+		}
+		for i, kk := range groupKeys {
+			putKeyAt(d, innerKeysOff, i, kk)
+		}
+		setNodeCount(d, len(groupKeys))
+		node.MarkDirty()
+		idx += cnt
+	}
+	return splits, nil
+}
+
+// splitEncodable partitions keys into consecutive groups whose
+// delta-stream encodings each fit a compressed leaf page, by recursive
+// halving. Groups alias the input slice.
+func splitEncodable(keys []Key) [][]Key {
+	if len(encodeLeafStream(nil, keys)) <= compLeafCap {
+		return [][]Key{keys}
+	}
+	mid := len(keys) / 2
+	return append(splitEncodable(keys[:mid]), splitEncodable(keys[mid:])...)
 }
 
 // Scan streams every key in [lo, hi] to fn in ascending order, stopping
@@ -399,7 +727,7 @@ func (t *Tree) Scan(lo, hi Key, fn func(Key) bool) error {
 			return err
 		}
 		d := p.Data()
-		if nodeTag(d) == tagLeaf {
+		if tag := nodeTag(d); tag == tagLeaf || tag == tagCompLeaf {
 			t.pf.Release(p)
 			break
 		}
@@ -411,13 +739,36 @@ func (t *Tree) Scan(lo, hi Key, fn func(Key) bool) error {
 		id = childAt(d, i)
 		t.pf.Release(p)
 	}
-	// Walk the leaf chain.
+	// Walk the leaf chain. Compressed leaves are decoded streaming —
+	// one key at a time, no buffer — so concurrent scans share no
+	// state; keys below lo are decoded (delta chains force it) but
+	// skipped without the callback.
 	for id != pagefile.NilPage {
 		p, err := t.pf.Get(id)
 		if err != nil {
 			return err
 		}
 		d := p.Data()
+		if nodeTag(d) == tagCompLeaf {
+			stopped := false
+			forEachCompKey(d, func(k Key) bool {
+				if Less(k, lo) {
+					return true
+				}
+				if Less(hi, k) || !fn(k) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			if stopped {
+				t.pf.Release(p)
+				return nil
+			}
+			id = leafNext(d)
+			t.pf.Release(p)
+			continue
+		}
 		n := nodeCount(d)
 		i := searchKeys(d, leafKeysOff, n, lo)
 		for ; i < n; i++ {
@@ -449,8 +800,11 @@ func (t *Tree) ScanPrefix2(a, b uint64, fn func(Key) bool) error {
 
 // BulkBuild replaces the tree contents with the given strictly increasing
 // key sequence, building leaves and internal levels bottom-up without
-// per-key descents. It returns an error if keys are not strictly
-// increasing or the tree is not empty.
+// per-key descents. With compression on (SetCompression) the leaves are
+// delta+varint compressed pages, typically packing several raw pages'
+// worth of keys each — the disk rendering of the block-compressed index
+// layer. It returns an error if keys are not strictly increasing or the
+// tree is not empty.
 func (t *Tree) BulkBuild(keys []Key) error {
 	if t.root != pagefile.NilPage {
 		return fmt.Errorf("btree: BulkBuild on non-empty tree")
@@ -469,28 +823,25 @@ func (t *Tree) BulkBuild(keys []Key) error {
 		min Key // smallest key under this node, used as parent separator
 	}
 
-	// Fill leaves to ~90% so subsequent inserts do not immediately split.
-	target := MaxLeafKeys * 9 / 10
-	if target < 1 {
-		target = 1
-	}
 	var level []nodeRef
 	var prevLeaf *pagefile.Page
-	for start := 0; start < len(keys); start += target {
-		end := start + target
-		if end > len(keys) {
-			end = len(keys)
-		}
+
+	// flushLeaf writes one leaf page holding keys[start:end].
+	flushLeaf := func(start, end int, stream []byte) error {
 		p, err := t.pf.Allocate()
 		if err != nil {
 			return err
 		}
 		d := p.Data()
-		d[0] = tagLeaf
-		for i, k := range keys[start:end] {
-			putKeyAt(d, leafKeysOff, i, k)
+		if stream != nil {
+			writeCompLeaf(d, keys[start:end], stream)
+		} else {
+			d[0] = tagLeaf
+			for i, k := range keys[start:end] {
+				putKeyAt(d, leafKeysOff, i, k)
+			}
+			setNodeCount(d, end-start)
 		}
-		setNodeCount(d, end-start)
 		p.MarkDirty()
 		if prevLeaf != nil {
 			setLeafNext(prevLeaf.Data(), p.ID())
@@ -499,6 +850,49 @@ func (t *Tree) BulkBuild(keys []Key) error {
 		}
 		prevLeaf = p
 		level = append(level, nodeRef{id: p.ID(), min: keys[start]})
+		return nil
+	}
+
+	if t.compress {
+		// Fill compressed leaves to ~90% of the page's byte budget so
+		// subsequent inserts re-encode in place instead of bursting.
+		byteTarget := compLeafCap * 9 / 10
+		stream := t.scratchBuf[:0]
+		start := 0
+		var prev Key
+		for i, k := range keys {
+			mark := len(stream)
+			stream = appendKeyDelta(stream, prev, k, i == start)
+			prev = k
+			if len(stream) > byteTarget && i > start {
+				if err := flushLeaf(start, i, stream[:mark]); err != nil {
+					return err
+				}
+				start = i
+				stream = appendKeyDelta(stream[:0], Key{}, k, true)
+				prev = k
+			}
+		}
+		if err := flushLeaf(start, len(keys), stream); err != nil {
+			return err
+		}
+		t.scratchBuf = stream
+	} else {
+		// Fill raw leaves to ~90% so subsequent inserts do not
+		// immediately split.
+		target := MaxLeafKeys * 9 / 10
+		if target < 1 {
+			target = 1
+		}
+		for start := 0; start < len(keys); start += target {
+			end := start + target
+			if end > len(keys) {
+				end = len(keys)
+			}
+			if err := flushLeaf(start, end, nil); err != nil {
+				return err
+			}
+		}
 	}
 	if prevLeaf != nil {
 		t.pf.Release(prevLeaf)
@@ -566,7 +960,7 @@ func (t *Tree) Depth() (int, error) {
 		}
 		depth++
 		d := p.Data()
-		if nodeTag(d) == tagLeaf {
+		if tag := nodeTag(d); tag == tagLeaf || tag == tagCompLeaf {
 			t.pf.Release(p)
 			return depth, nil
 		}
@@ -600,21 +994,44 @@ func (t *Tree) CheckInvariants() error {
 		defer t.pf.Release(p)
 		d := p.Data()
 		n := nodeCount(d)
+		checkLeafKey := func(i int, k Key) error {
+			if hasLast && Compare(last, k) >= 0 {
+				return fmt.Errorf("btree: leaf %d key %d out of order", id, i)
+			}
+			if lo != nil && Less(k, *lo) {
+				return fmt.Errorf("btree: leaf %d key %d below separator", id, i)
+			}
+			if hi != nil && !Less(k, *hi) {
+				return fmt.Errorf("btree: leaf %d key %d above separator", id, i)
+			}
+			last, hasLast = k, true
+			seen++
+			return nil
+		}
 		switch nodeTag(d) {
 		case tagLeaf:
 			for i := 0; i < n; i++ {
-				k := keyAt(d, leafKeysOff, i)
-				if hasLast && Compare(last, k) >= 0 {
-					return fmt.Errorf("btree: leaf %d key %d out of order", id, i)
+				if err := checkLeafKey(i, keyAt(d, leafKeysOff, i)); err != nil {
+					return err
 				}
-				if lo != nil && Less(k, *lo) {
-					return fmt.Errorf("btree: leaf %d key %d below separator", id, i)
-				}
-				if hi != nil && !Less(k, *hi) {
-					return fmt.Errorf("btree: leaf %d key %d above separator", id, i)
-				}
-				last, hasLast = k, true
-				seen++
+			}
+			return nil
+		case tagCompLeaf:
+			if compLeafDataOff+compLeafStreamLen(d) > len(d) {
+				return fmt.Errorf("btree: compressed leaf %d stream overruns page", id)
+			}
+			var keyErr error
+			i := 0
+			pos, streamLen := forEachCompKey(d, func(k Key) bool {
+				keyErr = checkLeafKey(i, k)
+				i++
+				return keyErr == nil
+			})
+			if keyErr != nil {
+				return keyErr
+			}
+			if pos != streamLen {
+				return fmt.Errorf("btree: compressed leaf %d stream length %d, decoded %d", id, streamLen, pos)
 			}
 			return nil
 		case tagInner:

@@ -1,0 +1,215 @@
+package btree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"hexastore/internal/pagefile"
+)
+
+func newTestTree(t *testing.T, compress bool) *Tree {
+	t.Helper()
+	pf, err := pagefile.Create(filepath.Join(t.TempDir(), "t.db"), pagefile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	tr := New(pf, 0, 1)
+	tr.SetCompression(compress)
+	return tr
+}
+
+func randKeys(rng *rand.Rand, n int) []Key {
+	set := make(map[Key]bool, n)
+	for len(set) < n {
+		set[Key{uint64(rng.Intn(50)), uint64(rng.Intn(200)), uint64(rng.Int63n(1 << 40))}] = true
+	}
+	keys := make([]Key, 0, n)
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sortSliceKeys(keys)
+	return keys
+}
+
+func sortSliceKeys(keys []Key) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && Less(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+// TestCompressedBulkBuild checks a compressed bulk build round-trips
+// every key, satisfies the invariants, and uses far fewer leaf pages
+// than the raw build.
+func TestCompressedBulkBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := randKeys(rng, 20000)
+
+	comp := newTestTree(t, true)
+	if err := comp.BulkBuild(keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	raw := newTestTree(t, false)
+	if err := raw.BulkBuild(keys); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Key
+	if err := comp.Scan(Key{}, MaxKey, func(k Key) bool {
+		got = append(got, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("scan returned %d keys, want %d", len(got), len(keys))
+	}
+	for i := range got {
+		if got[i] != keys[i] {
+			t.Fatalf("scan key %d = %v, want %v", i, got[i], keys[i])
+		}
+	}
+	for _, k := range keys[:500] {
+		ok, err := comp.Contains(k)
+		if err != nil || !ok {
+			t.Fatalf("Contains(%v) = %v, %v", k, ok, err)
+		}
+	}
+	if ok, _ := comp.Contains(Key{999, 999, 999}); ok {
+		t.Fatal("Contains reported an absent key")
+	}
+
+	compPages := comp.pf.NumPages()
+	rawPages := raw.pf.NumPages()
+	if compPages*2 > rawPages {
+		t.Fatalf("compressed build used %d pages vs raw %d: less than 2x win", compPages, rawPages)
+	}
+}
+
+// TestCompressedMutation drives random inserts and deletes through a
+// compressed bulk-built tree — exercising in-place re-encodes, leaf
+// bursts (multi-way splits), and deletes that re-encode — comparing
+// against a model map after every batch and validating invariants.
+func TestCompressedMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	keys := randKeys(rng, 5000)
+	tr := newTestTree(t, true)
+	if err := tr.BulkBuild(keys); err != nil {
+		t.Fatal(err)
+	}
+	model := make(map[Key]bool, len(keys))
+	for _, k := range keys {
+		model[k] = true
+	}
+
+	for round := 0; round < 40; round++ {
+		for op := 0; op < 50; op++ {
+			k := Key{uint64(rng.Intn(50)), uint64(rng.Intn(200)), uint64(rng.Int63n(1 << 40))}
+			if rng.Intn(3) > 0 || len(model) == 0 {
+				changed, err := tr.Insert(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if changed == model[k] {
+					t.Fatalf("Insert(%v) changed=%v but model has=%v", k, changed, model[k])
+				}
+				model[k] = true
+			} else {
+				// Delete a random existing key half the time.
+				if rng.Intn(2) == 0 {
+					for mk := range model {
+						k = mk
+						break
+					}
+				}
+				changed, err := tr.Delete(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if changed != model[k] {
+					t.Fatalf("Delete(%v) changed=%v but model has=%v", k, changed, model[k])
+				}
+				delete(model, k)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got := int(tr.Len()); got != len(model) {
+			t.Fatalf("round %d: Len=%d model=%d", round, got, len(model))
+		}
+	}
+	// Full scan equals the sorted model.
+	var got []Key
+	if err := tr.Scan(Key{}, MaxKey, func(k Key) bool {
+		got = append(got, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(model) {
+		t.Fatalf("scan %d keys, model %d", len(got), len(model))
+	}
+	for _, k := range got {
+		if !model[k] {
+			t.Fatalf("scan returned %v not in model", k)
+		}
+	}
+}
+
+// TestCompressedLeafBurst forces a compressed leaf overflow: fill one
+// leaf to the brim via bulk build, then insert keys with huge deltas so
+// the re-encoded stream cannot fit and the leaf must burst into
+// several, growing the tree via multi-way splits.
+func TestCompressedLeafBurst(t *testing.T) {
+	tr := newTestTree(t, true)
+	// Dense keys — ~3 bytes each, so one leaf holds ~1200.
+	keys := make([]Key, 1200)
+	for i := range keys {
+		keys[i] = Key{1, 1, uint64(i * 2)}
+	}
+	if err := tr.BulkBuild(keys); err != nil {
+		t.Fatal(err)
+	}
+	model := make(map[Key]bool, len(keys))
+	for _, k := range keys {
+		model[k] = true
+	}
+	// Sparse keys interleaved: each costs ~10+ bytes, overflow follows.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 400; i++ {
+		k := Key{1, 1, uint64(rng.Int63n(1<<60))*2 + 1}
+		if model[k] {
+			continue
+		}
+		if _, err := tr.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+		model[k] = true
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := int(tr.Len()); got != len(model) {
+		t.Fatalf("Len=%d model=%d", got, len(model))
+	}
+	n := 0
+	if err := tr.Scan(Key{}, MaxKey, func(k Key) bool {
+		if !model[k] {
+			t.Fatalf("scan returned %v not in model", k)
+		}
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(model) {
+		t.Fatalf("scan %d keys, model %d", n, len(model))
+	}
+}

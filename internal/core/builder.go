@@ -18,15 +18,33 @@ import (
 type Builder struct {
 	dict    *dictionary.Dictionary
 	triples [][3]ID
+	// compress selects the block-compressed index layout (packed
+	// delta+varint vectors) for the built store. On by default: bulk-built
+	// stores are read-mostly, and the compressed layout is both the space
+	// answer to the paper's five-fold overhead and the layout the delta
+	// overlay's compaction rebuilds into. SetCompression(false) restores
+	// the raw shared-terminal-list layout.
+	compress bool
 }
 
-// NewBuilder returns a bulk loader that will produce a store sharing dict.
+// NewBuilder returns a bulk loader that will produce a store sharing
+// dict. The built store uses the block-compressed index layout; see
+// SetCompression.
 func NewBuilder(dict *dictionary.Dictionary) *Builder {
 	if dict == nil {
 		dict = dictionary.New()
 	}
-	return &Builder{dict: dict}
+	return &Builder{dict: dict, compress: true}
 }
+
+// SetCompression selects between the block-compressed (true, the
+// default) and raw shared-list (false) index layouts for the built
+// store. Both layouts answer every query identically; they differ only
+// in bytes per triple and in the cost of later in-place mutation (a
+// compressed store decompresses itself wholesale on its first direct
+// Add/Remove — live updates should instead go through the delta
+// overlay, which never mutates a bulk-built main).
+func (b *Builder) SetCompression(on bool) { b.compress = on }
 
 // Add records the triple ⟨s,p,o⟩ for loading. Duplicates are removed at
 // Build time.
@@ -81,7 +99,7 @@ func (b *Builder) Dictionary() *dictionary.Dictionary { return b.dict }
 func (b *Builder) Build() *Store {
 	ts := make([][3]ID, len(b.triples))
 	copy(ts, b.triples)
-	return buildFrom(b.dict, ts, 1)
+	return buildFrom(b.dict, ts, 1, b.compress)
 }
 
 // BuildParallel constructs the store using up to workers goroutines
@@ -98,39 +116,59 @@ func (b *Builder) Build() *Store {
 func (b *Builder) BuildParallel(workers int) *Store {
 	ts := b.triples
 	b.triples = nil
-	return buildFrom(b.dict, ts, workers)
+	return buildFrom(b.dict, ts, workers, b.compress)
 }
 
 // buildFrom runs the three sort+build passes over ts, which it owns.
-// With workers > 1 the (s,o,p) and (p,o,s) passes get their own sorted
-// copies and all three passes run concurrently — they touch disjoint
-// store maps (objLists/spo/pso, propLists/sop/osp, subjLists/pos/ops),
-// so no locking is needed.
-func buildFrom(dict *dictionary.Dictionary, ts [][3]ID, workers int) *Store {
+func buildFrom(dict *dictionary.Dictionary, ts [][3]ID, workers int, compress bool) *Store {
+	st := NewShared(dict)
+	fillStore(st, ts, workers, compress)
+	return st
+}
+
+// fillStore sorts, dedupes and loads ts into the empty store st, in the
+// raw or block-compressed layout. With workers > 1 the (s,o,p) and
+// (p,o,s) passes get their own sorted copies and all three passes run
+// concurrently — they touch disjoint store maps (objLists/spo/pso,
+// propLists/sop/osp, subjLists/pos/ops), so no locking is needed.
+// fillStore owns ts. The built content is identical for every worker
+// count: each pass consumes the fully sorted triple set in its own
+// order, so neither goroutine scheduling nor the parallel sort's
+// chunking can change what is built.
+func fillStore(st *Store, ts [][3]ID, workers int, compress bool) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	st := NewShared(dict)
 
 	// Dedupe on (s,p,o).
 	sortTriples(ts, 0, 1, 2, workers)
 	ts = dedupeTriples(ts)
 	st.size = len(ts)
+	st.compressed = compress
+
+	// pass runs one ordering pair's build in the raw or packed layout.
+	pass := func(ts [][3]ID, a, b, c int, lists map[pairKey]*idlist.List, fwd, mirror Index) {
+		if compress {
+			packPass(ts, a, b, c, st.pidx[fwd], st.pidx[mirror])
+		} else {
+			buildPass(ts, a, b, c, lists, st.idx[fwd], st.idx[mirror])
+		}
+	}
 
 	if workers <= 1 {
 		// Pass 1 — sorted by (s,p,o): object lists shared by spo and pso.
 		// Consecutive runs of equal (s,p) become one terminal list; the
 		// spo vectors receive their keys already in order.
-		buildPass(ts, 0, 1, 2, st.objLists, st.idx[SPO], st.idx[PSO])
+		pass(ts, 0, 1, 2, st.objLists, SPO, PSO)
 
 		// Pass 2 — sorted by (s,o,p): property lists shared by sop and osp.
 		sortTriples(ts, 0, 2, 1, 1)
-		buildPass(ts, 0, 2, 1, st.propLists, st.idx[SOP], st.idx[OSP])
+		pass(ts, 0, 2, 1, st.propLists, SOP, OSP)
 
 		// Pass 3 — sorted by (p,o,s): subject lists shared by pos and ops.
 		sortTriples(ts, 1, 2, 0, 1)
-		buildPass(ts, 1, 2, 0, st.subjLists, st.idx[POS], st.idx[OPS])
-		return st
+		pass(ts, 1, 2, 0, st.subjLists, POS, OPS)
+		return
 	}
 
 	// Parallel passes: pass 1 reuses the (s,p,o)-sorted ts as is and runs
@@ -144,11 +182,11 @@ func buildFrom(dict *dictionary.Dictionary, ts [][3]ID, workers int) *Store {
 	ts3 := slices.Clone(ts)
 	pass2 := func(sortWorkers int) {
 		sortTriples(ts2, 0, 2, 1, sortWorkers)
-		buildPass(ts2, 0, 2, 1, st.propLists, st.idx[SOP], st.idx[OSP])
+		pass(ts2, 0, 2, 1, st.propLists, SOP, OSP)
 	}
 	pass3 := func(sortWorkers int) {
 		sortTriples(ts3, 1, 2, 0, sortWorkers)
-		buildPass(ts3, 1, 2, 0, st.subjLists, st.idx[POS], st.idx[OPS])
+		pass(ts3, 1, 2, 0, st.subjLists, POS, OPS)
 	}
 	var wg sync.WaitGroup
 	if workers == 2 {
@@ -171,9 +209,8 @@ func buildFrom(dict *dictionary.Dictionary, ts [][3]ID, workers int) *Store {
 			pass3(s3)
 		}()
 	}
-	buildPass(ts, 0, 1, 2, st.objLists, st.idx[SPO], st.idx[PSO])
+	pass(ts, 0, 1, 2, st.objLists, SPO, PSO)
 	wg.Wait()
-	return st
 }
 
 // buildPass consumes triples sorted by positions (a, b, c) and builds:
@@ -215,6 +252,59 @@ func buildPass(ts [][3]ID, a, b, c int, lists map[pairKey]*idlist.List, fwd, mir
 		}
 		mv.Append(ka, list)
 		i = j
+	}
+}
+
+// packPass is buildPass for the block-compressed layout: it consumes
+// triples sorted by positions (a, b, c) and renders both the forward
+// index (head a, key b) and the mirror index (head b, key a) as packed
+// delta+varint vectors — keys and terminal lists in one immutable blob
+// per head, no per-pair map entries and no per-list allocations. Unlike
+// the raw layout the two orderings do not share list storage (a packed
+// blob has no pointers to share), which the compression win pays for
+// several times over; see Store.IndexBytes.
+//
+// The pass is a-major, so forward blobs build head by head; mirror
+// blobs accumulate in per-head builders (their keys a still arrive in
+// ascending order within each head b) and finish at the end.
+func packPass(ts [][3]ID, a, b, c int, fwd, mirror map[ID]*idlist.Packed) {
+	mirrors := make(map[ID]*idlist.PackedBuilder)
+	var fb *idlist.PackedBuilder
+	var fhead ID
+	members := make([]ID, 0, 64)
+	i := 0
+	for i < len(ts) {
+		ka, kb := ts[i][a], ts[i][b]
+		j := i
+		for j < len(ts) && ts[j][a] == ka && ts[j][b] == kb {
+			j++
+		}
+		members = members[:0]
+		for k := i; k < j; k++ {
+			members = append(members, ts[k][c])
+		}
+		if fb == nil || ka != fhead {
+			if fb != nil {
+				fwd[fhead] = fb.Finish()
+			}
+			fb = &idlist.PackedBuilder{}
+			fhead = ka
+		}
+		fb.Append(kb, members)
+
+		mb := mirrors[kb]
+		if mb == nil {
+			mb = &idlist.PackedBuilder{}
+			mirrors[kb] = mb
+		}
+		mb.Append(ka, members)
+		i = j
+	}
+	if fb != nil {
+		fwd[fhead] = fb.Finish()
+	}
+	for kb, mb := range mirrors {
+		mirror[kb] = mb.Finish()
 	}
 }
 

@@ -25,28 +25,38 @@ func (st *Store) Match(s, p, o ID, fn func(s, p, o ID) bool) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 
+	// terminal returns the matching terminal list of a 2-bound pattern
+	// as a view, from the packed vectors or the shared pair maps.
+	terminal := func(ix Index, m map[pairKey]*idlist.List, k pairKey) idlist.View {
+		if st.compressed {
+			v, _ := st.pidx[ix][k.a].Find(k.b)
+			return v
+		}
+		return m[k].View()
+	}
+
 	switch {
 	case s != None && p != None && o != None:
 		st.advisor.hit(SPO)
-		if st.objLists[pairKey{s, p}].Contains(o) {
+		if terminal(SPO, st.objLists, pairKey{s, p}).Contains(o) {
 			fn(s, p, o)
 		}
 
 	case s != None && p != None:
 		st.advisor.hit(SPO)
-		st.objLists[pairKey{s, p}].Range(func(obj ID) bool {
+		terminal(SPO, st.objLists, pairKey{s, p}).Range(func(obj ID) bool {
 			return fn(s, p, obj)
 		})
 
 	case s != None && o != None:
 		st.advisor.hit(SOP)
-		st.propLists[pairKey{s, o}].Range(func(prop ID) bool {
+		terminal(SOP, st.propLists, pairKey{s, o}).Range(func(prop ID) bool {
 			return fn(s, prop, o)
 		})
 
 	case p != None && o != None:
 		st.advisor.hit(POS)
-		st.subjLists[pairKey{p, o}].Range(func(subj ID) bool {
+		terminal(POS, st.subjLists, pairKey{p, o}).Range(func(subj ID) bool {
 			return fn(subj, p, o)
 		})
 
@@ -64,10 +74,11 @@ func (st *Store) Match(s, p, o ID, fn func(s, p, o ID) bool) {
 
 	default:
 		st.advisor.hit(SPO)
-		for subj, vec := range st.idx[SPO] {
+		// scanHead walks one subject's spo vector; false stops the scan.
+		scanHead := func(subj ID) bool {
 			stop := false
-			vec.Range(func(prop ID, list *idlist.List) bool {
-				list.Range(func(obj ID) bool {
+			st.rangeHeadLocked(SPO, subj, func(prop ID, view idlist.View) bool {
+				view.Range(func(obj ID) bool {
 					if !fn(subj, prop, obj) {
 						stop = true
 					}
@@ -75,7 +86,18 @@ func (st *Store) Match(s, p, o ID, fn func(s, p, o ID) bool) {
 				})
 				return !stop
 			})
-			if stop {
+			return !stop
+		}
+		if st.compressed {
+			for subj := range st.pidx[SPO] {
+				if !scanHead(subj) {
+					return
+				}
+			}
+			return
+		}
+		for subj := range st.idx[SPO] {
+			if !scanHead(subj) {
 				return
 			}
 		}
@@ -84,10 +106,9 @@ func (st *Store) Match(s, p, o ID, fn func(s, p, o ID) bool) {
 
 // walkHead iterates every (key, list-member) pair of head's vector in ix.
 func (st *Store) walkHead(ix Index, head ID, fn func(key, member ID) bool) {
-	vec := st.idx[ix][head]
 	stop := false
-	vec.Range(func(key ID, list *idlist.List) bool {
-		list.Range(func(member ID) bool {
+	st.rangeHeadLocked(ix, head, func(key ID, view idlist.View) bool {
+		view.Range(func(member ID) bool {
 			if !fn(key, member) {
 				stop = true
 			}

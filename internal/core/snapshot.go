@@ -7,6 +7,7 @@ import (
 	"io"
 	"slices"
 
+	"hexastore/internal/idlist"
 	"hexastore/internal/rdf"
 )
 
@@ -47,20 +48,27 @@ func (st *Store) Snapshot(w io.Writer) error {
 	// Triple section: count, then delta-encoded spo-ordered triples.
 	writeUvarint(bw, uint64(st.size))
 	var prevS, prevP ID
-	// Walk spo in sorted head order for deterministic, delta-friendly output.
-	heads := make([]ID, 0, len(st.idx[SPO]))
-	for s := range st.idx[SPO] {
-		heads = append(heads, s)
+	// Walk spo in sorted head order for deterministic, delta-friendly
+	// output — the emitted bytes are identical for the raw and
+	// compressed layouts, which is what lets the differential suites
+	// assert compressed ≡ uncompressed at the snapshot level.
+	var heads []ID
+	if st.compressed {
+		heads = make([]ID, 0, len(st.pidx[SPO]))
+		for s := range st.pidx[SPO] {
+			heads = append(heads, s)
+		}
+	} else {
+		heads = make([]ID, 0, len(st.idx[SPO]))
+		for s := range st.idx[SPO] {
+			heads = append(heads, s)
+		}
 	}
 	sortIDs(heads)
 	for _, s := range heads {
-		vec := st.idx[SPO][s]
-		for i := 0; i < vec.Len(); i++ {
-			p := vec.Key(i)
-			list := vec.List(i)
+		st.rangeHeadLocked(SPO, s, func(p ID, view idlist.View) bool {
 			var prevO ID
-			for j := 0; j < list.Len(); j++ {
-				o := list.At(j)
+			view.Range(func(o ID) bool {
 				writeUvarint(bw, uint64(s-prevS))
 				if s != prevS {
 					prevP, prevO = 0, 0
@@ -71,15 +79,21 @@ func (st *Store) Snapshot(w io.Writer) error {
 				}
 				writeUvarint(bw, uint64(o-prevO))
 				prevS, prevP, prevO = s, p, o
-			}
-		}
+				return true
+			})
+			return true
+		})
 	}
 	return bw.Flush()
 }
 
 // Restore reads a snapshot produced by Snapshot and returns a new store
-// with a fresh dictionary containing exactly the snapshot's terms.
-func Restore(r io.Reader) (*Store, error) {
+// with a fresh dictionary containing exactly the snapshot's terms, in
+// the block-compressed layout. Use RestoreWith to choose the layout.
+func Restore(r io.Reader) (*Store, error) { return RestoreWith(r, true) }
+
+// RestoreWith is Restore with an explicit index-layout choice.
+func RestoreWith(r io.Reader, compress bool) (*Store, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -90,6 +104,7 @@ func Restore(r io.Reader) (*Store, error) {
 	}
 
 	b := NewBuilder(nil)
+	b.SetCompression(compress)
 	dict := b.dict
 
 	nTerms, err := binary.ReadUvarint(br)

@@ -87,8 +87,18 @@ type Store struct {
 	propLists map[pairKey]*idlist.List // (s,o) → sorted properties
 	subjLists map[pairKey]*idlist.List // (p,o) → sorted subjects
 
-	// Six head indices.
+	// Six head indices (raw layout).
 	idx [6]map[ID]*Vec
+
+	// Six head indices in the block-compressed layout: every vector is a
+	// packed delta+varint blob (idlist.Packed) holding its keys and
+	// terminal lists together. When compressed is set these maps carry
+	// the store's whole content, idx and the three pair maps above are
+	// empty, and 2-bound lookups go through the packed vectors. Bulk
+	// builders set it; the first direct Add/Remove clears it by
+	// decompressing the whole store (see decompressLocked).
+	pidx       [6]map[ID]*idlist.Packed
+	compressed bool
 
 	size int
 
@@ -110,12 +120,80 @@ func NewShared(dict *dictionary.Dictionary) *Store {
 	}
 	for i := range s.idx {
 		s.idx[i] = make(map[ID]*Vec)
+		s.pidx[i] = make(map[ID]*idlist.Packed)
 	}
 	return s
 }
 
 // Dictionary returns the store's dictionary.
 func (s *Store) Dictionary() *dictionary.Dictionary { return s.dict }
+
+// Compressed reports whether the store currently uses the
+// block-compressed index layout.
+func (s *Store) Compressed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.compressed
+}
+
+// decompressLocked converts a block-compressed store to the raw
+// shared-terminal-list layout in place: the triple set is decoded from
+// the packed spo vectors and the six indexes are rebuilt with the bulk
+// fill. The packed blobs themselves are never mutated, so zero-copy
+// views handed out before the conversion keep reading a consistent
+// (pre-mutation) image. Caller holds st.mu exclusively.
+//
+// This is the write-path escape hatch: direct Add/Remove on a
+// compressed store pays one O(n) conversion and then proceeds on the
+// raw layout. Live-update workloads should mutate through the delta
+// overlay instead, which never touches a bulk-built main.
+func (st *Store) decompressLocked() {
+	if !st.compressed {
+		return
+	}
+	ts := make([][3]ID, 0, st.size)
+	for s, pk := range st.pidx[SPO] {
+		pk.Range(func(p ID, v idlist.View) bool {
+			v.Range(func(o ID) bool {
+				ts = append(ts, [3]ID{s, p, o})
+				return true
+			})
+			return true
+		})
+	}
+	for i := range st.pidx {
+		st.pidx[i] = make(map[ID]*idlist.Packed)
+	}
+	fillStore(st, ts, 1, false)
+}
+
+// rangeHeadLocked streams the (key, terminal-list view) pairs of head's
+// vector in ix, whichever layout the store is in; caller holds st.mu.
+func (st *Store) rangeHeadLocked(ix Index, head ID, fn func(ID, idlist.View) bool) {
+	if st.compressed {
+		st.pidx[ix][head].Range(fn)
+		return
+	}
+	st.idx[ix][head].RangeViews(fn)
+}
+
+// terminalViewLocked returns the terminal-list view of a pattern with
+// exactly two bound positions in the compressed layout; the caller
+// holds st.mu and has checked st.compressed.
+func (st *Store) terminalViewLocked(s, p, o ID) idlist.View {
+	var v idlist.View
+	switch {
+	case s != None && p != None && o == None:
+		v, _ = st.pidx[SPO][s].Find(p)
+	case s != None && p == None && o != None:
+		v, _ = st.pidx[SOP][s].Find(o)
+	case s == None && p != None && o != None:
+		v, _ = st.pidx[POS][p].Find(o)
+	default:
+		panic("core: terminal view needs exactly two bound positions")
+	}
+	return v
+}
 
 // Len returns the number of distinct triples in the store.
 func (s *Store) Len() int {
@@ -134,6 +212,7 @@ func (st *Store) Add(s, p, o ID) bool {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.decompressLocked()
 
 	ol, olNew := getOrCreate(st.objLists, pairKey{s, p})
 	if !ol.Insert(o) {
@@ -166,6 +245,7 @@ func (st *Store) Add(s, p, o ID) bool {
 func (st *Store) Remove(s, p, o ID) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.decompressLocked()
 
 	ol := st.objLists[pairKey{s, p}]
 	if ol == nil || !ol.Remove(o) {
@@ -200,6 +280,10 @@ func (st *Store) Remove(s, p, o ID) bool {
 func (st *Store) Has(s, p, o ID) bool {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
+	if st.compressed {
+		v, ok := st.pidx[SPO][s].Find(p)
+		return ok && v.Contains(o)
+	}
 	return st.objLists[pairKey{s, p}].Contains(o)
 }
 
@@ -239,11 +323,19 @@ func getOrCreate(m map[pairKey]*idlist.List, k pairKey) (l *idlist.List, created
 // Head returns the vector for head in ordering ix, or nil if head does
 // not occur in that position. For example, Head(SPO, s) is the sorted
 // property vector of subject s, and each vector entry's list holds the
-// objects of ⟨s, p, ·⟩.
+// objects of ⟨s, p, ·⟩. On a compressed store the returned Vec is a
+// freshly materialized wrapper around the immutable packed blob (its
+// accessors stay zero-copy).
 func (st *Store) Head(ix Index, head ID) *Vec {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	st.advisor.hit(ix)
+	if st.compressed {
+		if pk := st.pidx[ix][head]; pk != nil {
+			return idlist.FromPacked(pk)
+		}
+		return nil
+	}
 	return st.idx[ix][head]
 }
 
@@ -252,6 +344,9 @@ func (st *Store) Head(ix Index, head ID) *Vec {
 func (st *Store) Heads(ix Index) int {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
+	if st.compressed {
+		return len(st.pidx[ix])
+	}
 	return len(st.idx[ix])
 }
 
@@ -259,6 +354,13 @@ func (st *Store) Heads(ix Index) int {
 func (st *Store) HeadIDs(ix Index) []ID {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
+	if st.compressed {
+		out := make([]ID, 0, len(st.pidx[ix]))
+		for id := range st.pidx[ix] {
+			out = append(out, id)
+		}
+		return out
+	}
 	out := make([]ID, 0, len(st.idx[ix]))
 	for id := range st.idx[ix] {
 		out = append(out, id)
@@ -266,27 +368,47 @@ func (st *Store) HeadIDs(ix Index) []ID {
 	return out
 }
 
-// Objects returns the sorted shared object list of ⟨s, p, ·⟩, or nil.
+// Objects returns the sorted object list of ⟨s, p, ·⟩, or nil. On a
+// compressed store the returned list is a zero-copy view of the packed
+// spo vector rather than shared raw storage.
 func (st *Store) Objects(s, p ID) *idlist.List {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	st.advisor.hit(SPO)
+	if st.compressed {
+		if v, ok := st.pidx[SPO][s].Find(p); ok {
+			return idlist.ListOf(v)
+		}
+		return nil
+	}
 	return st.objLists[pairKey{s, p}]
 }
 
-// Subjects returns the sorted shared subject list of ⟨·, p, o⟩, or nil.
+// Subjects returns the sorted subject list of ⟨·, p, o⟩, or nil.
 func (st *Store) Subjects(p, o ID) *idlist.List {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	st.advisor.hit(POS)
+	if st.compressed {
+		if v, ok := st.pidx[POS][p].Find(o); ok {
+			return idlist.ListOf(v)
+		}
+		return nil
+	}
 	return st.subjLists[pairKey{p, o}]
 }
 
-// Properties returns the sorted shared property list of ⟨s, ·, o⟩, or nil.
+// Properties returns the sorted property list of ⟨s, ·, o⟩, or nil.
 func (st *Store) Properties(s, o ID) *idlist.List {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	st.advisor.hit(SOP)
+	if st.compressed {
+		if v, ok := st.pidx[SOP][s].Find(o); ok {
+			return idlist.ListOf(v)
+		}
+		return nil
+	}
 	return st.propLists[pairKey{s, o}]
 }
 
@@ -336,6 +458,9 @@ func (st *Store) terminalListLocked(s, p, o ID) *idlist.List {
 func (st *Store) PatternCardinality(s, p, o ID) int {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
+	if st.compressed {
+		return st.patternCardinalityCompressedLocked(s, p, o)
+	}
 	switch {
 	case s != None && p != None && o != None:
 		if st.objLists[pairKey{s, p}].Contains(o) {
@@ -365,12 +490,48 @@ func (st *Store) PatternCardinality(s, p, o ID) int {
 	}
 }
 
+// patternCardinalityCompressedLocked answers PatternCardinality from
+// the packed vectors; caller holds st.mu with st.compressed set.
+func (st *Store) patternCardinalityCompressedLocked(s, p, o ID) int {
+	switch {
+	case s != None && p != None && o != None:
+		v, ok := st.pidx[SPO][s].Find(p)
+		if ok && v.Contains(o) {
+			return 1
+		}
+		return 0
+	case s != None && p != None:
+		st.advisor.hit(SPO)
+		return st.terminalViewLocked(s, p, o).Len()
+	case s != None && o != None:
+		st.advisor.hit(SOP)
+		return st.terminalViewLocked(s, p, o).Len()
+	case p != None && o != None:
+		st.advisor.hit(POS)
+		return st.terminalViewLocked(s, p, o).Len()
+	case s != None:
+		st.advisor.hit(SPO)
+		return st.pidx[SPO][s].Total()
+	case p != None:
+		st.advisor.hit(PSO)
+		return st.pidx[PSO][p].Total()
+	case o != None:
+		st.advisor.hit(OSP)
+		return st.pidx[OSP][o].Total()
+	default:
+		return st.size
+	}
+}
+
 // vecSumLocked sums the terminal-list lengths of v; the caller must
-// hold st.mu.
+// hold st.mu. Packed vectors answer from their stored total.
 func vecSumLocked(v *Vec) int {
+	if pk := v.Packed(); pk != nil {
+		return pk.Total()
+	}
 	n := 0
-	v.Range(func(_ ID, list *idlist.List) bool {
-		n += list.Len()
+	v.RangeViews(func(_ ID, view idlist.View) bool {
+		n += view.Len()
 		return true
 	})
 	return n
@@ -392,7 +553,35 @@ func (st *Store) AppendSorted(dst []ID, s, p, o ID) []ID {
 	default:
 		st.advisor.hit(POS)
 	}
-	return append(dst, st.terminalListLocked(s, p, o).IDs()...)
+	if st.compressed {
+		return st.terminalViewLocked(s, p, o).AppendTo(dst)
+	}
+	return st.terminalListLocked(s, p, o).AppendTo(dst)
+}
+
+// SortedListView returns a read-only view of the sorted candidate
+// values of a 2-bound pattern's free position, and reports whether the
+// view is zero-copy. On a compressed store the view aliases the
+// immutable packed blob — safe across concurrent mutations, which
+// replace packed structures rather than editing them — so the batch
+// engine can merge against it with block skipping and no
+// materialization. On a raw store ok is false: raw lists alias mutable
+// storage, and callers should fall back to the copying AppendSorted.
+func (st *Store) SortedListView(s, p, o ID) (idlist.View, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if !st.compressed {
+		return idlist.View{}, false
+	}
+	switch {
+	case o == None:
+		st.advisor.hit(SPO)
+	case p == None:
+		st.advisor.hit(SOP)
+	default:
+		st.advisor.hit(POS)
+	}
+	return st.terminalViewLocked(s, p, o), true
 }
 
 // SortedPairs streams the values of the two free positions of a
@@ -418,8 +607,8 @@ func (st *Store) SortedPairs(s, p, o ID, fn func(a, b ID) bool) {
 	}
 	st.advisor.hit(ix)
 	stop := false
-	st.idx[ix][head].Range(func(key ID, list *idlist.List) bool {
-		list.Range(func(member ID) bool {
+	st.rangeHeadLocked(ix, head, func(key ID, view idlist.View) bool {
+		view.Range(func(member ID) bool {
 			if !fn(key, member) {
 				stop = true
 			}

@@ -112,6 +112,7 @@ func (o *Overlay) rebuild(snap *state) (*core.Store, error) {
 		return nil, err
 	}
 	b := core.NewBuilder(o.dict)
+	b.SetCompression(!o.opts.Uncompressed)
 	b.AddAll(ts)
 	return b.BuildParallel(o.opts.workers()), nil
 }
@@ -128,6 +129,9 @@ func (o *Overlay) swapRebuiltLocked(newMain *core.Store) error {
 	}
 	if ss, ok := graph.AsSortedSource(mainGraph); ok {
 		base.sorted = ss
+	}
+	if vs, ok := graph.AsViewSource(mainGraph); ok {
+		base.viewSrc = vs
 	}
 	ns := base
 	if len(o.pending) > 0 {
@@ -201,6 +205,7 @@ func (o *Overlay) compactDiskLocked() error {
 		main:     st.main,
 		mainCore: st.mainCore,
 		sorted:   st.sorted,
+		viewSrc:  st.viewSrc,
 		dict:     st.dict,
 		undo:     undo,
 		visible:  st.visible,
@@ -309,7 +314,7 @@ func (o *Overlay) checkpointLocked() error {
 // silently start an empty store — and the next checkpoint would then
 // overwrite the good snapshot with it. Callers (the facade, hexserver)
 // share this helper so the distinction lives in exactly one place.
-func RestoreSnapshot(path string) (*core.Store, bool, error) {
+func RestoreSnapshot(path string, compress bool) (*core.Store, bool, error) {
 	f, err := os.Open(path)
 	switch {
 	case err == nil:
@@ -319,7 +324,7 @@ func RestoreSnapshot(path string) (*core.Store, bool, error) {
 		return nil, false, err
 	}
 	defer f.Close()
-	st, rerr := core.Restore(f)
+	st, rerr := core.RestoreWith(f, compress)
 	if rerr != nil {
 		return nil, false, fmt.Errorf("delta: restore snapshot %s: %w", path, rerr)
 	}

@@ -44,6 +44,7 @@ import (
 	"hexastore/internal/dictionary"
 	"hexastore/internal/disk"
 	"hexastore/internal/graph"
+	"hexastore/internal/idlist"
 	"hexastore/internal/rdf"
 	"hexastore/internal/wal"
 )
@@ -72,6 +73,13 @@ type Options struct {
 	// Workers bounds the parallelism of compaction rebuilds
 	// (core.Builder.BuildParallel); <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
+
+	// Uncompressed makes memory-main compaction rebuild into the raw
+	// index layout instead of the block-compressed default. The overlay
+	// never mutates its main in place, so the compressed layout's
+	// decompress-on-write cost is never paid here — compression plus
+	// overlay is the intended live-update configuration.
+	Uncompressed bool
 }
 
 func (o Options) threshold() int {
@@ -167,6 +175,9 @@ func Open(main graph.Graph, opts Options) (*Overlay, error) {
 	}
 	if ss, ok := graph.AsSortedSource(main); ok {
 		base.sorted = ss
+	}
+	if vs, ok := graph.AsViewSource(main); ok {
+		base.viewSrc = vs
 	}
 	o.cur.Store(base)
 
@@ -280,6 +291,14 @@ func (o *Overlay) AppendSortedList(dst []ID, s, p, oo ID) ([]ID, error) {
 // view.
 func (o *Overlay) SortedPairs(s, p, oo ID, fn func(a, b ID) bool) error {
 	return o.cur.Load().SortedPairs(s, p, oo, fn)
+}
+
+// SortedListView implements graph.ViewSource over the merged
+// main+delta view: zero-copy pass-through of the compressed main's
+// blocks when the delta has nothing in range, a streaming merge
+// otherwise.
+func (o *Overlay) SortedListView(s, p, oo ID) (idlist.View, bool, error) {
+	return o.cur.Load().SortedListView(s, p, oo)
 }
 
 // Add inserts the triple ⟨s,p,o⟩ (a one-op batch: WAL commit + state swap).
@@ -438,6 +457,7 @@ func applyOps(base *state, ops []idOp) (*state, []idOp, int, int, error) {
 		main:     base.main,
 		mainCore: base.mainCore,
 		sorted:   base.sorted,
+		viewSrc:  base.viewSrc,
 		dict:     base.dict,
 		undo:     base.undo,
 		visible:  base.visible + inserted - deleted,
@@ -600,11 +620,13 @@ func (o *Overlay) Close() error {
 var (
 	_ graph.Graph        = (*Overlay)(nil)
 	_ graph.SortedSource = (*Overlay)(nil)
+	_ graph.ViewSource   = (*Overlay)(nil)
 	_ graph.Snapshotter  = (*Overlay)(nil)
 	_ graph.BatchUpdater = (*Overlay)(nil)
 	_ graph.Flusher      = (*Overlay)(nil)
 	_ io.Closer          = (*Overlay)(nil)
 	_ graph.Graph        = (*state)(nil)
 	_ graph.SortedSource = (*state)(nil)
+	_ graph.ViewSource   = (*state)(nil)
 	_ graph.Snapshotter  = (*state)(nil)
 )

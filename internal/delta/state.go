@@ -9,6 +9,7 @@ import (
 	"hexastore/internal/core"
 	"hexastore/internal/dictionary"
 	"hexastore/internal/graph"
+	"hexastore/internal/idlist"
 )
 
 // ID is a dictionary-encoded resource identifier.
@@ -253,6 +254,7 @@ type state struct {
 	main     graph.Graph
 	mainCore *core.Store        // non-nil when main is the in-memory Hexastore
 	sorted   graph.SortedSource // nil when main cannot serve sorted streams
+	viewSrc  graph.ViewSource   // nil when main cannot serve zero-copy views
 	dict     *dictionary.Dictionary
 
 	// adds holds delta triples not present in main; dels holds
@@ -494,6 +496,58 @@ func (st *state) mainSortedList(dst []ID, s, p, o ID) ([]ID, error) {
 	vals := dst[start:]
 	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 	return dst, nil
+}
+
+// SortedListView implements graph.ViewSource over the merged
+// main+delta view: with no delta entries in the pattern's range the
+// main's zero-copy compressed view passes straight through; with a
+// small sorted delta run, the main's view is streamed block by block
+// and merged with the run into a fresh slice — the main list is never
+// decompressed into an intermediate slice of its own. Disk-backed
+// states (undo compensation) and mains without a ViewSource report
+// ok=false, falling back to AppendSortedList.
+func (st *state) SortedListView(s, p, o ID) (idlist.View, bool, error) {
+	if st.viewSrc == nil || st.undo != nil {
+		return idlist.View{}, false, nil
+	}
+	ix, pre, k := shapeIndex(s, p, o)
+	if k != 2 {
+		return idlist.View{}, false, fmt.Errorf("delta: SortedListView needs exactly two bound positions, got ⟨%d,%d,%d⟩", s, p, o)
+	}
+	mainView, ok, err := st.viewSrc.SortedListView(s, p, o)
+	if err != nil || !ok {
+		return idlist.View{}, false, err
+	}
+	alo, ahi := rangeOf(st.adds[ix], 2, pre)
+	addRun := st.adds[ix][alo:ahi]
+	dlo, dhi := rangeOf(st.dels[ix], 2, pre)
+	delRun := st.dels[ix][dlo:dhi]
+	if len(addRun) == 0 && len(delRun) == 0 {
+		return mainView, true, nil
+	}
+	merged := make([]ID, 0, mainView.Len()+len(addRun))
+	ai, di := 0, 0
+	mainView.Range(func(v ID) bool {
+		for ai < len(addRun) && addRun[ai][2] < v {
+			merged = append(merged, addRun[ai][2])
+			ai++
+		}
+		if ai < len(addRun) && addRun[ai][2] == v {
+			ai++ // already in main; emit once below
+		}
+		for di < len(delRun) && delRun[di][2] < v {
+			di++
+		}
+		if di < len(delRun) && delRun[di][2] == v {
+			return true // tombstoned
+		}
+		merged = append(merged, v)
+		return true
+	})
+	for ; ai < len(addRun); ai++ {
+		merged = append(merged, addRun[ai][2])
+	}
+	return idlist.ViewOf(merged), true, nil
 }
 
 // AppendSortedList merges the main store's sorted candidate list with

@@ -49,6 +49,11 @@ const (
 type Options struct {
 	// CacheSize is the buffer pool capacity in pages (0 = pagefile default).
 	CacheSize int
+	// Uncompressed disables delta+varint compressed B+-tree leaves for
+	// bulk loads (compression is the default). Existing pages are
+	// self-describing, so the flag only affects future BulkBuild calls;
+	// stores with either leaf kind open identically.
+	Uncompressed bool
 }
 
 // Store is a disk-based Hexastore rooted at a directory. It is safe for
@@ -92,6 +97,7 @@ func Create(dir string, opts Options) (*Store, error) {
 	}
 	for i := range st.trees {
 		st.trees[i] = btree.New(pf, 2*i, 2*i+1)
+		st.trees[i].SetCompression(!opts.Uncompressed)
 	}
 	// Write the dictionary header eagerly so Open can validate it, and
 	// sync the empty pagefile so a crash right after Create leaves an
@@ -121,6 +127,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	for i := range st.trees {
 		st.trees[i] = btree.New(pf, 2*i, 2*i+1)
+		st.trees[i].SetCompression(!opts.Uncompressed)
 	}
 	if err := st.loadDictionary(); err != nil {
 		pf.Close()

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"hexastore/internal/core"
+	"hexastore/internal/idlist"
 )
 
 // SortedSource is an optional Graph capability: direct access to the
@@ -66,4 +67,41 @@ func (cs coreSorted) AppendSortedList(dst []ID, s, p, o ID) ([]ID, error) {
 func (cs coreSorted) SortedPairs(s, p, o ID, fn func(a, b ID) bool) error {
 	cs.st.SortedPairs(s, p, o, fn)
 	return nil
+}
+
+func (cs coreSorted) SortedListView(s, p, o ID) (idlist.View, bool, error) {
+	v, ok := cs.st.SortedListView(s, p, o)
+	return v, ok, nil
+}
+
+// ViewSource is an optional refinement of SortedSource: candidate
+// lists handed out as read-only views instead of copied slices. A
+// block-compressed backend returns zero-copy views of its immutable
+// packed blobs, which lets the batch engine's merge-intersect steps
+// skip whole blocks via the skip table instead of materializing the
+// list; ok=false on a call means the backend cannot serve that pattern
+// zero-copy (e.g. the memory store in its raw layout, whose lists
+// alias mutable storage) and the caller should fall back to the
+// copying AppendSortedList.
+//
+// Implementations must be safe for concurrent readers, like
+// SortedSource. Views returned with ok=true must stay consistent
+// across concurrent mutations — compressed backends satisfy this
+// because mutation replaces immutable structures rather than editing
+// them.
+type ViewSource interface {
+	SortedListView(s, p, o ID) (v idlist.View, ok bool, err error)
+}
+
+// AsViewSource returns the ViewSource behind g, if any: g itself when
+// it implements the capability (the delta overlay), or an adapter when
+// g wraps the in-memory Hexastore.
+func AsViewSource(g Graph) (ViewSource, bool) {
+	if vs, ok := g.(ViewSource); ok {
+		return vs, true
+	}
+	if st, ok := Unwrap(g).(*core.Store); ok {
+		return coreSorted{st}, true
+	}
+	return nil, false
 }

@@ -20,8 +20,55 @@ type ID = dictionary.ID
 // List is a sorted set of IDs (ascending, no duplicates). The zero value
 // is an empty list ready to use. Lists are NOT safe for concurrent
 // mutation; stores provide their own synchronization.
+//
+// A List is physically either a raw slice or a block-compressed payload
+// (see Compressed). Every read accessor works on either form; mutation
+// decompresses first (decompress-on-write), leaving the immutable
+// compressed payload untouched for any reader still holding a view of
+// it.
 type List struct {
-	ids []ID
+	ids  []ID
+	comp *Compressed
+}
+
+// fromView materializes a View as a List without copying data: raw
+// views alias their slice, compressed views share the compressed
+// payload.
+func fromView(v View) *List {
+	if ids, ok := v.Raw(); ok {
+		return &List{ids: ids}
+	}
+	c := v.c
+	return &List{comp: &c}
+}
+
+// FromCompressed wraps an immutable compressed list.
+func FromCompressed(c Compressed) *List { return &List{comp: &c} }
+
+// ListOf materializes a View as a List without copying data: raw views
+// alias their slice, compressed views share the compressed payload.
+func ListOf(v View) *List { return fromView(v) }
+
+// View returns a read-only view of the list (zero copy in both forms).
+func (l *List) View() View {
+	if l == nil {
+		return View{isRaw: true}
+	}
+	if l.comp != nil {
+		return l.comp.View()
+	}
+	return ViewOf(l.ids)
+}
+
+// Compressed reports whether the list is in compressed form.
+func (l *List) Compressed() bool { return l != nil && l.comp != nil }
+
+// decompress converts a compressed list to raw form in place.
+func (l *List) decompress() {
+	if l.comp != nil {
+		l.ids = l.comp.AppendTo(make([]ID, 0, l.comp.Len()))
+		l.comp = nil
+	}
 }
 
 // FromSorted wraps an already-sorted, duplicate-free slice. The slice is
@@ -65,25 +112,48 @@ func (l *List) Len() int {
 	if l == nil {
 		return 0
 	}
+	if l.comp != nil {
+		return l.comp.Len()
+	}
 	return len(l.ids)
 }
 
 // At returns the i-th smallest ID.
-func (l *List) At(i int) ID { return l.ids[i] }
+func (l *List) At(i int) ID {
+	if l.comp != nil {
+		return l.comp.At(i)
+	}
+	return l.ids[i]
+}
 
-// IDs exposes the underlying sorted slice. Callers must not mutate it.
+// IDs exposes the sorted slice form. For a raw list the result aliases
+// internal storage and callers must not mutate it; a compressed list is
+// decoded into a fresh slice on every call — prefer View or AppendTo on
+// paths that may see compressed lists.
 func (l *List) IDs() []ID {
 	if l == nil {
 		return nil
 	}
+	if l.comp != nil {
+		return l.comp.AppendTo(make([]ID, 0, l.comp.Len()))
+	}
 	return l.ids
 }
 
-// Copy returns a deep copy of the list.
+// AppendTo appends every ID in ascending order to dst.
+func (l *List) AppendTo(dst []ID) []ID {
+	if l == nil {
+		return dst
+	}
+	if l.comp != nil {
+		return l.comp.AppendTo(dst)
+	}
+	return append(dst, l.ids...)
+}
+
+// Copy returns a deep copy of the list (in raw form).
 func (l *List) Copy() *List {
-	cp := make([]ID, l.Len())
-	copy(cp, l.IDs())
-	return &List{ids: cp}
+	return &List{ids: l.AppendTo(make([]ID, 0, l.Len()))}
 }
 
 // search returns the index at which id is or would be inserted.
@@ -106,13 +176,18 @@ func (l *List) Contains(id ID) bool {
 	if l == nil {
 		return false
 	}
+	if l.comp != nil {
+		return l.comp.Contains(id)
+	}
 	i := l.search(id)
 	return i < len(l.ids) && l.ids[i] == id
 }
 
 // Insert adds id, keeping the list sorted. It reports whether the list
-// changed (false if id was already present).
+// changed (false if id was already present). Compressed lists are
+// decoded to raw form first (decompress-on-write).
 func (l *List) Insert(id ID) bool {
+	l.decompress()
 	i := l.search(id)
 	if i < len(l.ids) && l.ids[i] == id {
 		return false
@@ -123,8 +198,10 @@ func (l *List) Insert(id ID) bool {
 	return true
 }
 
-// Remove deletes id. It reports whether the list changed.
+// Remove deletes id. It reports whether the list changed. Compressed
+// lists are decoded to raw form first (decompress-on-write).
 func (l *List) Remove(id ID) bool {
+	l.decompress()
 	i := l.search(id)
 	if i >= len(l.ids) || l.ids[i] != id {
 		return false
@@ -137,6 +214,10 @@ func (l *List) Remove(id ID) bool {
 // Range calls fn for every ID in ascending order until fn returns false.
 func (l *List) Range(fn func(ID) bool) {
 	if l == nil {
+		return
+	}
+	if l.comp != nil {
+		l.comp.Range(fn)
 		return
 	}
 	for _, id := range l.ids {

@@ -18,6 +18,7 @@ import (
 
 	"hexastore/internal/core"
 	"hexastore/internal/delta"
+	"hexastore/internal/disk"
 	"hexastore/internal/graph"
 	"hexastore/internal/rdf"
 	"hexastore/internal/sparql"
@@ -327,8 +328,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		inner = ov.Main()
 	}
-	// The in-memory Hexastore additionally reports its index layout and
-	// the §4.1 space-expansion factor.
+	// The in-memory Hexastore additionally reports its index layout,
+	// the §4.1 space-expansion factor, and the physical footprint of
+	// the block-compressed index layer: approximate heap bytes, bytes
+	// per triple, and the compression ratio against the raw layout's
+	// estimated cost for the same content.
 	if st, ok := graph.Unwrap(inner).(*core.Store); ok {
 		stats := st.Stats()
 		out["headers"] = stats.Headers
@@ -336,6 +340,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		out["listEntries"] = stats.ListEntries
 		out["expansionFactor"] = stats.ExpansionFactor()
 		out["indexSizeBytes"] = stats.SizeBytes()
+		is := st.IndexStats()
+		out["indexBytes"] = is.Bytes
+		out["indexBytesPerTriple"] = is.BytesPerTriple()
+		out["indexCompressed"] = is.Compressed
+		if is.Compressed && is.Bytes > 0 {
+			out["compressionRatio"] = float64(core.EstimateRawIndexBytes(stats)) / float64(is.Bytes)
+		}
+	}
+	// The disk backend reports its on-disk footprint (pagefile plus
+	// dictionary sidecar) per triple.
+	if st, ok := graph.Unwrap(inner).(*disk.Store); ok {
+		if bytes, err := st.SizeBytes(); err == nil {
+			out["diskBytes"] = bytes
+			if n := st.Len(); n > 0 {
+				out["diskBytesPerTriple"] = float64(bytes) / float64(n)
+			}
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)

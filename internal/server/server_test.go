@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"hexastore/internal/core"
+	"hexastore/internal/graph"
 	"hexastore/internal/rdf"
 )
 
@@ -209,6 +211,41 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if out["expansionFactor"].(float64) <= 0 {
 		t.Fatalf("expansionFactor = %v", out["expansionFactor"])
+	}
+	if out["indexBytes"].(float64) <= 0 {
+		t.Fatalf("indexBytes = %v", out["indexBytes"])
+	}
+	if out["indexBytesPerTriple"].(float64) <= 0 {
+		t.Fatalf("indexBytesPerTriple = %v", out["indexBytesPerTriple"])
+	}
+	if _, ok := out["indexCompressed"].(bool); !ok {
+		t.Fatalf("indexCompressed missing: %v", out["indexCompressed"])
+	}
+}
+
+// TestStatsCompressionRatio checks a server over a compressed
+// bulk-built store reports the compression ratio.
+func TestStatsCompressionRatio(t *testing.T) {
+	b := core.NewBuilder(nil)
+	for i := 0; i < 500; i++ {
+		b.AddTriple(rdf.T(
+			rdf.NewIRI(fmt.Sprintf("s%d", i%23)),
+			rdf.NewIRI(fmt.Sprintf("p%d", i%5)),
+			rdf.NewIRI(fmt.Sprintf("o%d", i%31)),
+		))
+	}
+	srv := NewGraph(graph.Memory(b.BuildParallel(1)))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var out map[string]any
+	if code := getJSON(t, ts.URL+"/stats", &out); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if c, ok := out["indexCompressed"].(bool); !ok || !c {
+		t.Fatalf("indexCompressed = %v, want true", out["indexCompressed"])
+	}
+	if r, ok := out["compressionRatio"].(float64); !ok || r < 1.5 {
+		t.Fatalf("compressionRatio = %v, want >= 1.5", out["compressionRatio"])
 	}
 }
 

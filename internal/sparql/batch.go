@@ -117,6 +117,7 @@ type batchExec struct {
 	ev     *evaluator
 	src    graph.Graph
 	sorted graph.SortedSource // nil → Match-collect fallback
+	views  graph.ViewSource   // nil → no zero-copy candidate views
 	tbl    batchTable
 
 	// workers is the intra-query parallelism budget for this evaluation
@@ -252,10 +253,13 @@ func (bx *batchExec) filterStep(sp *stepSpec) error {
 	case sp.nCols == 1:
 		// One join column against two constants — the merge-join step:
 		// fetch the pattern's sorted candidate list once and intersect
-		// it with the column. A sorted column takes the linear merge
-		// with galloping; an unsorted one degrades to one binary probe
-		// per row, which is still one probe against a single list.
-		list, err := bx.candidateList(sp)
+		// it with the column. On a block-compressed backend the list
+		// arrives as a zero-copy view of the packed blob and the merge
+		// skips whole blocks via the skip table; raw backends hand over
+		// a copied slice and take the slice gallop. A sorted column
+		// takes the linear merge; an unsorted one degrades to one
+		// binary probe per row against the single list.
+		view, err := bx.candidateView(sp)
 		if err != nil {
 			return err
 		}
@@ -267,10 +271,10 @@ func (bx *batchExec) filterStep(sp *stepSpec) error {
 		}
 		keep := bx.keep[:0]
 		if tbl.sorted[c] {
-			idlist.MergeFilter(tbl.cols[c], list, func(i int) { keep = append(keep, i) })
+			idlist.MergeFilterView(tbl.cols[c], view, func(i int) { keep = append(keep, i) })
 		} else {
 			for i, v := range tbl.cols[c] {
-				if idlist.ContainsSorted(list, v) {
+				if view.Contains(v) {
 					keep = append(keep, i)
 				}
 			}
@@ -302,6 +306,28 @@ func (bx *batchExec) filterStep(sp *stepSpec) error {
 		bx.keep = keep
 		return nil
 	}
+}
+
+// candidateView returns the sorted candidate values of the single free
+// position of the 2-bound fetch pattern in sp as a read-only view:
+// zero-copy from a ViewSource backend (compressed memory store, delta
+// overlay over one), else a view over the copied/collected slice from
+// candidateList.
+func (bx *batchExec) candidateView(sp *stepSpec) (idlist.View, error) {
+	if bx.views != nil {
+		v, ok, err := bx.views.SortedListView(sp.ids[0], sp.ids[1], sp.ids[2])
+		if err != nil {
+			return idlist.View{}, err
+		}
+		if ok {
+			return v, nil
+		}
+	}
+	ids, err := bx.candidateList(sp)
+	if err != nil {
+		return idlist.View{}, err
+	}
+	return idlist.ViewOf(ids), nil
 }
 
 // candidateList returns the sorted candidate values of the single free

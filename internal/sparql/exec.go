@@ -216,6 +216,9 @@ func (ev *evaluator) run() (*Result, error) {
 	if ss, ok := graph.AsSortedSource(ev.src); ok {
 		ev.batch.sorted = ss
 	}
+	if vs, ok := graph.AsViewSource(ev.src); ok {
+		ev.batch.views = vs
+	}
 	if len(q.Aggregates) > 0 {
 		ev.aggMode = true
 		ev.groups = make(map[string]*aggGroup)
