@@ -60,6 +60,9 @@ func main() {
 		for _, id := range bench.WriteFigureIDs {
 			fmt.Println(id)
 		}
+		for _, id := range bench.ShardFigureIDs {
+			fmt.Println(id)
+		}
 		return
 	}
 
@@ -74,7 +77,7 @@ func main() {
 	// -list advertises the load and write suites alongside the paper
 	// figures; accept their ids through -fig too instead of bouncing
 	// users to the dedicated flags.
-	runLoad, runWrite, runSpace := false, *write, false
+	runLoad, runWrite, runSpace, runShard := false, *write, false, false
 	figIDs := ids[:0]
 	for _, id := range ids {
 		switch id {
@@ -84,6 +87,8 @@ func main() {
 			runWrite = true
 		case "space01":
 			runSpace = true
+		case "shard01":
+			runShard = true
 		default:
 			figIDs = append(figIDs, id)
 		}
@@ -147,11 +152,15 @@ func main() {
 	if runSpace && !*jsonOut {
 		runSuite(bench.RunSpace)
 	}
+	if runShard && !*jsonOut {
+		runSuite(bench.RunShard)
+	}
 
 	if *jsonOut {
 		runSuite(bench.RunLoad)
 		runSuite(bench.RunWrite)
 		runSuite(bench.RunSpace)
+		runSuite(bench.RunShard)
 		runSuite(bench.RunSPARQL)
 
 		label := *rev

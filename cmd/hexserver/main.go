@@ -7,22 +7,33 @@
 // in which queries pin consistent snapshots and never block on updates,
 // plus a group-committed write-ahead log for crash recovery.
 //
+// With -shards=N the store becomes a sharded scatter-gather serving
+// tier: N subject-hash-partitioned stores behind one shared dictionary,
+// each with its own delta overlay (and, with -wal, its own log at
+// <path>.<i>). Bound-subject patterns route to the owning shard; scans
+// scatter to the shards a predicate-aware router selects and gather
+// globally sorted streams, so query results are identical for every
+// shard count. -ship serves the per-shard WALs over TCP, and -follow
+// runs a read-only replica that tails them (from files or tcp://).
+//
 // Usage:
 //
 //	hexserver [-addr :8751] [-disk dir] [-load data.nt] [-turtle data.ttl]
 //	          [-live] [-wal path] [-compact-threshold n]
+//	          [-shards n] [-ship addr]
+//	hexserver -follow <walprefix|tcp://addr> [-follow-shards n] [-shards n]
 //
 // Endpoints:
 //
 //	GET/POST /sparql?query=SELECT...   run a query
 //	POST     /sparql update=INSERT...  apply an update (also Content-Type application/sparql-update)
 //	POST     /triples                  ingest N-Triples (or text/turtle)
-//	GET      /stats                    store statistics (incl. delta/WAL state when -live)
+//	GET      /stats                    store statistics (incl. per-shard rows when -shards)
 //	GET      /healthz                  liveness probe
 //
 // Example session:
 //
-//	hexserver -load university.nt -wal university.wal &
+//	hexserver -load university.nt -shards 4 -wal university.wal &
 //	curl 'localhost:8751/sparql?query=SELECT+?s+WHERE+{?s+?p+?o}+LIMIT+5'
 //	curl -d 'update=INSERT DATA { <s> <p> <o> }' localhost:8751/sparql
 //
@@ -30,8 +41,8 @@
 // only into a fresh (empty) disk store. With -wal, updates survive a
 // crash: the log replays on the next start, and SIGINT/SIGTERM trigger a
 // graceful shutdown — in-flight requests drain, then the store
-// checkpoints (delta compacted, snapshot/flush written, WAL truncated)
-// before exit.
+// checkpoints (delta compacted, snapshot/flush written, WAL truncated;
+// with -shards, every shard in turn) before exit.
 package main
 
 import (
@@ -40,19 +51,23 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"hexastore/internal/core"
 	"hexastore/internal/delta"
+	"hexastore/internal/dictionary"
 	"hexastore/internal/disk"
 	"hexastore/internal/graph"
 	"hexastore/internal/rdf"
 	"hexastore/internal/server"
+	"hexastore/internal/shard"
 	"hexastore/internal/sparql"
 )
 
@@ -67,9 +82,16 @@ func main() {
 	live := flag.Bool("live", false,
 		"serve through the MVCC delta overlay: queries pin snapshots and never block on updates")
 	walPath := flag.String("wal", "",
-		"write-ahead log path for crash-safe updates (implies -live); replayed on start, truncated at checkpoints")
+		"write-ahead log path for crash-safe updates (implies -live); replayed on start, truncated at checkpoints; with -shards, shard i logs to <path>.<i>")
 	compactThreshold := flag.Int("compact-threshold", 0,
 		"delta size triggering background compaction (0 = default, negative = manual only)")
+	shards := flag.Int("shards", 1,
+		"partition the store into this many subject-hash shards served scatter-gather (each behind its own delta overlay)")
+	ship := flag.String("ship", "",
+		"serve the WAL(s) on this TCP address for -follow replicas (requires -wal)")
+	follow := flag.String("follow", "",
+		"run as a read-only replica tailing leader WALs: a path (shard i at <path>.<i> when -follow-shards > 1) or tcp://host:port of a -ship leader")
+	followShards := flag.Int("follow-shards", 1, "number of leader WAL streams to tail in -follow mode (the leader's -shards)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 
@@ -92,34 +114,85 @@ func main() {
 		triples = append(triples, ts...)
 	}
 
-	g, closer, err := openStore(*diskDir, *cache, *walPath, triples, *workers)
-	if err != nil {
-		log.Fatalf("hexserver: %v", err)
+	var (
+		g         graph.Graph
+		closer    func() error
+		followers []*shard.Follower
+	)
+	switch {
+	case *follow != "":
+		if *diskDir != "" || len(triples) > 0 || *walPath != "" || *ship != "" {
+			log.Fatalf("hexserver: -follow replicas build their state from the leader's WAL alone (no -disk/-load/-turtle/-wal/-ship)")
+		}
+		cl, fs, err := openReplica(*follow, *shards, *followShards, *compactThreshold)
+		if err != nil {
+			log.Fatalf("hexserver: %v", err)
+		}
+		g, closer, followers = cl, cl.Close, fs
+	case *shards > 1:
+		cl, err := openCluster(*shards, *diskDir, *cache, *walPath, *compactThreshold, triples, *workers)
+		if err != nil {
+			log.Fatalf("hexserver: %v", err)
+		}
+		g, closer = cl, cl.Close
+	default:
+		var err error
+		g, closer, err = openStore(*diskDir, *cache, *walPath, triples, *workers)
+		if err != nil {
+			log.Fatalf("hexserver: %v", err)
+		}
+		if *live || *walPath != "" {
+			ov, oerr := delta.Open(g, delta.Options{
+				WALPath:          *walPath,
+				SnapshotPath:     snapshotPath(*diskDir, *walPath),
+				CompactThreshold: *compactThreshold,
+			})
+			if oerr != nil {
+				log.Fatalf("hexserver: open overlay: %v", oerr)
+			}
+			// Overlay.Close checkpoints, closes the WAL and the main store.
+			g, closer = ov, ov.Close
+			if st := ov.Stats(); st.WALBytes > 8 || st.DeltaAdds+st.DeltaDels > 0 {
+				log.Printf("hexserver: WAL replay recovered %d pending adds, %d tombstones (%d WAL bytes)",
+					st.DeltaAdds, st.DeltaDels, st.WALBytes)
+			}
+		}
 	}
 
-	if *live || *walPath != "" {
-		ov, oerr := delta.Open(g, delta.Options{
-			WALPath:          *walPath,
-			SnapshotPath:     snapshotPath(*diskDir, *walPath),
-			CompactThreshold: *compactThreshold,
-		})
-		if oerr != nil {
-			log.Fatalf("hexserver: open overlay: %v", oerr)
+	// -ship: serve the leader's per-shard WALs to TCP followers. The
+	// follower protocol resumes from a byte offset, so this is safe to
+	// restart; the listener dies with the server.
+	var shipListener net.Listener
+	if *ship != "" {
+		if *walPath == "" {
+			log.Fatalf("hexserver: -ship requires -wal (there is no log to ship)")
 		}
-		// Overlay.Close checkpoints, closes the WAL and the main store.
-		g, closer = ov, ov.Close
-		if st := ov.Stats(); st.WALBytes > 8 || st.DeltaAdds+st.DeltaDels > 0 {
-			log.Printf("hexserver: WAL replay recovered %d pending adds, %d tombstones (%d WAL bytes)",
-				st.DeltaAdds, st.DeltaDels, st.WALBytes)
+		paths := walPaths(*walPath, *shards)
+		l, err := net.Listen("tcp", *ship)
+		if err != nil {
+			log.Fatalf("hexserver: ship listen: %v", err)
 		}
+		shipListener = l
+		go func() {
+			if err := shard.ServeWAL(l, paths); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("hexserver: ship: %v", err)
+			}
+		}()
+		log.Printf("hexserver: shipping %d WAL stream(s) on %s", len(paths), l.Addr())
 	}
 
-	log.Printf("hexserver: %d triples loaded, listening on %s", g.Len(), *addr)
+	mode := "leader"
+	if *follow != "" {
+		mode = "replica"
+	}
+	log.Printf("hexserver: %s, %d triples loaded, listening on %s", mode, g.Len(), *addr)
 	srv := server.NewGraph(g)
+	srv.SetReadOnly(*follow != "")
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	// Graceful shutdown: trap SIGINT/SIGTERM, drain in-flight requests,
-	// then checkpoint/flush the store so nothing relies on the WAL alone.
+	// stop replication endpoints, then checkpoint/flush the store (every
+	// shard, on a cluster) so nothing relies on the WAL alone.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -139,12 +212,88 @@ func main() {
 			log.Printf("hexserver: drain: %v", err)
 		}
 	}
+	if shipListener != nil {
+		shipListener.Close()
+	}
+	for _, f := range followers {
+		if err := f.Close(); err != nil {
+			log.Printf("hexserver: follower: %v", err)
+		}
+	}
 	if closer != nil {
 		if err := closer(); err != nil {
 			log.Fatalf("hexserver: checkpoint on shutdown: %v", err)
 		}
 	}
 	log.Printf("hexserver: store checkpointed, bye")
+}
+
+// walPaths lists the leader's WAL files: the plain path for a single
+// store, <path>.<i> per shard for a cluster (shard.ShardWALPath).
+func walPaths(walPath string, shards int) []string {
+	if shards <= 1 {
+		return []string{walPath}
+	}
+	paths := make([]string, shards)
+	for i := range paths {
+		paths[i] = shard.ShardWALPath(walPath, i)
+	}
+	return paths
+}
+
+// openCluster builds the -shards serving tier: the startup triples are
+// encoded once against the shared dictionary and bulk-loaded into their
+// owning shards by the parallel build pipeline. With -wal, each shard
+// restores its checkpoint snapshot and replays its own log first — in
+// that case startup files are refused, mirroring openStore.
+func openCluster(shards int, diskDir string, cache int, walPath string, compactThreshold int, triples []rdf.Triple, workers int) (*shard.Cluster, error) {
+	cfg := shard.Config{
+		Shards:           shards,
+		Dir:              diskDir,
+		CacheSize:        cache,
+		WALPath:          walPath,
+		CompactThreshold: compactThreshold,
+		Workers:          workers,
+	}
+	if len(triples) > 0 {
+		// Encoding before OpenCluster is safe only because OpenCluster
+		// refuses Load over any restored state — the encode below would
+		// otherwise claim dictionary ids ahead of the restore's terms.
+		cfg.Dict = dictionary.New()
+		cfg.Load = core.EncodeTriples(cfg.Dict, triples, workers)
+	}
+	return shard.OpenCluster(cfg)
+}
+
+// openReplica builds a -follow replica: an in-memory cluster (no WALs
+// of its own) fed by one Follower per leader WAL stream. The followers
+// apply through the cluster, so the replica routes by its own
+// dictionary ids — its shard count is free to differ from the leader's.
+func openReplica(follow string, shards, followShards, compactThreshold int) (*shard.Cluster, []*shard.Follower, error) {
+	cl, err := shard.OpenCluster(shard.Config{Shards: shards, CompactThreshold: compactThreshold})
+	if err != nil {
+		return nil, nil, err
+	}
+	if followShards <= 0 {
+		followShards = 1
+	}
+	var followers []*shard.Follower
+	addr, tcp := strings.CutPrefix(follow, "tcp://")
+	for i := 0; i < followShards; i++ {
+		var f *shard.Follower
+		if tcp {
+			f = shard.NewTCPFollower(cl, addr, i, shard.FollowerOptions{})
+		} else {
+			path := follow
+			if followShards > 1 {
+				path = shard.ShardWALPath(follow, i)
+			}
+			f = shard.NewFollower(cl, path, shard.FollowerOptions{})
+		}
+		f.Start()
+		followers = append(followers, f)
+	}
+	return cl, followers, nil
 }
 
 // snapshotPath picks the checkpoint snapshot destination for a

@@ -53,6 +53,7 @@ import (
 	"hexastore/internal/idlist"
 	"hexastore/internal/query"
 	"hexastore/internal/rdf"
+	"hexastore/internal/shard"
 	"hexastore/internal/sparql"
 	"hexastore/internal/triplestore"
 )
@@ -127,6 +128,11 @@ type DB struct {
 	// WithWAL or WithDeltaOverlay; nil otherwise.
 	overlay *delta.Overlay
 
+	// cluster is the sharded serving tier behind Graph when Open was
+	// given WithShards; nil otherwise. Every shard is overlay-wrapped,
+	// so the same no-lock reader discipline applies.
+	cluster *shard.Cluster
+
 	// mu orders DB-level operations: queries and serializers share it,
 	// mutations take it exclusively. With a delta overlay the lock is
 	// not taken at all — readers pin immutable snapshots and the
@@ -146,6 +152,7 @@ type options struct {
 	dict             *dictionary.Dictionary
 	baseline         bool
 	overlay          bool
+	shards           int
 	walPath          string
 	compactThreshold int
 	compress         bool
@@ -196,6 +203,18 @@ func WithWAL(path string) Option {
 	}
 }
 
+// WithShards serves the store through the sharded scatter-gather tier
+// (package internal/shard): n stores partitioned by subject hash behind
+// one shared dictionary, each wrapped in its own delta overlay. Queries
+// with a bound subject route to the owning shard; scans scatter to all
+// shards holding the predicate and gather globally sorted streams, so
+// SPARQL results are byte-identical for every shard count. Combine with
+// WithDisk for disk shards under dir/shard<i>, and WithWAL for
+// per-shard logs at path.<i> (tailable by shard.Follower replicas).
+// Incompatible with WithBaseline. n <= 1 means one shard — still the
+// cluster code path, useful for differential testing.
+func WithShards(n int) Option { return func(o *options) { o.shards = max(n, 1) } }
+
 // WithCompactThreshold sets the delta size (pending adds + tombstones)
 // that triggers background compaction of a delta overlay; 0 keeps the
 // default (delta.DefaultCompactThreshold), negative disables automatic
@@ -225,6 +244,9 @@ func Open(opts ...Option) (*DB, error) {
 	o := options{compress: true}
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if o.shards > 0 {
+		return openCluster(o)
 	}
 	var (
 		base       graph.Graph
@@ -302,6 +324,36 @@ func Open(opts ...Option) (*DB, error) {
 	return &DB{Graph: ov, overlay: ov, closer: ov}, nil
 }
 
+// openCluster builds the WithShards serving tier: every shard is
+// overlay-wrapped by shard.OpenCluster, so the handle needs no DB-level
+// lock (readers pin per-shard snapshots, the cluster serializes batch
+// writers).
+func openCluster(o options) (*DB, error) {
+	switch {
+	case o.baseline:
+		return nil, errors.New("hexastore: WithShards and WithBaseline are mutually exclusive")
+	case o.dir != "" && o.dict != nil:
+		return nil, errors.New("hexastore: WithDictionary is not supported for disk stores (the dictionary is persisted with the store)")
+	case o.walPath != "" && o.dict != nil:
+		return nil, errors.New("hexastore: WithDictionary is not supported with WithWAL (the dictionary is restored from the snapshots)")
+	}
+	c, err := shard.OpenCluster(shard.Config{
+		Shards:           o.shards,
+		Dict:             o.dict,
+		Dir:              o.dir,
+		CacheSize:        o.cacheSize,
+		WALPath:          o.walPath,
+		CompactThreshold: o.compactThreshold,
+		Uncompressed:     !o.compress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Cluster.Close checkpoints every shard (overlay compaction +
+	// snapshot/flush + WAL truncation) before closing it.
+	return &DB{Graph: c, cluster: c, closer: c}, nil
+}
+
 // Close flushes and releases the backend. In-memory backends are a
 // no-op.
 func (db *DB) Close() error {
@@ -318,6 +370,9 @@ func (db *DB) Flush() error { return graph.Flush(db.Graph) }
 // result (disk flush, or the WAL-side snapshot for the in-memory
 // backend) and truncates the WAL. Without an overlay it is Flush.
 func (db *DB) Checkpoint() error {
+	if db.cluster != nil {
+		return db.cluster.Checkpoint()
+	}
 	if db.overlay != nil {
 		return db.overlay.Checkpoint()
 	}
@@ -327,6 +382,9 @@ func (db *DB) Checkpoint() error {
 // Compact synchronously merges a delta overlay's pending writes into the
 // main indexes; a no-op without an overlay.
 func (db *DB) Compact() error {
+	if db.cluster != nil {
+		return db.cluster.Compact()
+	}
 	if db.overlay != nil {
 		return db.overlay.Compact()
 	}
@@ -342,10 +400,19 @@ func (db *DB) DeltaStats() (stats delta.Stats, ok bool) {
 	return db.overlay.Stats(), true
 }
 
+// ClusterStats reports per-shard statistics of the sharded serving
+// tier; ok is false when the DB was opened without WithShards.
+func (db *DB) ClusterStats() (stats shard.Stats, ok bool) {
+	if db.cluster == nil {
+		return shard.Stats{}, false
+	}
+	return db.cluster.Stats(), true
+}
+
 // rlock takes the shared DB lock unless the backend is an overlay
 // (whose readers pin immutable snapshots instead of locking).
 func (db *DB) rlock() func() {
-	if db.overlay != nil {
+	if db.overlay != nil || db.cluster != nil {
 		return func() {}
 	}
 	db.mu.RLock()
@@ -355,7 +422,7 @@ func (db *DB) rlock() func() {
 // wlock takes the exclusive DB lock unless the backend is an overlay
 // (which serializes its own writers without blocking readers).
 func (db *DB) wlock() func() {
-	if db.overlay != nil {
+	if db.overlay != nil || db.cluster != nil {
 		return func() {}
 	}
 	db.mu.Lock()

@@ -1,0 +1,35 @@
+package bench
+
+import "testing"
+
+// TestShard01Runs drives the shard01 figure at toy scale: all three
+// shard-count series must produce a timing at every prefix, and the
+// workload must evaluate cleanly on each cluster (any routing or merge
+// bug surfaces as a query error here).
+func TestShard01Runs(t *testing.T) {
+	figs, err := RunShard(Config{LUBMUniversities: 1, Steps: 2, Repeats: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 || figs[0].ID != "shard01" {
+		t.Fatalf("unexpected figures: %v", figs)
+	}
+	fig := figs[0]
+	want := []string{"shards=1", "shards=2", "shards=4"}
+	if len(fig.Series) != len(want) {
+		t.Fatalf("series = %d, want %d", len(fig.Series), len(want))
+	}
+	for i, s := range fig.Series {
+		if s.Name != want[i] {
+			t.Errorf("series %d = %q, want %q", i, s.Name, want[i])
+		}
+		if len(s.Points) != 2 {
+			t.Errorf("series %q has %d points, want 2", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Value <= 0 {
+				t.Errorf("series %q: non-positive timing %v at %d triples", s.Name, p.Value, p.Triples)
+			}
+		}
+	}
+}

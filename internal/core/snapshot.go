@@ -7,6 +7,7 @@ import (
 	"io"
 	"slices"
 
+	"hexastore/internal/dictionary"
 	"hexastore/internal/idlist"
 	"hexastore/internal/rdf"
 )
@@ -94,6 +95,20 @@ func Restore(r io.Reader) (*Store, error) { return RestoreWith(r, true) }
 
 // RestoreWith is Restore with an explicit index-layout choice.
 func RestoreWith(r io.Reader, compress bool) (*Store, error) {
+	return RestoreShared(r, nil, compress)
+}
+
+// RestoreShared is RestoreWith against a shared dictionary (nil restores
+// into a fresh one). Each snapshot term must encode to the same dense id
+// it held when the snapshot was written. That holds whenever dict and
+// the snapshot descend from one shared instance: dictionaries are
+// append-only, so every snapshot of the shared instance captures a
+// prefix of one global term sequence, and re-encoding that prefix in
+// order reproduces its ids — even if siblings have since pushed the
+// shared instance past it. Any disagreement aborts the restore, which
+// is what enforces the cluster's shared-dictionary ownership rule when
+// per-shard snapshots are restored at startup.
+func RestoreShared(r io.Reader, dict *dictionary.Dictionary, compress bool) (*Store, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -103,9 +118,9 @@ func RestoreWith(r io.Reader, compress bool) (*Store, error) {
 		return nil, fmt.Errorf("core: restore: bad magic %q", magic)
 	}
 
-	b := NewBuilder(nil)
+	b := NewBuilder(dict)
 	b.SetCompression(compress)
-	dict := b.dict
+	dict = b.dict
 
 	nTerms, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -125,7 +140,7 @@ func RestoreWith(r io.Reader, compress bool) (*Store, error) {
 			return nil, fmt.Errorf("core: restore: term %d: %w", i, err)
 		}
 		if got := dict.Encode(term); got != ID(i+1) {
-			return nil, fmt.Errorf("core: restore: term %d encoded as %d (duplicate in snapshot?)", i+1, got)
+			return nil, fmt.Errorf("core: restore: term %d encoded as %d (duplicate in snapshot, or mismatched shared dictionary)", i+1, got)
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"hexastore/internal/core"
+	"hexastore/internal/dictionary"
 	"hexastore/internal/graph"
 )
 
@@ -315,6 +316,15 @@ func (o *Overlay) checkpointLocked() error {
 // overwrite the good snapshot with it. Callers (the facade, hexserver)
 // share this helper so the distinction lives in exactly one place.
 func RestoreSnapshot(path string, compress bool) (*core.Store, bool, error) {
+	return RestoreSnapshotShared(path, nil, compress)
+}
+
+// RestoreSnapshotShared is RestoreSnapshot against a shared dictionary
+// (nil restores into a fresh one). The sharded tier restores each
+// shard's per-shard snapshot into the one cluster dictionary; restores
+// must run sequentially per shard so the append-only prefix property
+// that makes shared re-encoding sound is preserved.
+func RestoreSnapshotShared(path string, dict *dictionary.Dictionary, compress bool) (*core.Store, bool, error) {
 	f, err := os.Open(path)
 	switch {
 	case err == nil:
@@ -324,7 +334,7 @@ func RestoreSnapshot(path string, compress bool) (*core.Store, bool, error) {
 		return nil, false, err
 	}
 	defer f.Close()
-	st, rerr := core.RestoreWith(f, compress)
+	st, rerr := core.RestoreShared(f, dict, compress)
 	if rerr != nil {
 		return nil, false, fmt.Errorf("delta: restore snapshot %s: %w", path, rerr)
 	}

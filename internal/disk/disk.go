@@ -54,6 +54,24 @@ type Options struct {
 	// self-describing, so the flag only affects future BulkBuild calls;
 	// stores with either leaf kind open identically.
 	Uncompressed bool
+	// Dictionary, when non-nil, makes the store share the given term
+	// dictionary instead of owning a private one — the sharded serving
+	// tier passes one instance to every shard so ids agree cluster-wide.
+	// Each store still persists its own sidecar: the full prefix of the
+	// shared dictionary up to the last term it flushed. Open validates
+	// that the sidecar's dense id assignment agrees with the shared
+	// instance (the i-th sidecar term must map to id i) and refuses to
+	// open otherwise, so a store can never silently attach to a
+	// dictionary that disagrees with its persisted ids.
+	Dictionary *dictionary.Dictionary
+}
+
+// dictOr returns the configured shared dictionary, or a fresh one.
+func (o Options) dictOr() *dictionary.Dictionary {
+	if o.Dictionary != nil {
+		return o.Dictionary
+	}
+	return dictionary.New()
 }
 
 // Store is a disk-based Hexastore rooted at a directory. It is safe for
@@ -92,13 +110,19 @@ func Create(dir string, opts Options) (*Store, error) {
 	st := &Store{
 		dir:      dir,
 		pf:       pf,
-		dict:     dictionary.New(),
+		dict:     opts.dictOr(),
 		dictPath: filepath.Join(dir, dictFile),
 	}
 	for i := range st.trees {
 		st.trees[i] = btree.New(pf, 2*i, 2*i+1)
 		st.trees[i].SetCompression(!opts.Uncompressed)
 	}
+	// A shared dictionary may already hold terms encoded by sibling
+	// stores; this store has persisted none of them yet, so its sidecar
+	// starts empty and flushDictionary would wrongly skip the existing
+	// prefix if persistedTerms defaulted from dict.Len(). It defaults to
+	// zero, which is exactly right: the first flush writes the whole
+	// shared prefix.
 	// Write the dictionary header eagerly so Open can validate it, and
 	// sync the empty pagefile so a crash right after Create leaves an
 	// openable (empty) store for WAL replay to rebuild onto.
@@ -122,7 +146,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	st := &Store{
 		dir:      dir,
 		pf:       pf,
-		dict:     dictionary.New(),
+		dict:     opts.dictOr(),
 		dictPath: filepath.Join(dir, dictFile),
 	}
 	for i := range st.trees {
@@ -137,7 +161,14 @@ func Open(dir string, opts Options) (*Store, error) {
 }
 
 // loadDictionary replays the append-only term log, re-assigning the same
-// dense ids the terms had when they were persisted.
+// dense ids the terms had when they were persisted. With a shared
+// dictionary the sidecar must be a prefix of the shared instance in
+// identical order (dictionaries are append-only, so any sidecar flushed
+// from the shared instance is); each term is validated against the id
+// the shared instance assigns it. persistedTerms counts this store's own
+// sidecar records, not dict.Len() — a sibling shard may have pushed the
+// shared dictionary past what this sidecar has persisted, and those
+// terms still need flushing here.
 func (st *Store) loadDictionary() error {
 	f, err := os.Open(st.dictPath)
 	if err != nil {
@@ -150,6 +181,7 @@ func (st *Store) loadDictionary() error {
 	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != dictMagic {
 		return fmt.Errorf("disk: %s: bad dictionary header", st.dictPath)
 	}
+	count := 0
 	for {
 		n, err := binary.ReadUvarint(r)
 		if err == io.EOF {
@@ -166,9 +198,13 @@ func (st *Store) loadDictionary() error {
 		if err != nil {
 			return fmt.Errorf("disk: dictionary log: %w", err)
 		}
-		st.dict.Encode(term)
+		count++
+		if got := st.dict.Encode(term); got != ID(count) {
+			return fmt.Errorf("disk: %s: sidecar term %d maps to id %d — store disagrees with its dictionary (wrong shared instance?)",
+				st.dictPath, count, got)
+		}
 	}
-	st.persistedTerms = st.dict.Len()
+	st.persistedTerms = count
 	return nil
 }
 

@@ -6,7 +6,7 @@ import (
 	"testing"
 )
 
-func randSorted(r *rand.Rand, n int, max uint64) []ID {
+func randSortedSet(r *rand.Rand, n int, max uint64) []ID {
 	m := map[uint64]bool{}
 	for len(m) < n {
 		m[r.Uint64()%max] = true
@@ -23,7 +23,7 @@ func TestRandomDifferential(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 300; trial++ {
 		n := r.Intn(1000)
-		ids := randSorted(r, n, 1<<20)
+		ids := randSortedSet(r, n, 1<<20)
 		c := Compress(ids)
 		// AppendTo round trip
 		got := c.AppendTo(nil)
@@ -119,11 +119,11 @@ func TestPackedDifferential(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 100; trial++ {
 		nk := r.Intn(100)
-		keys := randSorted(r, nk, 1<<18)
+		keys := randSortedSet(r, nk, 1<<18)
 		var b PackedBuilder
 		lists := make(map[ID][]ID)
 		for _, k := range keys {
-			l := randSorted(r, 1+r.Intn(300), 1<<20)
+			l := randSortedSet(r, 1+r.Intn(300), 1<<20)
 			lists[k] = l
 			b.Append(k, l)
 		}

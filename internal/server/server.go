@@ -21,6 +21,7 @@ import (
 	"hexastore/internal/disk"
 	"hexastore/internal/graph"
 	"hexastore/internal/rdf"
+	"hexastore/internal/shard"
 	"hexastore/internal/sparql"
 )
 
@@ -49,6 +50,10 @@ type Server struct {
 
 	mu sync.RWMutex
 	pl *sparql.Planner
+
+	// readOnly rejects every mutating endpoint with 403; set for WAL
+	// replicas, whose state must come only from the followed log.
+	readOnly bool
 }
 
 // New returns a Server over the in-memory store st.
@@ -83,6 +88,13 @@ func (s *Server) wlock() func() {
 
 // Graph returns the backend the server serves.
 func (s *Server) Graph() graph.Graph { return s.g }
+
+// SetReadOnly switches the mutating endpoints (/sparql update,
+// /triples) between accepting writes and rejecting them with 403.
+// Queries are unaffected. Replica servers (hexserver -follow) are
+// read-only: their state converges from the leader's WAL, and a direct
+// write would fork them from it.
+func (s *Server) SetReadOnly(ro bool) { s.readOnly = ro }
 
 // Handler returns the HTTP routing table:
 //
@@ -201,6 +213,10 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 // an overlay backend the request is one atomic batch (single WAL group
 // commit) and concurrent queries keep streaming from their snapshots.
 func (s *Server) execUpdate(w http.ResponseWriter, updateText string) {
+	if s.readOnly {
+		httpError(w, http.StatusForbidden, "read-only replica: updates must go to the leader")
+		return
+	}
 	defer s.wlock()()
 	res, err := sparql.ExecUpdate(s.g, updateText)
 	if err != nil {
@@ -259,6 +275,10 @@ func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	if s.readOnly {
+		httpError(w, http.StatusForbidden, "read-only replica: ingestion must go to the leader")
+		return
+	}
 	ct := r.Header.Get("Content-Type")
 	body := io.LimitReader(r.Body, 256<<20)
 
@@ -310,6 +330,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"distinctSubjects": sum.DistinctS,
 		"distinctPreds":    sum.DistinctP,
 		"distinctObjects":  sum.DistinctO,
+	}
+	// A sharded cluster reports the serving tier's layout: shard count
+	// and one row per shard (triples, predicates routed there, delta
+	// state). The per-store sections below are skipped — there is no
+	// single main store to describe.
+	if cl, ok := s.g.(*shard.Cluster); ok {
+		cs := cl.Stats()
+		out["shards"] = cs.Shards
+		out["perShard"] = cs.PerShard
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+		return
 	}
 	// A delta overlay reports the live-update subsystem's state: delta
 	// size, WAL footprint, compaction count. The index-layout stats

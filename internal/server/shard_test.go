@@ -1,0 +1,92 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"hexastore/internal/shard"
+)
+
+func newClusterServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	cl, err := shard.OpenCluster(shard.Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	srv := NewGraph(cl)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// TestClusterStatsEndpoint: /stats on a sharded backend reports the
+// shard count and one row per shard, and updates land across shards.
+func TestClusterStatsEndpoint(t *testing.T) {
+	ts, _ := newClusterServer(t)
+	resp, err := http.PostForm(ts.URL+"/sparql", url.Values{"update": {`INSERT DATA {
+		<http://ex/a> <http://ex/p> <http://ex/b> .
+		<http://ex/b> <http://ex/p> <http://ex/c> .
+		<http://ex/c> <http://ex/p> <http://ex/d> }`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status = %d", resp.StatusCode)
+	}
+
+	var stats struct {
+		Triples  int `json:"triples"`
+		Shards   int `json:"shards"`
+		PerShard []struct {
+			Triples int `json:"triples"`
+		} `json:"perShard"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status = %d", code)
+	}
+	if stats.Shards != 3 || len(stats.PerShard) != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	sum := 0
+	for _, row := range stats.PerShard {
+		sum += row.Triples
+	}
+	if stats.Triples != 3 || sum != 3 {
+		t.Fatalf("triples = %d, per-shard sum = %d, want 3", stats.Triples, sum)
+	}
+}
+
+// TestReadOnlyRejectsWrites: a replica server answers queries but turns
+// away updates and ingestion with 403.
+func TestReadOnlyRejectsWrites(t *testing.T) {
+	ts, srv := newClusterServer(t)
+	srv.SetReadOnly(true)
+
+	resp, err := http.PostForm(ts.URL+"/sparql", url.Values{"update": {`INSERT DATA { <a> <p> <b> }`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("update on read-only replica: status = %d, want 403", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/triples", "application/n-triples",
+		strings.NewReader("<http://ex/a> <http://ex/p> <http://ex/b> .\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("ingest on read-only replica: status = %d, want 403", resp.StatusCode)
+	}
+
+	var res sparqlResults
+	if code := getJSON(t, ts.URL+"/sparql?query="+url.QueryEscape("SELECT ?s WHERE { ?s ?p ?o }"), &res); code != http.StatusOK {
+		t.Fatalf("query on read-only replica: status = %d", code)
+	}
+}

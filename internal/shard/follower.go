@@ -1,0 +1,254 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"hexastore/internal/graph"
+	"hexastore/internal/rdf"
+	"hexastore/internal/wal"
+)
+
+// Follower tails one shard's write-ahead log and replays it into its
+// own graph — the read-replica primitive. The leader's WAL records
+// carry RDF term keys, not dictionary ids, so the follower re-encodes
+// terms into its own dictionary in log order; because both sides
+// encode the same term sequence in the same order, a caught-up
+// follower's store is id-for-id identical to the leader shard (its
+// snapshot bytes match, which is how the tests assert convergence).
+//
+// File mode tails the log by path (same machine or shared filesystem);
+// TCP mode (NewTCPFollower) streams frames from a leader running
+// ServeWAL. If the leader checkpoints, the log is truncated: a
+// caught-up follower lost nothing (every truncated record was already
+// replayed here) and resumes from the new log; a follower that was
+// behind has lost the truncated window and reports it via
+// Stats().Resets — re-seed such a replica from a leader snapshot.
+type Follower struct {
+	dst         graph.Graph
+	path        string // file mode
+	addr        string // TCP mode leader address ("" = file mode)
+	shard       int    // TCP mode shard index
+	poll        time.Duration
+	batchSz     int
+	beforeApply func(ops []graph.TripleOp)
+
+	mu      sync.Mutex
+	offset  int64 // leader-log offset of the first unconsumed byte
+	applied int64 // records replayed
+	resets  int64 // truncation events observed
+	lastErr error
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// FollowerOptions tune a Follower.
+type FollowerOptions struct {
+	// Poll is the tail poll interval (default 100ms).
+	Poll time.Duration
+	// BatchSize caps the ops per replay batch (default 4096) so one
+	// giant catch-up does not turn into one giant overlay commit.
+	BatchSize int
+	// BeforeApply, when non-nil, runs on every batch just before it is
+	// applied. A replica cluster uses it to keep its read router's
+	// predicate presence in sync (Cluster.NotePredicates).
+	BeforeApply func(ops []graph.TripleOp)
+}
+
+func (o FollowerOptions) poll() time.Duration {
+	if o.Poll <= 0 {
+		return 100 * time.Millisecond
+	}
+	return o.Poll
+}
+
+func (o FollowerOptions) batch() int {
+	if o.BatchSize <= 0 {
+		return 4096
+	}
+	return o.BatchSize
+}
+
+// NewFollower tails the write-ahead log at walPath into dst.
+func NewFollower(dst graph.Graph, walPath string, opts FollowerOptions) *Follower {
+	return &Follower{
+		dst:         dst,
+		path:        walPath,
+		poll:        opts.poll(),
+		batchSz:     opts.batch(),
+		beforeApply: opts.BeforeApply,
+		stop:        make(chan struct{}),
+	}
+}
+
+// NewTCPFollower streams shard's log from a leader serving ServeWAL at
+// addr into dst.
+func NewTCPFollower(dst graph.Graph, addr string, shard int, opts FollowerOptions) *Follower {
+	f := NewFollower(dst, "", opts)
+	f.addr = addr
+	f.shard = shard
+	return f
+}
+
+// FollowerStats is a snapshot of replication progress.
+type FollowerStats struct {
+	// Offset is the leader-log offset of the next byte to consume.
+	Offset int64 `json:"offset"`
+	// Applied is the number of records replayed so far.
+	Applied int64 `json:"applied"`
+	// Resets counts leader checkpoints observed (log truncations).
+	Resets int64 `json:"resets"`
+	// LastError is the most recent replay error, if any.
+	LastError string `json:"lastError,omitempty"`
+}
+
+// Stats returns replication progress counters.
+func (f *Follower) Stats() FollowerStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FollowerStats{Offset: f.offset, Applied: f.applied, Resets: f.resets}
+	if f.lastErr != nil {
+		st.LastError = f.lastErr.Error()
+	}
+	return st
+}
+
+// CatchUp synchronously replays every record currently in the log
+// (file mode only) and returns the number applied. Safe to call
+// concurrently with a running poll loop; replay is serialized.
+func (f *Follower) CatchUp() (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.catchUpLocked()
+}
+
+func (f *Follower) catchUpLocked() (int, error) {
+	if f.addr != "" {
+		return 0, errors.New("shard: CatchUp is file-mode only; TCP followers stream via Start")
+	}
+	total := 0
+	for {
+		var recs []wal.Record
+		newOff, err := wal.Tail(f.path, f.offset, func(r wal.Record) error {
+			recs = append(recs, r)
+			return nil
+		})
+		switch {
+		case errors.Is(err, wal.ErrTruncated):
+			f.offset = newOff // wal.HeaderSize
+			f.resets++
+			continue // the truncated log may already hold new records
+		case err != nil && os.IsNotExist(err):
+			return total, nil // leader has not created the log yet
+		case err != nil && errors.Is(err, os.ErrNotExist):
+			return total, nil
+		case err != nil:
+			f.lastErr = err
+			return total, err
+		}
+		if len(recs) == 0 {
+			return total, nil
+		}
+		n, aerr := f.applyLocked(recs)
+		total += n
+		if aerr != nil {
+			// Offset not advanced: the next CatchUp re-reads from the
+			// same point. Replaying an already-applied prefix is safe —
+			// each triple's final state is decided by its last op, so a
+			// doubled prefix converges to the same store.
+			f.lastErr = aerr
+			return total, aerr
+		}
+		f.offset = newOff
+	}
+}
+
+// applyLocked replays records in order, in batches of at most batchSz.
+func (f *Follower) applyLocked(recs []wal.Record) (int, error) {
+	applied := 0
+	for len(recs) > 0 {
+		chunk := recs
+		if len(chunk) > f.batchSz {
+			chunk = chunk[:f.batchSz]
+		}
+		recs = recs[len(chunk):]
+		ops := make([]graph.TripleOp, 0, len(chunk))
+		for _, r := range chunk {
+			op, err := recordOp(r)
+			if err != nil {
+				return applied, err
+			}
+			ops = append(ops, op)
+		}
+		if f.beforeApply != nil {
+			f.beforeApply(ops)
+		}
+		if _, _, err := graph.ApplyTriples(f.dst, ops); err != nil {
+			return applied, err
+		}
+		applied += len(ops)
+	}
+	f.applied += int64(applied)
+	return applied, nil
+}
+
+// recordOp decodes a WAL record into a triple operation.
+func recordOp(r wal.Record) (graph.TripleOp, error) {
+	s, err := rdf.TermFromKey(r.S)
+	if err != nil {
+		return graph.TripleOp{}, fmt.Errorf("shard: follower: %w", err)
+	}
+	p, err := rdf.TermFromKey(r.P)
+	if err != nil {
+		return graph.TripleOp{}, fmt.Errorf("shard: follower: %w", err)
+	}
+	o, err := rdf.TermFromKey(r.O)
+	if err != nil {
+		return graph.TripleOp{}, fmt.Errorf("shard: follower: %w", err)
+	}
+	return graph.TripleOp{
+		Del: r.Op == wal.OpRemove,
+		T:   rdf.Triple{Subject: s, Predicate: p, Object: o},
+	}, nil
+}
+
+// Start launches the background replication loop. File mode polls the
+// log; TCP mode maintains a streaming connection (reconnecting with
+// backoff). Stop with Close.
+func (f *Follower) Start() {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		if f.addr != "" {
+			f.runTCP()
+			return
+		}
+		ticker := time.NewTicker(f.poll)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-f.stop:
+				return
+			case <-ticker.C:
+				f.CatchUp() //nolint:errcheck // recorded in lastErr, retried next tick
+			}
+		}
+	}()
+}
+
+// Close stops the replication loop and returns the last replay error.
+func (f *Follower) Close() error {
+	select {
+	case <-f.stop:
+	default:
+		close(f.stop)
+	}
+	f.wg.Wait()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastErr
+}

@@ -1,0 +1,194 @@
+package shard
+
+import "sync"
+
+// mergeChunk is the batch size of the producer→merger channels in
+// gatherMerge. Big enough to amortize channel synchronization over many
+// elements, small enough that an early-terminating consumer wastes
+// little producer work.
+const mergeChunk = 512
+
+// gatherMerge merges n sorted producer streams into one sorted stream.
+// Each producer runs in its own goroutine and emits its elements in
+// ascending order through emit; the merger consumes chunks and streams
+// the global merge to fn. Returning false from fn (or from emit, on the
+// producer side) stops the whole gather early. The first producer error
+// aborts the merge and is returned.
+//
+// Ordering requirement: each producer must be individually sorted by
+// less. Elements that compare equal across producers are emitted in
+// arbitrary producer order — the cluster never hits that case, because
+// subject-hash placement gives shards disjoint subject sets.
+//
+// Error/termination protocol: producers select on the done channel when
+// sending, so an early stop can never leave a goroutine blocked. Each
+// producer writes its error slot before closing its channel, and the
+// merger reads the slot only after observing the close, so the error
+// handoff is ordered by the channel close.
+func gatherMerge[T any](n int, less func(a, b T) bool, produce func(i int, emit func(T) bool) error, fn func(T) bool) error {
+	switch n {
+	case 0:
+		return nil
+	case 1:
+		// Single stream: no goroutine, no merge.
+		return produce(0, fn)
+	}
+
+	done := make(chan struct{})
+	var once sync.Once
+	stop := func() { once.Do(func() { close(done) }) }
+	defer stop()
+
+	chans := make([]chan []T, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		chans[i] = make(chan []T, 2)
+		go func(i int) {
+			defer close(chans[i])
+			buf := make([]T, 0, mergeChunk)
+			send := func() bool {
+				if len(buf) == 0 {
+					return true
+				}
+				out := buf
+				buf = make([]T, 0, mergeChunk)
+				select {
+				case chans[i] <- out:
+					return true
+				case <-done:
+					return false
+				}
+			}
+			err := produce(i, func(v T) bool {
+				buf = append(buf, v)
+				if len(buf) == mergeChunk {
+					return send()
+				}
+				return true
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			send()
+		}(i)
+	}
+
+	// The merge loop keeps one cursor (current head + buffered chunk)
+	// per still-active producer and repeatedly emits the least head. A
+	// linear min scan over at most n cursors beats a heap for the small
+	// shard counts a single machine hosts.
+	heads := make([]T, n)
+	bufs := make([][]T, n)
+	pos := make([]int, n)
+	active := make([]bool, n)
+	alive := 0
+	advance := func(i int) error {
+		for {
+			if pos[i] < len(bufs[i]) {
+				heads[i] = bufs[i][pos[i]]
+				pos[i]++
+				return nil
+			}
+			chunk, ok := <-chans[i]
+			if !ok {
+				active[i] = false
+				alive--
+				return errs[i]
+			}
+			bufs[i], pos[i] = chunk, 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		active[i] = true
+		alive++
+		if err := advance(i); err != nil {
+			return err
+		}
+	}
+	for alive > 0 {
+		best := -1
+		for i := 0; i < n; i++ {
+			if active[i] && (best == -1 || less(heads[i], heads[best])) {
+				best = i
+			}
+		}
+		if !fn(heads[best]) {
+			return nil
+		}
+		if err := advance(best); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeAppend merges k individually-sorted id lists into dst. The
+// cluster's lists are pairwise disjoint (disjoint subject sets), but
+// the merge does not rely on that.
+func mergeAppend(dst []ID, lists [][]ID) []ID {
+	live := lists[:0]
+	total := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			live = append(live, l)
+			total += len(l)
+		}
+	}
+	if cap(dst)-len(dst) < total {
+		grown := make([]ID, len(dst), len(dst)+total)
+		copy(grown, dst)
+		dst = grown
+	}
+	for len(live) > 1 {
+		best := 0
+		for i := 1; i < len(live); i++ {
+			if live[i][0] < live[best][0] {
+				best = i
+			}
+		}
+		// Copy the whole run of the winning list up to the least head of
+		// the other lists — hash placement interleaves subject ranges at
+		// coarse granularity, so runs are long.
+		var limit ID
+		haveLimit := false
+		for i, l := range live {
+			if i != best && (!haveLimit || l[0] < limit) {
+				limit, haveLimit = l[0], true
+			}
+		}
+		run := 0
+		for run < len(live[best]) && live[best][run] <= limit {
+			run++
+		}
+		dst = append(dst, live[best][:run]...)
+		live[best] = live[best][run:]
+		if len(live[best]) == 0 {
+			live[best] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	if len(live) == 1 {
+		dst = append(dst, live[0]...)
+	}
+	return dst
+}
+
+// lessPair orders [2]ID lexicographically.
+func lessPair(a, b [2]ID) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// lessTriple orders [3]ID lexicographically (spo order).
+func lessTriple(a, b [3]ID) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return a[2] < b[2]
+}

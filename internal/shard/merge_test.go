@@ -1,0 +1,130 @@
+package shard
+
+import (
+	"errors"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func lessID(a, b ID) bool { return a < b }
+
+func TestGatherMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		streams := make([][]ID, n)
+		var want []ID
+		for i := range streams {
+			m := rng.Intn(3 * mergeChunk)
+			for j := 0; j < m; j++ {
+				streams[i] = append(streams[i], ID(rng.Intn(10000)))
+			}
+			slices.Sort(streams[i])
+			want = append(want, streams[i]...)
+		}
+		slices.Sort(want)
+
+		var got []ID
+		err := gatherMerge(n, lessID, func(i int, emit func(ID) bool) error {
+			for _, v := range streams[i] {
+				if !emit(v) {
+					return nil
+				}
+			}
+			return nil
+		}, func(v ID) bool {
+			got = append(got, v)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("trial %d: merged %d elements, want %d (or misordered)", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestGatherMergeEarlyStop(t *testing.T) {
+	// Endless producers: termination depends entirely on fn=false
+	// propagating to every producer goroutine.
+	var got []ID
+	err := gatherMerge(4, lessID, func(i int, emit func(ID) bool) error {
+		for v := ID(i + 1); ; v += 4 {
+			if !emit(v) {
+				return nil
+			}
+		}
+	}, func(v ID) bool {
+		got = append(got, v)
+		return len(got) < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if !slices.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestGatherMergeError(t *testing.T) {
+	boom := errors.New("boom")
+	err := gatherMerge(3, lessID, func(i int, emit func(ID) bool) error {
+		if i == 1 {
+			return boom
+		}
+		for v := ID(1); v < 10*mergeChunk; v++ {
+			if !emit(v) {
+				return nil
+			}
+		}
+		return nil
+	}, func(ID) bool { return true })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestMergeAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(5)
+		// Disjoint lists, as the cluster produces.
+		lists := make([][]ID, k)
+		var want []ID
+		for v := ID(1); v <= 500; v++ {
+			i := rng.Intn(k)
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			lists[i] = append(lists[i], v)
+			want = append(want, v)
+		}
+		got := mergeAppend([]ID{99}, lists)
+		if got[0] != 99 {
+			t.Fatal("dst prefix clobbered")
+		}
+		if !slices.Equal(got[1:], want) {
+			t.Fatalf("trial %d: bad merge", trial)
+		}
+	}
+}
+
+func TestShardIndexSpread(t *testing.T) {
+	const n, ids = 4, 10000
+	counts := make([]int, n)
+	for s := ID(1); s <= ids; s++ {
+		i := shardIndex(s, n)
+		if i < 0 || i >= n {
+			t.Fatalf("shardIndex(%d) = %d out of range", s, i)
+		}
+		counts[i]++
+	}
+	for i, c := range counts {
+		if c < ids/n/2 || c > ids/n*2 {
+			t.Fatalf("shard %d holds %d of %d subjects — placement badly skewed: %v", i, c, ids, counts)
+		}
+	}
+}

@@ -1,0 +1,483 @@
+// Package shard implements the horizontal scale-out tier: a Cluster
+// presents N hash-partitioned store instances as one graph.Graph, so the
+// SPARQL engine, server and serializers run on a sharded deployment
+// unchanged.
+//
+// Placement is by subject: every triple lives on the shard owning
+// hash(subject id), so the shards' subject sets are disjoint. That one
+// invariant does most of the work — any pattern with a bound subject
+// routes to exactly one shard, per-shard sorted streams merge without
+// cross-shard ties, and per-pattern counts are sums. Patterns without a
+// bound subject scatter; a predicate-aware router prunes the scatter set
+// for p-bound patterns using per-shard predicate presence (a monotonic
+// superset: false positives cost an empty scan, and entries are added
+// before the write that introduces them becomes visible, so it can never
+// false-negative).
+//
+// Consistency: every shard is wrapped in a delta overlay, so pinning a
+// cluster-wide snapshot is N atomic pointer loads taken under a shared
+// lock that write batches hold exclusively — a query sees either none or
+// all of a batch, on every shard. Writes fan out as per-shard atomic
+// batches, each durable in that shard's own write-ahead log; a Follower
+// (see follower.go) tails those logs to serve read replicas.
+//
+// One dictionary instance is shared by all shards (enforced by New):
+// ids agree cluster-wide, which is what lets merged streams, cross-shard
+// joins and the SPARQL layer treat the cluster as a single id space.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hexastore/internal/delta"
+	"hexastore/internal/dictionary"
+	"hexastore/internal/graph"
+)
+
+// ID re-exports the dictionary id type.
+type ID = dictionary.ID
+
+// None is the wildcard marker in patterns.
+const None = dictionary.None
+
+var errClosed = errors.New("shard: cluster is closed")
+
+// Cluster is a sharded graph: one graph.Graph (plus SortedSource,
+// Snapshotter and BatchUpdater) over N subject-hash-partitioned shards.
+// It is safe for concurrent use.
+type Cluster struct {
+	dict   *dictionary.Dictionary
+	shards []graph.Graph
+	sorted []graph.SortedSource
+	router router
+
+	// mu orders multi-shard write batches against snapshot pinning:
+	// ApplyTriples holds it exclusively across its fan-out, pin holds it
+	// shared, so a pinned view observes none or all of a batch on every
+	// shard. Single-triple Add/Remove touch one shard (atomic there) and
+	// only take the shared side.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New assembles a cluster over the given shards. Every shard must share
+// dict (the cluster's single dictionary instance — ids must agree
+// cluster-wide), support snapshot pinning, and expose sorted access;
+// in practice each shard is a delta overlay over a memory or disk store,
+// which provides all three. The router's predicate presence sets are
+// seeded with one scan per shard.
+func New(dict *dictionary.Dictionary, shards []graph.Graph) (*Cluster, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("shard: cluster needs at least one shard")
+	}
+	c := &Cluster{
+		dict:   dict,
+		shards: shards,
+		sorted: make([]graph.SortedSource, len(shards)),
+	}
+	for i, g := range shards {
+		if g.Dictionary() != dict {
+			return nil, fmt.Errorf("shard: shard %d does not share the cluster dictionary", i)
+		}
+		if _, ok := g.(graph.Snapshotter); !ok {
+			return nil, fmt.Errorf("shard: shard %d cannot pin snapshots (wrap it in a delta overlay)", i)
+		}
+		ss, ok := graph.AsSortedSource(g)
+		if !ok {
+			return nil, fmt.Errorf("shard: shard %d has no sorted access", i)
+		}
+		c.sorted[i] = ss
+	}
+	if err := c.router.build(shards); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NumShards returns the number of shards.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// Shard exposes shard i's graph, for stats and replication plumbing.
+func (c *Cluster) Shard(i int) graph.Graph { return c.shards[i] }
+
+// shardIndex places subject s among n shards. The splitmix64 finalizer
+// scrambles the dense dictionary ids, so consecutively-encoded subjects
+// (which are correlated — a loader encounters related resources
+// together) spread evenly instead of striping.
+func shardIndex(s ID, n int) int {
+	x := uint64(s)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+func (c *Cluster) shardFor(s ID) int { return shardIndex(s, len(c.shards)) }
+
+// ShardOf exposes the placement function: the shard among n that owns
+// subject s. Tests and operational tooling use it to reason about
+// placement; it is pure, so two clusters with the same shard count
+// always agree.
+func ShardOf(s ID, n int) int { return shardIndex(s, n) }
+
+// Dictionary returns the cluster's shared dictionary.
+func (c *Cluster) Dictionary() *dictionary.Dictionary { return c.dict }
+
+// Len returns the total triple count (shard counts sum exactly: subject
+// sets are disjoint, so no triple is double-counted).
+func (c *Cluster) Len() int { return c.pin().Len() }
+
+// Add inserts ⟨s,p,o⟩ on the owning shard.
+func (c *Cluster) Add(s, p, o ID) (bool, error) {
+	if s == None || p == None || o == None {
+		return false, nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return false, errClosed
+	}
+	i := c.shardFor(s)
+	// Router before visibility: once the add is observable, a p-bound
+	// scatter must already include shard i.
+	c.router.note(i, p)
+	return c.shards[i].Add(s, p, o)
+}
+
+// Remove deletes ⟨s,p,o⟩ from the owning shard. The router keeps the
+// predicate's presence entry — presence sets are supersets, and pruning
+// would race pinned views that still see the triple.
+func (c *Cluster) Remove(s, p, o ID) (bool, error) {
+	if s == None || p == None || o == None {
+		return false, nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return false, errClosed
+	}
+	return c.shards[c.shardFor(s)].Remove(s, p, o)
+}
+
+// Has reports whether ⟨s,p,o⟩ is present (on its owning shard).
+func (c *Cluster) Has(s, p, o ID) (bool, error) {
+	if s == None || p == None || o == None {
+		return false, nil
+	}
+	return c.shards[c.shardFor(s)].Has(s, p, o)
+}
+
+// Match streams matching triples from a pinned cluster-wide snapshot.
+func (c *Cluster) Match(s, p, o ID, fn func(s, p, o ID) bool) error {
+	return c.pin().Match(s, p, o, fn)
+}
+
+// Count counts matching triples on a pinned cluster-wide snapshot.
+func (c *Cluster) Count(s, p, o ID) (int, error) {
+	return c.pin().Count(s, p, o)
+}
+
+// AppendSortedList implements graph.SortedSource over a pinned snapshot.
+func (c *Cluster) AppendSortedList(dst []ID, s, p, o ID) ([]ID, error) {
+	return c.pin().AppendSortedList(dst, s, p, o)
+}
+
+// SortedPairs implements graph.SortedSource over a pinned snapshot.
+func (c *Cluster) SortedPairs(s, p, o ID, fn func(a, b ID) bool) error {
+	return c.pin().SortedPairs(s, p, o, fn)
+}
+
+// Snapshot pins one delta-overlay snapshot per shard under the shared
+// side of the batch lock and returns them as a read-only cross-shard
+// view — the cluster's graph.Snapshotter. The SPARQL evaluator pins one
+// view per query, so concurrent writes never tear a query's reads.
+func (c *Cluster) Snapshot() graph.Graph { return c.pin() }
+
+func (c *Cluster) pin() *view {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v := &view{
+		c:      c,
+		shards: make([]graph.Graph, len(c.shards)),
+		sorted: make([]graph.SortedSource, len(c.shards)),
+	}
+	for i, g := range c.shards {
+		snap := graph.Snapshot(g)
+		v.shards[i] = snap
+		if ss, ok := graph.AsSortedSource(snap); ok {
+			v.sorted[i] = ss
+		} else {
+			// New enforced sorted access on the live shard; its pinned
+			// snapshots (delta states) provide it too. Fall back to the
+			// live source rather than crash if a custom backend differs.
+			v.sorted[i] = c.sorted[i]
+		}
+	}
+	return v
+}
+
+// ApplyTriples implements graph.BatchUpdater: the batch is split by
+// owning subject and fanned out as one atomic, durable per-shard batch
+// each, applied in parallel under the exclusive side of the batch lock
+// so no pinned view observes a torn batch. Cross-shard atomicity on
+// failure is best-effort: an error can leave the batch applied on some
+// shards and not others (each shard's own WAL batch is still atomic);
+// the first error is returned.
+func (c *Cluster) ApplyTriples(ops []graph.TripleOp) (inserted, deleted int, err error) {
+	perShard := make([][]graph.TripleOp, len(c.shards))
+	preds := make([][]ID, len(c.shards))
+	for _, op := range ops {
+		var s ID
+		if op.Del {
+			// A delete of an unknown subject cannot match anything; skip
+			// it without growing the shared dictionary.
+			sid, ok := c.dict.Lookup(op.T.Subject)
+			if !ok {
+				continue
+			}
+			s = sid
+		} else {
+			if !op.T.Valid() {
+				continue
+			}
+			s = c.dict.Encode(op.T.Subject)
+		}
+		i := shardIndex(s, len(c.shards))
+		perShard[i] = append(perShard[i], op)
+		if !op.Del {
+			preds[i] = append(preds[i], c.dict.Encode(op.T.Predicate))
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, 0, errClosed
+	}
+	for i, ps := range preds {
+		for _, p := range ps {
+			c.router.note(i, p)
+		}
+	}
+	type result struct {
+		ins, del int
+		err      error
+	}
+	results := make([]result, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sops := range perShard {
+		if len(sops) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sops []graph.TripleOp) {
+			defer wg.Done()
+			ins, del, aerr := graph.ApplyTriples(c.shards[i], sops)
+			results[i] = result{ins, del, aerr}
+		}(i, sops)
+	}
+	wg.Wait()
+	for i := range results {
+		inserted += results[i].ins
+		deleted += results[i].del
+		if err == nil && results[i].err != nil {
+			err = fmt.Errorf("shard %d: %w", i, results[i].err)
+		}
+	}
+	return inserted, deleted, err
+}
+
+// NotePredicates records that shard i may hold the predicates added by
+// ops — replication plumbing. Followers replay into shard graphs
+// directly, bypassing the cluster write path that keeps the read
+// router's presence sets in sync, so a replica cluster wires this as
+// the follower's BeforeApply hook: presence lands before the replayed
+// write becomes visible, preserving the router's no-false-negative
+// invariant.
+func (c *Cluster) NotePredicates(i int, ops []graph.TripleOp) {
+	for _, op := range ops {
+		if op.Del || !op.T.Valid() {
+			continue
+		}
+		c.router.note(i, c.dict.Encode(op.T.Predicate))
+	}
+}
+
+// Flush persists buffered state on every shard.
+func (c *Cluster) Flush() error {
+	return c.eachShard(func(g graph.Graph) error { return graph.Flush(g) })
+}
+
+// Checkpoint makes every shard durable in its compact form and truncates
+// the per-shard WALs (delta.Overlay.Checkpoint per shard). The server's
+// graceful shutdown calls this so no shard is left with a WAL as its
+// only durable copy.
+func (c *Cluster) Checkpoint() error {
+	return c.eachShard(func(g graph.Graph) error {
+		if ov, ok := g.(*delta.Overlay); ok {
+			return ov.Checkpoint()
+		}
+		return graph.Flush(g)
+	})
+}
+
+// Compact folds every shard's delta into its main synchronously.
+func (c *Cluster) Compact() error {
+	return c.eachShard(func(g graph.Graph) error {
+		if ov, ok := g.(*delta.Overlay); ok {
+			return ov.Compact()
+		}
+		return nil
+	})
+}
+
+// eachShard runs fn over all shards in parallel and returns the first
+// error.
+func (c *Cluster) eachShard(fn func(graph.Graph) error) error {
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, g := range c.shards {
+		wg.Add(1)
+		go func(i int, g graph.Graph) {
+			defer wg.Done()
+			errs[i] = fn(g)
+		}(i, g)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Close checkpoints and closes every shard. The cluster is unusable
+// afterwards.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	var errs []error
+	for i, g := range c.shards {
+		var cerr error
+		if ov, ok := g.(*delta.Overlay); ok {
+			cerr = ov.Close()
+		} else if cl, ok := g.(interface{ Close() error }); ok {
+			cerr = cl.Close()
+		}
+		if cerr != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, cerr))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// ShardStat is one shard's row in Stats.
+type ShardStat struct {
+	// Triples is the shard's visible triple count.
+	Triples int `json:"triples"`
+	// Predicates is the size of the router's presence set for the shard
+	// (a superset of the predicates currently stored there).
+	Predicates int `json:"predicates"`
+	// Delta carries the shard overlay's counters when the shard is a
+	// delta overlay.
+	Delta *delta.Stats `json:"delta,omitempty"`
+}
+
+// Stats describes the cluster for the /stats endpoint.
+type Stats struct {
+	Shards   int         `json:"shards"`
+	Triples  int         `json:"triples"`
+	PerShard []ShardStat `json:"perShard"`
+}
+
+// Stats returns per-shard statistics.
+func (c *Cluster) Stats() Stats {
+	predCounts := c.router.counts()
+	s := Stats{Shards: len(c.shards), PerShard: make([]ShardStat, len(c.shards))}
+	for i, g := range c.shards {
+		row := ShardStat{Triples: g.Len(), Predicates: predCounts[i]}
+		if ov, ok := g.(*delta.Overlay); ok {
+			ds := ov.Stats()
+			row.Delta = &ds
+		}
+		s.PerShard[i] = row
+		s.Triples += row.Triples
+	}
+	return s
+}
+
+// router prunes p-bound scatters using per-shard predicate presence.
+// Presence sets are monotonic supersets of reality: entries are added
+// before the introducing write becomes visible and never removed, so a
+// pruned scatter can miss results only if presence could false-negative
+// — which it cannot. A predicate whose triples were all deleted costs
+// one empty per-shard scan until restart.
+type router struct {
+	mu    sync.RWMutex
+	preds []map[ID]struct{}
+}
+
+// build seeds presence from the shards' current contents, one parallel
+// scan per shard. Shards opened from durable state (disk trees, WAL
+// replay, snapshots) pay this once at startup.
+func (r *router) build(shards []graph.Graph) error {
+	r.preds = make([]map[ID]struct{}, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, g := range shards {
+		wg.Add(1)
+		go func(i int, g graph.Graph) {
+			defer wg.Done()
+			seen := make(map[ID]struct{})
+			errs[i] = g.Match(None, None, None, func(_, p, _ ID) bool {
+				seen[p] = struct{}{}
+				return true
+			})
+			r.preds[i] = seen
+		}(i, g)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// note records that shard i may hold predicate p.
+func (r *router) note(i int, p ID) {
+	r.mu.RLock()
+	_, ok := r.preds[i][p]
+	r.mu.RUnlock()
+	if ok {
+		return
+	}
+	r.mu.Lock()
+	r.preds[i][p] = struct{}{}
+	r.mu.Unlock()
+}
+
+// targets returns the shards that may hold predicate p.
+func (r *router) targets(p ID) []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]int, 0, len(r.preds))
+	for i, m := range r.preds {
+		if _, ok := m[p]; ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// counts returns the per-shard presence-set sizes.
+func (r *router) counts() []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]int, len(r.preds))
+	for i, m := range r.preds {
+		out[i] = len(m)
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"hexastore/internal/wal"
+)
+
+// WAL shipping: the optional TCP transport for followers that cannot
+// see the leader's filesystem. The protocol is deliberately minimal —
+// the WAL frame format is already self-delimiting and checksummed, so
+// the wire format is the file format:
+//
+//	client → server: uvarint shard index, uvarint resume offset
+//	server → client: one status byte, then an endless stream of raw
+//	                 WAL frames starting at the granted offset
+//
+// Status shipOK grants the requested offset; shipReset means the log
+// was truncated below it (leader checkpoint) and the stream restarts
+// from the first record — the follower must reset its offset to
+// wal.HeaderSize before consuming. A mid-session truncation closes the
+// connection; the follower reconnects and receives shipReset.
+const (
+	shipOK    = 0
+	shipReset = 1
+
+	// shipPoll is how often a serving connection re-checks the log for
+	// new frames once it has caught up.
+	shipPoll = 100 * time.Millisecond
+)
+
+// ServeWAL accepts follower connections on l and streams the given
+// shard logs (paths[i] serves shard i). It returns when the listener
+// closes. Each connection is served by its own goroutine, which exits
+// when the follower disconnects or its log is truncated.
+func ServeWAL(l net.Listener, paths []string) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go serveFollower(conn, paths)
+	}
+}
+
+func serveFollower(conn net.Conn, paths []string) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	shardIdx, err := binary.ReadUvarint(br)
+	if err != nil {
+		return
+	}
+	offset, err := binary.ReadUvarint(br)
+	if err != nil {
+		return
+	}
+	if shardIdx >= uint64(len(paths)) {
+		return
+	}
+	path := paths[shardIdx]
+
+	// Grant or reset the requested offset, then stream frames forever.
+	off := int64(offset)
+	status := byte(shipOK)
+	var probe []wal.Record
+	newOff, terr := wal.Tail(path, off, func(r wal.Record) error {
+		probe = append(probe, r)
+		return nil
+	})
+	if errors.Is(terr, wal.ErrTruncated) {
+		status = shipReset
+		off = wal.HeaderSize
+		probe, newOff = nil, 0
+	} else if terr != nil {
+		return
+	}
+	if _, err := conn.Write([]byte{status}); err != nil {
+		return
+	}
+	if status == shipOK && len(probe) > 0 {
+		if err := writeFrames(conn, probe); err != nil {
+			return
+		}
+		off = newOff
+	}
+	for {
+		var recs []wal.Record
+		newOff, err := wal.Tail(path, off, func(r wal.Record) error {
+			recs = append(recs, r)
+			return nil
+		})
+		if err != nil {
+			// Truncation (or a vanished log): close and let the follower
+			// reconnect to get a clean shipReset.
+			return
+		}
+		if len(recs) > 0 {
+			if err := writeFrames(conn, recs); err != nil {
+				return
+			}
+			off = newOff
+			continue
+		}
+		time.Sleep(shipPoll)
+	}
+}
+
+// writeFrames re-encodes records into their exact on-disk frames.
+// Deterministic encoding means the byte count the follower consumes
+// equals the byte range of the leader's file, so resume offsets agree.
+func writeFrames(conn net.Conn, recs []wal.Record) error {
+	var buf []byte
+	for _, r := range recs {
+		buf = wal.EncodeRecord(buf, r)
+	}
+	_, err := conn.Write(buf)
+	return err
+}
+
+// runTCP is the TCP follower loop: connect, stream, reconnect.
+func (f *Follower) runTCP() {
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		err := f.streamOnce()
+		f.mu.Lock()
+		if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			f.lastErr = err
+		}
+		f.mu.Unlock()
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(f.poll):
+		}
+	}
+}
+
+// streamOnce runs one connection lifetime: handshake, then replay
+// frames until the connection drops or the follower stops.
+func (f *Follower) streamOnce() error {
+	conn, err := net.Dial("tcp", f.addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	// Unblock the reader when Close is called.
+	stopDone := make(chan struct{})
+	defer close(stopDone)
+	go func() {
+		select {
+		case <-f.stop:
+			conn.Close()
+		case <-stopDone:
+		}
+	}()
+
+	f.mu.Lock()
+	off := f.offset
+	if off < wal.HeaderSize {
+		off = wal.HeaderSize
+		f.offset = off
+	}
+	f.mu.Unlock()
+
+	var req []byte
+	req = binary.AppendUvarint(req, uint64(f.shard))
+	req = binary.AppendUvarint(req, uint64(off))
+	if _, err := conn.Write(req); err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	status, err := br.ReadByte()
+	if err != nil {
+		return err
+	}
+	switch status {
+	case shipOK:
+	case shipReset:
+		f.mu.Lock()
+		f.offset = wal.HeaderSize
+		f.resets++
+		f.mu.Unlock()
+	default:
+		return fmt.Errorf("shard: follower: unknown ship status %d", status)
+	}
+
+	var pending []wal.Record
+	var pendingBytes int64
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		f.mu.Lock()
+		_, aerr := f.applyLocked(pending)
+		if aerr == nil {
+			f.offset += pendingBytes
+		}
+		f.mu.Unlock()
+		pending, pendingBytes = pending[:0], 0
+		return aerr
+	}
+	for {
+		rec, frameLen, err := wal.DecodeRecord(br)
+		if err != nil {
+			ferr := flush()
+			if ferr != nil {
+				return ferr
+			}
+			return err
+		}
+		pending = append(pending, rec)
+		pendingBytes += frameLen
+		// Apply when the pipe runs dry (no more buffered frames) or the
+		// batch is large enough — streaming latency without a per-record
+		// commit.
+		if br.Buffered() == 0 || len(pending) >= f.batchSz {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+}

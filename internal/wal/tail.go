@@ -1,0 +1,87 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrTruncated reports that the log shrank below the caller's offset —
+// the writer checkpointed (Log.Truncate) since the last Tail. The
+// caller should reset its offset to HeaderSize and decide for itself
+// whether the lost window matters (a caught-up follower lost nothing,
+// because every truncated record had already been streamed to it).
+var ErrTruncated = errors.New("wal: log truncated below offset")
+
+// HeaderSize is the byte offset of the first record — the initial
+// offset for Tail on a fresh log.
+const HeaderSize = headerSize
+
+// Tail reads every intact record at or after offset and streams it to
+// fn, returning the offset of the first byte it did not consume. It is
+// the incremental companion to Open's full replay: callers persist the
+// returned offset and pass it back to pick up exactly where they left
+// off. A torn or partially-written tail ends the scan without error —
+// unlike Open, Tail never truncates, because the writer may still be
+// extending that frame; the next call simply retries from the same
+// offset. An offset of 0 (or anything below HeaderSize) starts at the
+// first record. If the file has shrunk below offset the writer has
+// checkpointed: Tail returns (HeaderSize, ErrTruncated) without calling
+// fn. A non-nil error from fn stops the scan and is returned with the
+// offset of the record that produced it, so a failed consumer resumes
+// at the failing record.
+func Tail(path string, offset int64, fn func(Record) error) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return offset, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return offset, fmt.Errorf("wal: stat %s: %w", path, err)
+	}
+	if offset < headerSize {
+		if fi.Size() < headerSize {
+			// The writer has not finished the header yet; come back later.
+			return offset, nil
+		}
+		hdr := make([]byte, headerSize)
+		if _, err := f.ReadAt(hdr, 0); err != nil || string(hdr) != magic {
+			return offset, fmt.Errorf("wal: %s: bad header (not a WAL?)", path)
+		}
+		offset = headerSize
+	}
+	if fi.Size() < offset {
+		return headerSize, ErrTruncated
+	}
+	br := bufio.NewReader(io.NewSectionReader(f, offset, fi.Size()-offset))
+	for {
+		rec, frameLen, rerr := readRecord(br)
+		if rerr != nil {
+			// Clean EOF, or a frame still being written: stop here and let
+			// the next Tail retry from this offset.
+			return offset, nil
+		}
+		if err := fn(rec); err != nil {
+			return offset, err
+		}
+		offset += frameLen
+	}
+}
+
+// EncodeRecord appends rec's on-disk frame (length | payload | CRC) to
+// buf and returns the extended slice. The encoding is deterministic and
+// byte-identical to what Append writes, so frames re-encoded for
+// network shipping preserve the leader's file offsets.
+func EncodeRecord(buf []byte, rec Record) []byte {
+	return appendRecord(buf, rec)
+}
+
+// DecodeRecord reads one frame from br, returning the record and the
+// frame's encoded length. It verifies the checksum and op exactly as
+// replay does.
+func DecodeRecord(br *bufio.Reader) (Record, int64, error) {
+	return readRecord(br)
+}

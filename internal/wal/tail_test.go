@@ -1,0 +1,121 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tailAll(t *testing.T, path string, offset int64) ([]Record, int64) {
+	t.Helper()
+	var got []Record
+	off, err := Tail(path, offset, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Tail(%d): %v", offset, err)
+	}
+	return got, off
+}
+
+func TestTailIncremental(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	_, l := replayAll(t, path)
+	defer l.Close()
+
+	got, off := tailAll(t, path, 0)
+	if len(got) != 0 || off != HeaderSize {
+		t.Fatalf("fresh log: got %d records at offset %d", len(got), off)
+	}
+
+	if err := l.Append([]Record{rec(OpAdd, 0), rec(OpAdd, 1)}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	got, off = tailAll(t, path, off)
+	if len(got) != 2 || got[0] != rec(OpAdd, 0) || got[1] != rec(OpAdd, 1) {
+		t.Fatalf("first tail: got %+v", got)
+	}
+
+	// Nothing new: same offset, no records.
+	again, off2 := tailAll(t, path, off)
+	if len(again) != 0 || off2 != off {
+		t.Fatalf("idle tail: got %d records, offset %d -> %d", len(again), off, off2)
+	}
+
+	if err := l.Append([]Record{rec(OpRemove, 0)}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	got, _ = tailAll(t, path, off)
+	if len(got) != 1 || got[0] != rec(OpRemove, 0) {
+		t.Fatalf("second tail: got %+v", got)
+	}
+}
+
+func TestTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	_, l := replayAll(t, path)
+	defer l.Close()
+	if err := l.Append([]Record{rec(OpAdd, 0), rec(OpAdd, 1)}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	_, off := tailAll(t, path, 0)
+
+	if err := l.Truncate(); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if err := l.Append([]Record{rec(OpAdd, 2)}); err != nil {
+		t.Fatalf("Append after truncate: %v", err)
+	}
+
+	_, err := Tail(path, off, func(Record) error { return nil })
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Tail after truncate: err = %v, want ErrTruncated", err)
+	}
+	got, _ := tailAll(t, path, HeaderSize)
+	if len(got) != 1 || got[0] != rec(OpAdd, 2) {
+		t.Fatalf("tail from start after truncate: got %+v", got)
+	}
+}
+
+func TestTailIgnoresTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	_, l := replayAll(t, path)
+	if err := l.Append([]Record{rec(OpAdd, 0)}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate a partially-written frame at the end of the file.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	full := EncodeRecord(nil, rec(OpAdd, 1))
+	if _, err := f.Write(full[:len(full)-3]); err != nil {
+		t.Fatalf("write torn frame: %v", err)
+	}
+	f.Close()
+
+	got, off := tailAll(t, path, 0)
+	if len(got) != 1 || got[0] != rec(OpAdd, 0) {
+		t.Fatalf("torn tail: got %+v", got)
+	}
+	// The torn frame was not consumed: a retry from the returned offset
+	// after the frame completes must yield the record.
+	f, err = os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, err := f.WriteAt(full[len(full)-3:], off+int64(len(full))-3); err != nil {
+		t.Fatalf("complete frame: %v", err)
+	}
+	f.Close()
+	got, _ = tailAll(t, path, off)
+	if len(got) != 1 || got[0] != rec(OpAdd, 1) {
+		t.Fatalf("completed tail: got %+v", got)
+	}
+}

@@ -1,0 +1,105 @@
+package hexastore_test
+
+import (
+	"os"
+	"testing"
+
+	"hexastore"
+	"hexastore/internal/shard"
+)
+
+// TestOpenShards drives the WithShards serving tier through the facade:
+// memory and disk clusters, query/update round trip, per-shard stats,
+// checkpoint on Close.
+func TestOpenShards(t *testing.T) {
+	for name, mk := range map[string]func(t *testing.T) []hexastore.Option{
+		"memory": func(t *testing.T) []hexastore.Option {
+			return []hexastore.Option{hexastore.WithShards(4)}
+		},
+		"memory+wal": func(t *testing.T) []hexastore.Option {
+			return []hexastore.Option{hexastore.WithShards(4),
+				hexastore.WithWAL(t.TempDir() + "/c.wal")}
+		},
+		"disk": func(t *testing.T) []hexastore.Option {
+			return []hexastore.Option{hexastore.WithShards(4),
+				hexastore.WithDisk(t.TempDir()), hexastore.WithDiskCache(64)}
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			db, err := hexastore.Open(mk(t)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			if _, err := db.Update(`INSERT DATA {
+				<http://ex/a> <http://ex/p> <http://ex/b> .
+				<http://ex/b> <http://ex/p> <http://ex/c> .
+				<http://ex/c> <http://ex/q> "v" }`); err != nil {
+				t.Fatal(err)
+			}
+			// Cross-shard join: a and b hash independently.
+			res, err := db.Query(`SELECT ?z WHERE { <http://ex/a> <http://ex/p> ?y . ?y <http://ex/p> ?z }`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != 1 || res.Rows[0]["z"] != hexastore.IRI("http://ex/c") {
+				t.Fatalf("rows = %v", res.Rows)
+			}
+			st, ok := db.ClusterStats()
+			if !ok || st.Shards != 4 || st.Triples != 3 {
+				t.Fatalf("ClusterStats = %+v, %v", st, ok)
+			}
+		})
+	}
+}
+
+// TestOpenShardsWALRecovery closes a sharded WAL deployment and reopens
+// it: every shard checkpoints on Close, and the reopen restores the
+// full triple set from the per-shard snapshots.
+func TestOpenShardsWALRecovery(t *testing.T) {
+	wal := t.TempDir() + "/c.wal"
+	db, err := hexastore.Open(hexastore.WithShards(3), hexastore.WithWAL(wal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Update(`INSERT DATA {
+		<http://ex/a> <http://ex/p> <http://ex/b> .
+		<http://ex/b> <http://ex/p> <http://ex/c> }`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close checkpointed: per-shard snapshots exist, WALs are truncated.
+	for i := 0; i < 3; i++ {
+		if _, err := os.Stat(shard.ShardWALPath(wal, i) + ".snapshot"); err != nil {
+			t.Fatalf("shard %d snapshot missing: %v", i, err)
+		}
+	}
+
+	db2, err := hexastore.Open(hexastore.WithShards(3), hexastore.WithWAL(wal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != 2 {
+		t.Fatalf("reopened cluster has %d triples, want 2", db2.Len())
+	}
+	ok, err := db2.HasTriple(hexastore.T(
+		hexastore.IRI("http://ex/a"), hexastore.IRI("http://ex/p"), hexastore.IRI("http://ex/b")))
+	if err != nil || !ok {
+		t.Fatalf("HasTriple after reopen = %v, %v", ok, err)
+	}
+}
+
+// TestOpenShardsConflicts pins the option-combination rules.
+func TestOpenShardsConflicts(t *testing.T) {
+	if _, err := hexastore.Open(hexastore.WithShards(2), hexastore.WithBaseline()); err == nil {
+		t.Fatal("WithShards+WithBaseline must fail")
+	}
+	if _, err := hexastore.Open(hexastore.WithShards(2), hexastore.WithDisk(t.TempDir()),
+		hexastore.WithDictionary(hexastore.NewDictionary())); err == nil {
+		t.Fatal("WithShards+WithDisk+WithDictionary must fail")
+	}
+}
