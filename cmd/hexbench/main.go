@@ -6,6 +6,13 @@
 //	hexbench -all                        # every figure, default scale
 //	hexbench -fig fig10                  # one figure
 //	hexbench -fig fig04,fig05 -records 60000 -steps 6 -repeats 3
+//	hexbench -torture -seed 7 -runs 200  # crash-consistency torture campaign
+//
+// -torture runs no benchmarks: it drives the crash-consistency torture
+// harness (internal/iofault/torture) — seeded randomized workloads
+// crashed at every enumerated fault point, reopened, and verified
+// against an in-memory reference — and exits non-zero on any invariant
+// violation or differential mismatch.
 //
 // Output is one aligned table per figure: rows are data-prefix sizes,
 // columns are the competing stores (response time in seconds, memory in
@@ -23,6 +30,7 @@ import (
 	"strings"
 
 	"hexastore/internal/bench"
+	"hexastore/internal/iofault/torture"
 	"hexastore/internal/sparql"
 )
 
@@ -43,9 +51,40 @@ func main() {
 		rev      = flag.String("rev", "", "revision label for the -json snapshot (default: current git short hash, else 'dev')")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"parallelism budget for the load pipeline and intra-query joins; 1 = sequential")
+		tortureRun = flag.Bool("torture", false, "run the crash-consistency torture campaign instead of benchmarks")
+		runs       = flag.Int("runs", 200, "crash runs for -torture (split across scenarios)")
+		batches    = flag.Int("batches", 0, "workload batches per -torture run (0 = harness default)")
 	)
 	flag.Parse()
 	sparql.SetMaxWorkers(*workers)
+
+	if *tortureRun {
+		logf := func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+		if *quiet {
+			logf = nil
+		}
+		res, err := torture.Run(torture.Options{
+			Seed:    *seed,
+			Runs:    *runs,
+			Batches: *batches,
+			Logf:    logf,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hexbench: torture: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("torture: %d crash runs over %d fault points, %d violations (seed %d)\n",
+			res.Runs, res.FaultPoints, len(res.Violations), *seed)
+		for _, v := range res.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		if len(res.Violations) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *listFlag {
 		for _, id := range bench.FigureIDs {

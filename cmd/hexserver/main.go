@@ -29,7 +29,11 @@
 //	POST     /sparql update=INSERT...  apply an update (also Content-Type application/sparql-update)
 //	POST     /triples                  ingest N-Triples (or text/turtle)
 //	GET      /stats                    store statistics (incl. per-shard rows when -shards)
-//	GET      /healthz                  liveness probe
+//	GET      /healthz                  liveness probe (process up)
+//	GET      /readyz                   readiness probe: 503 while draining for shutdown,
+//	                                   while the store is sticky-degraded (poisoned WAL,
+//	                                   failed compaction), or while a replica's followers
+//	                                   are degraded / beyond -max-replica-lag
 //
 // Example session:
 //
@@ -93,6 +97,14 @@ func main() {
 		"run as a read-only replica tailing leader WALs: a path (shard i at <path>.<i> when -follow-shards > 1) or tcp://host:port of a -ship leader")
 	followShards := flag.Int("follow-shards", 1, "number of leader WAL streams to tail in -follow mode (the leader's -shards)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	drainGrace := flag.Duration("drain-grace", 0,
+		"delay between failing /readyz and stopping the listener on shutdown, so load balancers observe the flip and stop routing here first")
+	maxInflight := flag.Int("max-inflight", 1024,
+		"concurrently served requests before load-shedding with 503 + Retry-After (0 = unlimited)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second,
+		"per-request deadline; expiry answers 503 (0 = unlimited)")
+	maxReplicaLag := flag.Duration("max-replica-lag", 30*time.Second,
+		"replica readiness bound: /readyz fails when a follower has not heard from its leader within this window (0 = no lag check)")
 	flag.Parse()
 
 	// Large joins inside a single query partition across this many
@@ -188,6 +200,20 @@ func main() {
 	log.Printf("hexserver: %s, %d triples loaded, listening on %s", mode, g.Len(), *addr)
 	srv := server.NewGraph(g)
 	srv.SetReadOnly(*follow != "")
+	srv.SetMaxInflight(*maxInflight)
+	srv.SetRequestTimeout(*reqTimeout)
+	// Readiness follows the backend's sticky failure state: a poisoned
+	// WAL or failed compaction pulls the node from rotation and sheds
+	// writes while reads keep flowing.
+	switch b := g.(type) {
+	case *shard.Cluster:
+		srv.SetDegradedCheck(b.Degraded)
+	case *delta.Overlay:
+		srv.SetDegradedCheck(b.Degraded)
+	}
+	if len(followers) > 0 {
+		srv.SetFollowers(*maxReplicaLag, followers...)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	// Graceful shutdown: trap SIGINT/SIGTERM, drain in-flight requests,
@@ -204,7 +230,15 @@ func main() {
 			log.Fatalf("hexserver: %v", err)
 		}
 	case <-ctx.Done():
-		log.Printf("hexserver: shutting down")
+		// Fail readiness first and give load balancers -drain-grace to
+		// observe it: /readyz answers 503 while the listener still
+		// accepts, so traffic routes away before connections start
+		// being refused, then Shutdown drains what remains in flight.
+		srv.SetDraining(true)
+		log.Printf("hexserver: shutting down (readyz now failing)")
+		if *drainGrace > 0 {
+			time.Sleep(*drainGrace)
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		err := httpSrv.Shutdown(shutdownCtx)
 		cancel()

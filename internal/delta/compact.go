@@ -7,6 +7,7 @@ import (
 	"hexastore/internal/core"
 	"hexastore/internal/dictionary"
 	"hexastore/internal/graph"
+	"hexastore/internal/iofault"
 )
 
 // maybeCompactLocked starts a background compaction when the delta has
@@ -72,7 +73,7 @@ func (o *Overlay) backgroundCompact() {
 		// main is the whole visible set — persist it and truncate. When
 		// writes did race (pending delta non-empty), skip; the next
 		// compaction or an explicit Checkpoint will truncate.
-		if err = writeSnapshot(o.opts.SnapshotPath, o.cur.Load().mainCore); err == nil {
+		if err = writeSnapshot(o.opts.FS, o.opts.SnapshotPath, o.cur.Load().mainCore); err == nil {
 			err = o.wal.Truncate()
 		}
 	}
@@ -292,7 +293,7 @@ func (o *Overlay) checkpointLocked() error {
 			return err
 		}
 	case st.mainCore != nil && o.opts.SnapshotPath != "" && st.deltaLen() == 0:
-		if err := writeSnapshot(o.opts.SnapshotPath, st.mainCore); err != nil {
+		if err := writeSnapshot(o.opts.FS, o.opts.SnapshotPath, st.mainCore); err != nil {
 			return err
 		}
 	default:
@@ -325,7 +326,13 @@ func RestoreSnapshot(path string, compress bool) (*core.Store, bool, error) {
 // must run sequentially per shard so the append-only prefix property
 // that makes shared re-encoding sound is preserved.
 func RestoreSnapshotShared(path string, dict *dictionary.Dictionary, compress bool) (*core.Store, bool, error) {
-	f, err := os.Open(path)
+	return RestoreSnapshotSharedFS(nil, path, dict, compress)
+}
+
+// RestoreSnapshotSharedFS is RestoreSnapshotShared with the file I/O
+// routed through fsys (nil = the real filesystem).
+func RestoreSnapshotSharedFS(fsys iofault.FS, path string, dict *dictionary.Dictionary, compress bool) (*core.Store, bool, error) {
+	f, err := iofault.Open(iofault.Or(fsys), path)
 	switch {
 	case err == nil:
 	case os.IsNotExist(err):
@@ -342,29 +349,32 @@ func RestoreSnapshotShared(path string, dict *dictionary.Dictionary, compress bo
 }
 
 // writeSnapshot persists the store atomically: write to a temp file,
-// fsync, rename over the destination.
-func writeSnapshot(path string, st *core.Store) error {
+// fsync, rename over the destination. The rename is the commit point —
+// a crash anywhere before it leaves the previous snapshot untouched,
+// which the torture harness verifies by crashing at every step.
+func writeSnapshot(fsys iofault.FS, path string, st *core.Store) error {
+	fsys = iofault.Or(fsys)
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := iofault.Create(fsys, tmp)
 	if err != nil {
 		return fmt.Errorf("delta: snapshot: %w", err)
 	}
 	if err := st.Snapshot(f); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp) //nolint:errcheck // best-effort cleanup on the error path
 		return fmt.Errorf("delta: snapshot: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp) //nolint:errcheck
 		return fmt.Errorf("delta: snapshot sync: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp) //nolint:errcheck
 		return fmt.Errorf("delta: snapshot close: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp) //nolint:errcheck
 		return fmt.Errorf("delta: snapshot rename: %w", err)
 	}
 	return nil

@@ -45,6 +45,7 @@ import (
 	"hexastore/internal/disk"
 	"hexastore/internal/graph"
 	"hexastore/internal/idlist"
+	"hexastore/internal/iofault"
 	"hexastore/internal/rdf"
 	"hexastore/internal/wal"
 )
@@ -80,6 +81,12 @@ type Options struct {
 	// decompress-on-write cost is never paid here — compression plus
 	// overlay is the intended live-update configuration.
 	Uncompressed bool
+
+	// FS routes the overlay's own file I/O — the WAL and checkpoint
+	// snapshots — through a fault-injection layer; nil means the real
+	// filesystem. The main store's I/O is configured where the main is
+	// opened (disk.Options.FS), not here.
+	FS iofault.FS
 }
 
 func (o Options) threshold() int {
@@ -183,7 +190,7 @@ func Open(main graph.Graph, opts Options) (*Overlay, error) {
 
 	if opts.WALPath != "" {
 		var ops []idOp
-		l, err := wal.Open(opts.WALPath, func(r wal.Record) error {
+		l, err := wal.OpenFS(opts.FS, opts.WALPath, func(r wal.Record) error {
 			op, ok, derr := o.decodeRecord(r)
 			if derr != nil {
 				return derr
@@ -565,6 +572,26 @@ type Stats struct {
 	// WALBytes is the current log size (0 without a WAL).
 	WALBytes int64  `json:"walBytes"`
 	WALPath  string `json:"walPath,omitempty"`
+}
+
+// Degraded returns the error that has put the overlay into a degraded
+// state, or nil: a sticky WAL failure (fsyncgate — further appends are
+// refused and writes fail), a sticky disk-merge failure (reads stay
+// exact, compactions are refused), or the most recent background
+// compaction error. The serving tier's readiness endpoint reports this
+// and sheds writes while it is non-nil.
+func (o *Overlay) Degraded() error {
+	if o.wal != nil {
+		if err := o.wal.Err(); err != nil {
+			return err
+		}
+	}
+	o.writeMu.Lock()
+	defer o.writeMu.Unlock()
+	if o.diskMergeErr != nil {
+		return o.diskMergeErr
+	}
+	return o.lastCompactErr
 }
 
 // Stats returns a consistent snapshot of the overlay's counters.

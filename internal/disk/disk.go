@@ -29,6 +29,7 @@ import (
 	"hexastore/internal/btree"
 	"hexastore/internal/core"
 	"hexastore/internal/dictionary"
+	"hexastore/internal/iofault"
 	"hexastore/internal/pagefile"
 	"hexastore/internal/rdf"
 )
@@ -64,6 +65,9 @@ type Options struct {
 	// open otherwise, so a store can never silently attach to a
 	// dictionary that disagrees with its persisted ids.
 	Dictionary *dictionary.Dictionary
+	// FS routes the store's file I/O (pagefile and dictionary sidecar)
+	// through a fault-injection layer; nil means the real filesystem.
+	FS iofault.FS
 }
 
 // dictOr returns the configured shared dictionary, or a fresh one.
@@ -79,6 +83,7 @@ func (o Options) dictOr() *dictionary.Dictionary {
 type Store struct {
 	mu    sync.RWMutex
 	dir   string
+	fs    iofault.FS
 	pf    *pagefile.File
 	trees [6]*btree.Tree
 
@@ -96,19 +101,21 @@ func Exists(dir string) bool {
 // Create initializes a new disk Hexastore in dir, which must exist (or be
 // creatable) and not already contain a store.
 func Create(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := iofault.Or(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("disk: create %s: %w", dir, err)
 	}
 	storePath := filepath.Join(dir, storeFile)
-	if _, err := os.Stat(storePath); err == nil {
+	if _, err := fsys.Stat(storePath); err == nil {
 		return nil, fmt.Errorf("disk: %s already contains a store", dir)
 	}
-	pf, err := pagefile.Create(storePath, pagefile.Options{CacheSize: opts.CacheSize})
+	pf, err := pagefile.Create(storePath, pagefile.Options{CacheSize: opts.CacheSize, FS: fsys})
 	if err != nil {
 		return nil, err
 	}
 	st := &Store{
 		dir:      dir,
+		fs:       fsys,
 		pf:       pf,
 		dict:     opts.dictOr(),
 		dictPath: filepath.Join(dir, dictFile),
@@ -126,7 +133,7 @@ func Create(dir string, opts Options) (*Store, error) {
 	// Write the dictionary header eagerly so Open can validate it, and
 	// sync the empty pagefile so a crash right after Create leaves an
 	// openable (empty) store for WAL replay to rebuild onto.
-	if err := os.WriteFile(st.dictPath, []byte(dictMagic), 0o644); err != nil {
+	if err := iofault.WriteFile(fsys, st.dictPath, []byte(dictMagic), 0o644); err != nil {
 		pf.Close()
 		return nil, fmt.Errorf("disk: write dictionary: %w", err)
 	}
@@ -139,12 +146,14 @@ func Create(dir string, opts Options) (*Store, error) {
 
 // Open attaches to an existing disk Hexastore in dir.
 func Open(dir string, opts Options) (*Store, error) {
-	pf, err := pagefile.Open(filepath.Join(dir, storeFile), pagefile.Options{CacheSize: opts.CacheSize})
+	fsys := iofault.Or(opts.FS)
+	pf, err := pagefile.Open(filepath.Join(dir, storeFile), pagefile.Options{CacheSize: opts.CacheSize, FS: fsys})
 	if err != nil {
 		return nil, err
 	}
 	st := &Store{
 		dir:      dir,
+		fs:       fsys,
 		pf:       pf,
 		dict:     opts.dictOr(),
 		dictPath: filepath.Join(dir, dictFile),
@@ -170,7 +179,7 @@ func Open(dir string, opts Options) (*Store, error) {
 // shared dictionary past what this sidecar has persisted, and those
 // terms still need flushing here.
 func (st *Store) loadDictionary() error {
-	f, err := os.Open(st.dictPath)
+	f, err := iofault.Open(st.fs, st.dictPath)
 	if err != nil {
 		return fmt.Errorf("disk: open dictionary: %w", err)
 	}
@@ -214,7 +223,7 @@ func (st *Store) flushDictionary() error {
 	if n == st.persistedTerms {
 		return nil
 	}
-	f, err := os.OpenFile(st.dictPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := st.fs.OpenFile(st.dictPath, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("disk: append dictionary: %w", err)
 	}
@@ -606,7 +615,7 @@ func (st *Store) NumPages() int { return st.pf.NumPages() }
 func (st *Store) SizeBytes() (int64, error) {
 	var total int64
 	for _, name := range []string{storeFile, dictFile} {
-		fi, err := os.Stat(filepath.Join(st.dir, name))
+		fi, err := st.fs.Stat(filepath.Join(st.dir, name))
 		if err != nil {
 			return 0, err
 		}

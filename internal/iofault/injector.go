@@ -1,0 +1,364 @@
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrInjected is the default error returned by a firing fault.
+var ErrInjected = errors.New("iofault: injected fault")
+
+// ErrCrashed is returned by every operation after the crash point has
+// fired: the simulated machine is off. Reopening the same directory
+// through a clean FS is how a test simulates the post-power-loss reboot.
+var ErrCrashed = errors.New("iofault: simulated crash")
+
+// ErrNoSpace is the real ENOSPC, for faults that simulate a full disk.
+// Callers can match it with errors.Is(err, syscall.ENOSPC) exactly as
+// they would the genuine condition.
+var ErrNoSpace = syscall.ENOSPC
+
+// Op identifies one kind of filesystem operation for fault matching and
+// counting.
+type Op uint8
+
+// The operation kinds an Injector distinguishes.
+const (
+	OpOpen Op = iota + 1
+	OpRead
+	OpWrite // Write and WriteAt
+	OpSync
+	OpTruncate
+	OpRename
+	OpRemove
+	OpClose
+	OpStat
+	OpMkdir
+
+	opMax
+)
+
+var opNames = [...]string{
+	OpOpen: "open", OpRead: "read", OpWrite: "write", OpSync: "sync",
+	OpTruncate: "truncate", OpRename: "rename", OpRemove: "remove",
+	OpClose: "close", OpStat: "stat", OpMkdir: "mkdir",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// mutating reports whether the op changes durable state. The crash-point
+// counter counts exactly these, so "crash at mutation K" enumerates
+// every distinct on-disk state a workload can be cut off at.
+func (o Op) mutating() bool {
+	switch o {
+	case OpWrite, OpSync, OpTruncate, OpRename, OpRemove:
+		return true
+	}
+	return false
+}
+
+// Fault is one scripted failure. It fires on the Nth operation of the
+// given kind (counted across all files of the Injector, 1-based) whose
+// path contains Path, returns Err, and is then spent — each Fault fires
+// exactly once.
+type Fault struct {
+	// Op is the operation kind to match.
+	Op Op
+	// Nth is the 1-based occurrence of matching ops that fires the
+	// fault; 0 means the first.
+	Nth int64
+	// Path, when non-empty, restricts the fault to operations on paths
+	// containing it as a substring.
+	Path string
+	// Err is the error to return; nil means ErrInjected. Use ErrNoSpace
+	// for a full-disk simulation.
+	Err error
+	// Keep, for OpWrite faults, is the number of leading bytes of the
+	// failing write that reach the file anyway — a short (torn) write.
+	// Negative keeps nothing (the default).
+	Keep int
+	// Crash, when set, puts the Injector into the crashed state after
+	// this fault fires: every subsequent operation fails with
+	// ErrCrashed.
+	Crash bool
+}
+
+func (f Fault) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// Injector wraps an FS with a scriptable fault plan. It is safe for
+// concurrent use; fault matching and operation counting are serialized,
+// so a single-writer workload observes a fully deterministic operation
+// sequence.
+type Injector struct {
+	inner FS
+
+	mu      sync.Mutex
+	faults  []Fault
+	counts  [opMax]int64
+	muts    int64 // mutating ops performed (or attempted at the crash point)
+	crashAt int64 // crash on this mutation ordinal (0 = no crash point)
+	// crashTear, for a crash landing on a write, is the fraction of the
+	// write's bytes that persist (negative = the whole write persists
+	// before the crash; the crash then hits the *next* durable step).
+	crashTear float64
+	crashed   bool
+	latency   time.Duration
+}
+
+// NewInjector wraps inner (nil = OS) with an empty fault plan.
+func NewInjector(inner FS) *Injector {
+	return &Injector{inner: Or(inner), crashTear: -1}
+}
+
+// AddFault appends one scripted failure to the plan.
+func (in *Injector) AddFault(f Fault) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if f.Nth <= 0 {
+		f.Nth = 1
+	}
+	if f.Keep == 0 {
+		f.Keep = -1
+	}
+	in.faults = append(in.faults, f)
+	return in
+}
+
+// SetLatency injects a fixed delay before every operation.
+func (in *Injector) SetLatency(d time.Duration) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.latency = d
+	return in
+}
+
+// CrashAtMutation arms the crash point: the nth mutating operation
+// (write, sync, truncate, rename or remove — 1-based, counted across
+// all files) fails with ErrCrashed and every operation after it fails
+// too. tear applies when the nth mutation is a write: a fraction in
+// [0,1) persists that share of the write's bytes before the crash (a
+// torn final write); a negative tear persists the whole write and then
+// crashes, modeling power loss between the write and whatever came next.
+func (in *Injector) CrashAtMutation(n int64, tear float64) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashAt = n
+	in.crashTear = tear
+	return in
+}
+
+// Crashed reports whether the crash point has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Mutations returns the number of mutating operations performed so far.
+// A fault-free counting pass uses it to size the crash-point space.
+func (in *Injector) Mutations() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.muts
+}
+
+// Count returns how many operations of the given kind have run.
+func (in *Injector) Count(op Op) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[op]
+}
+
+// outcome is the verdict of the fault check for one operation.
+type outcome struct {
+	err  error // nil = proceed normally
+	keep int   // for failing writes: bytes to persist first (<0 none)
+}
+
+// check counts the operation, fires any matching fault or the crash
+// point, and sleeps the injected latency.
+func (in *Injector) check(op Op, path string, writeLen int) outcome {
+	in.mu.Lock()
+	if in.latency > 0 {
+		d := in.latency
+		in.mu.Unlock()
+		time.Sleep(d)
+		in.mu.Lock()
+	}
+	defer in.mu.Unlock()
+
+	if in.crashed {
+		return outcome{err: ErrCrashed, keep: -1}
+	}
+	in.counts[op]++
+	if op.mutating() {
+		in.muts++
+		if in.crashAt > 0 && in.muts == in.crashAt {
+			in.crashed = true
+			keep := -1
+			if op == OpWrite && in.crashTear >= 0 {
+				keep = int(in.crashTear * float64(writeLen))
+			}
+			return outcome{err: ErrCrashed, keep: keep}
+		}
+	}
+	for i := range in.faults {
+		f := &in.faults[i]
+		if f.Op != op || in.counts[op] != f.Nth {
+			continue
+		}
+		if f.Path != "" && !strings.Contains(path, f.Path) {
+			continue
+		}
+		// Spent: remove so the next matching op proceeds (Nth keeps
+		// counting against the shared counter, so later faults still
+		// line up).
+		err := f.err()
+		keep := f.Keep
+		if f.Crash {
+			in.crashed = true
+		}
+		in.faults = append(in.faults[:i], in.faults[i+1:]...)
+		return outcome{err: err, keep: keep}
+	}
+	return outcome{keep: -1}
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if o := in.check(OpOpen, name, 0); o.err != nil {
+		return nil, o.err
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f, name: name}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if o := in.check(OpRename, oldpath, 0); o.err != nil {
+		return o.err
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if o := in.check(OpRemove, name, 0); o.err != nil {
+		return o.err
+	}
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) Stat(name string) (os.FileInfo, error) {
+	if o := in.check(OpStat, name, 0); o.err != nil {
+		return nil, o.err
+	}
+	return in.inner.Stat(name)
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if o := in.check(OpMkdir, path, 0); o.err != nil {
+		return o.err
+	}
+	return in.inner.MkdirAll(path, perm)
+}
+
+// injFile routes every file operation through the Injector's fault check.
+type injFile struct {
+	in   *Injector
+	f    File
+	name string
+}
+
+func (jf *injFile) Read(p []byte) (int, error) {
+	if o := jf.in.check(OpRead, jf.name, 0); o.err != nil {
+		return 0, o.err
+	}
+	return jf.f.Read(p)
+}
+
+func (jf *injFile) ReadAt(p []byte, off int64) (int, error) {
+	if o := jf.in.check(OpRead, jf.name, 0); o.err != nil {
+		return 0, o.err
+	}
+	return jf.f.ReadAt(p, off)
+}
+
+// failWrite applies a short-write verdict: persist the kept prefix (the
+// torn write), then report the fault. n is what a caller checking only
+// the error never trusts — both os semantics and ours return n < len(p)
+// alongside the error.
+func (jf *injFile) failWrite(o outcome, p []byte, at int64, positional bool) (int, error) {
+	n := 0
+	if o.keep > 0 {
+		keep := min(o.keep, len(p))
+		if positional {
+			n, _ = jf.f.WriteAt(p[:keep], at)
+		} else {
+			n, _ = jf.f.Write(p[:keep])
+		}
+	}
+	return n, o.err
+}
+
+func (jf *injFile) Write(p []byte) (int, error) {
+	if o := jf.in.check(OpWrite, jf.name, len(p)); o.err != nil {
+		return jf.failWrite(o, p, 0, false)
+	}
+	return jf.f.Write(p)
+}
+
+func (jf *injFile) WriteAt(p []byte, off int64) (int, error) {
+	if o := jf.in.check(OpWrite, jf.name, len(p)); o.err != nil {
+		return jf.failWrite(o, p, off, true)
+	}
+	return jf.f.WriteAt(p, off)
+}
+
+func (jf *injFile) Sync() error {
+	if o := jf.in.check(OpSync, jf.name, 0); o.err != nil {
+		return o.err
+	}
+	return jf.f.Sync()
+}
+
+func (jf *injFile) Truncate(size int64) error {
+	if o := jf.in.check(OpTruncate, jf.name, 0); o.err != nil {
+		return o.err
+	}
+	return jf.f.Truncate(size)
+}
+
+func (jf *injFile) Stat() (os.FileInfo, error) {
+	if o := jf.in.check(OpStat, jf.name, 0); o.err != nil {
+		return nil, o.err
+	}
+	return jf.f.Stat()
+}
+
+func (jf *injFile) Close() error {
+	// Close is never failed by the crash point (a crashed process's fds
+	// are gone either way) but still counts, and scripted OpClose faults
+	// apply.
+	if o := jf.in.check(OpClose, jf.name, 0); o.err != nil && !errors.Is(o.err, ErrCrashed) {
+		return o.err
+	}
+	return jf.f.Close()
+}
+
+func (jf *injFile) Name() string { return jf.name }

@@ -1,0 +1,113 @@
+// Package iofault is the fault-injection seam between the storage
+// subsystems and the operating system. Every durability-critical path —
+// the write-ahead log, the pagefile, the disk store's dictionary
+// sidecar, and checkpoint snapshots — performs its file I/O through the
+// small FS/File interfaces defined here instead of calling package os
+// directly. Production code passes OS (the default when a nil FS is
+// configured), which delegates 1:1 to the real filesystem; tests and the
+// crash-consistency torture harness pass an *Injector, which wraps any
+// FS with a scriptable fault plan: fail the Nth sync, cut a write short
+// (a torn write), return ENOSPC, add latency, or "crash" — after which
+// every subsequent operation fails, so reopening the directory with a
+// clean FS simulates recovery after power loss.
+//
+// The interfaces cover exactly the operations the engine performs:
+// open/create, positional and appending reads and writes, fsync,
+// truncate, rename, remove, stat and mkdir. Keeping the surface this
+// small is what makes the fault matrix enumerable — the torture harness
+// can count every mutating operation a workload performs and then crash
+// at each one in turn.
+package iofault
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the storage layers use. Implementations
+// must be safe for the same concurrent use *os.File allows (concurrent
+// ReadAt/WriteAt on distinct offsets, Sync racing reads).
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.WriterAt
+	io.Closer
+
+	// Sync flushes the file's contents to stable storage (fsync).
+	Sync() error
+	// Truncate changes the size of the file.
+	Truncate(size int64) error
+	// Stat returns the FileInfo structure describing the file.
+	Stat() (os.FileInfo, error)
+	// Name returns the name of the file as presented to OpenFile.
+	Name() string
+}
+
+// FS is the subset of package os the storage layers use.
+type FS interface {
+	// OpenFile is the generalized open call, mirroring os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically renames (moves) oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// Remove removes the named file.
+	Remove(name string) error
+	// Stat returns a FileInfo describing the named file.
+	Stat(name string) (os.FileInfo, error)
+	// MkdirAll creates a directory path along with any necessary parents.
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+// Open opens the named file for reading, mirroring os.Open.
+func Open(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// Create creates or truncates the named file, mirroring os.Create.
+func Create(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// WriteFile writes data to the named file, creating it if necessary,
+// mirroring os.WriteFile.
+func WriteFile(fsys FS, name string, data []byte, perm os.FileMode) error {
+	f, err := fsys.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// Or returns fsys, or OS when fsys is nil — the idiom every Options
+// struct with an FS field uses to keep the real filesystem the default.
+func Or(fsys FS) FS {
+	if fsys == nil {
+		return OS
+	}
+	return fsys
+}
+
+// osFS is the production FS: a 1:1 delegation to package os.
+type osFS struct{}
+
+// OS is the real filesystem. It is the default everywhere an FS is
+// configurable; production code never sees another implementation.
+var OS FS = osFS{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }

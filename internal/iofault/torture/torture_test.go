@@ -1,0 +1,40 @@
+package torture
+
+import "testing"
+
+// TestCampaign runs a reduced torture campaign (every fault point of a
+// shorter script, both scenarios) on every CI run; hexbench -torture
+// runs the full default campaign. The -race build of this test is what
+// makes the torture loop double as a concurrency check.
+func TestCampaign(t *testing.T) {
+	res, err := Run(Options{
+		Seed:    7,
+		Runs:    60,
+		Batches: 10,
+		Dir:     t.TempDir(),
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("torture: %v", err)
+	}
+	if res.Runs != 60 {
+		t.Fatalf("executed %d runs, want 60", res.Runs)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestCampaignSeeds exercises a few extra seeds more lightly, so the
+// workload shape itself does not ossify around one RNG stream.
+func TestCampaignSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 42} {
+		res, err := Run(Options{Seed: seed, Runs: 20, Batches: 6, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if e := res.Err(); e != nil {
+			t.Errorf("seed %d: %v", seed, e)
+		}
+	}
+}

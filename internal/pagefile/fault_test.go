@@ -1,0 +1,142 @@
+package pagefile
+
+import (
+	"errors"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"hexastore/internal/iofault"
+)
+
+// TestTornPageWriteDetectedOnReopen crashes mid page write and verifies
+// the per-page checksum catches the torn page on reopen: the damaged
+// page reads as CorruptionError instead of being silently served, while
+// untouched pages stay readable.
+func TestTornPageWriteDetectedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.db")
+	inj := iofault.NewInjector(nil)
+
+	pf, err := Create(path, Options{FS: inj})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	var ids [2]PageID
+	for i := range ids {
+		p, err := pf.Allocate()
+		if err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+		for j := range p.Data() {
+			p.Data()[j] = byte('A' + i)
+		}
+		p.MarkDirty()
+		ids[i] = p.ID()
+		pf.Release(p)
+	}
+	if err := pf.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen, rewrite page 0's payload, and crash that write partway:
+	// the new checksum lands but only 100 bytes of the new payload do.
+	pf, err = Open(path, Options{FS: inj})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	p, err := pf.Get(ids[0])
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	for j := range p.Data() {
+		p.Data()[j] = 'X'
+	}
+	p.MarkDirty()
+	pf.Release(p)
+	inj.AddFault(iofault.Fault{
+		Op:    iofault.OpWrite,
+		Nth:   inj.Count(iofault.OpWrite) + 1,
+		Keep:  100,
+		Crash: true,
+	})
+	if err := pf.Flush(); err == nil {
+		t.Fatal("Flush over torn write: no error")
+	}
+	pf.Close() //nolint:errcheck // simulated machine is off
+
+	// The post-crash reboot opens through a clean filesystem.
+	pf2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	defer pf2.Close()
+	var ce *CorruptionError
+	if _, err := pf2.Get(ids[0]); !errors.As(err, &ce) || ce.Page != ids[0] {
+		t.Fatalf("Get(torn page): err = %v, want CorruptionError for page %d", err, ids[0])
+	}
+	p2, err := pf2.Get(ids[1])
+	if err != nil {
+		t.Fatalf("Get(intact page): %v", err)
+	}
+	defer pf2.Release(p2)
+	for j, b := range p2.Data() {
+		if b != 'B' {
+			t.Fatalf("intact page byte %d = %q, want 'B'", j, b)
+		}
+	}
+}
+
+// TestFlushENOSPCRetry fills the disk under a Flush: the caller sees
+// the real ENOSPC, the page stays dirty, and a retry once space frees
+// up persists it — the full-disk condition is transient, not fatal.
+func TestFlushENOSPCRetry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "enospc.db")
+	inj := iofault.NewInjector(nil)
+	pf, err := Create(path, Options{FS: inj})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	p, err := pf.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	copy(p.Data(), "survives the full disk")
+	p.MarkDirty()
+	id := p.ID()
+	pf.Release(p)
+
+	inj.AddFault(iofault.Fault{
+		Op:  iofault.OpWrite,
+		Nth: inj.Count(iofault.OpWrite) + 1,
+		Err: iofault.ErrNoSpace,
+	})
+	if err := pf.Flush(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Flush on full disk: err = %v, want ENOSPC", err)
+	}
+	// Space freed (the fault is spent): the retry must write the page
+	// that stayed dirty through the failure.
+	if err := pf.Sync(); err != nil {
+		t.Fatalf("Sync retry: %v", err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	pf2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer pf2.Close()
+	p2, err := pf2.Get(id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	defer pf2.Release(p2)
+	if got := string(p2.Data()[:22]); got != "survives the full disk" {
+		t.Fatalf("payload = %q", got)
+	}
+}

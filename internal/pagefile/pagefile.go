@@ -20,6 +20,8 @@ import (
 	"hash/crc32"
 	"os"
 	"sync"
+
+	"hexastore/internal/iofault"
 )
 
 const (
@@ -52,6 +54,10 @@ type Options struct {
 	// DefaultCacheSize. It must be large enough to hold every page pinned
 	// simultaneously by the client (a handful for a B+-tree descent).
 	CacheSize int
+
+	// FS routes the pagefile's I/O through a fault-injection layer;
+	// nil means the real filesystem.
+	FS iofault.FS
 }
 
 // DefaultCacheSize is the buffer pool capacity when Options.CacheSize is 0.
@@ -93,7 +99,7 @@ func (p *Page) MarkDirty() { p.dirty = true }
 // File is a paged file with a buffer pool. It is safe for concurrent use.
 type File struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    iofault.File
 	path string
 
 	numPages uint32 // including the meta page
@@ -112,7 +118,7 @@ type File struct {
 
 // Create creates a fresh pagefile at path, truncating any existing file.
 func Create(path string, opts Options) (*File, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := iofault.Or(opts.FS).OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pagefile: create %s: %w", path, err)
 	}
@@ -128,7 +134,7 @@ func Create(path string, opts Options) (*File, error) {
 
 // Open opens an existing pagefile at path and verifies its header.
 func Open(path string, opts Options) (*File, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := iofault.Or(opts.FS).OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pagefile: open %s: %w", path, err)
 	}
@@ -140,7 +146,7 @@ func Open(path string, opts Options) (*File, error) {
 	return pf, nil
 }
 
-func newFile(f *os.File, path string, opts Options) *File {
+func newFile(f iofault.File, path string, opts Options) *File {
 	cap := opts.CacheSize
 	if cap <= 0 {
 		cap = DefaultCacheSize

@@ -15,6 +15,8 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"hexastore/internal/core"
 	"hexastore/internal/delta"
@@ -54,6 +56,31 @@ type Server struct {
 	// readOnly rejects every mutating endpoint with 403; set for WAL
 	// replicas, whose state must come only from the followed log.
 	readOnly bool
+
+	// draining flips /readyz to 503 ahead of listener shutdown, so a
+	// load balancer stops routing here while in-flight requests finish
+	// (set via SetDraining; see cmd/hexserver's SIGTERM path).
+	draining atomic.Bool
+
+	// inflight, when non-nil, is the load-shedding semaphore: a request
+	// that cannot take a slot immediately is rejected with 503 and
+	// Retry-After instead of queueing without bound. Probes bypass it.
+	inflight chan struct{}
+
+	// reqTimeout bounds each non-probe request; 0 means unlimited.
+	reqTimeout time.Duration
+
+	// degradedCheck, when non-nil, reports the backend's sticky failure
+	// state (a poisoned WAL, a failed compaction). A non-nil error fails
+	// /readyz and sheds mutating requests with 503 — accepting a write
+	// that cannot be made durable would be silent data loss.
+	degradedCheck func() error
+
+	// followers and maxLag feed replica readiness: /readyz fails while
+	// any follower is degraded or has not heard from the leader within
+	// maxLag.
+	followers []*shard.Follower
+	maxLag    time.Duration
 }
 
 // New returns a Server over the in-memory store st.
@@ -103,16 +130,35 @@ func (s *Server) SetReadOnly(ro bool) { s.readOnly = ro }
 //	                   (or body with Content-Type application/sparql-update)
 //	POST     /triples  body: N-Triples|Turtle   → {"added": n} (Content-Type text/turtle selects Turtle)
 //	GET      /stats                             → store statistics JSON
-//	GET      /healthz                           → 200 ok
+//	GET      /healthz                           → 200 ok (process liveness only)
+//	GET      /readyz                            → 200 ready / 503 + reasons (see health.go)
+//
+// The data endpoints sit behind the resilience middleware: panic
+// recovery (a crashing request answers 500 instead of killing the
+// process), the per-request timeout, and the load-shedding semaphore.
+// The probe endpoints bypass all three — a saturated or degraded
+// server must still answer its health checks, since those are exactly
+// the signals that pull it from rotation. Configure the middleware
+// (SetMaxInflight, SetRequestTimeout, SetDegradedCheck, SetFollowers)
+// before calling Handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sparql", s.handleSPARQL)
 	mux.HandleFunc("/triples", s.handleTriples)
 	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	return mux
+
+	var h http.Handler = mux
+	if s.reqTimeout > 0 {
+		h = http.TimeoutHandler(h, s.reqTimeout, `{"error":"request timed out"}`)
+	}
+	h = s.shedLoad(h)
+	h = recoverPanics(h)
+
+	root := http.NewServeMux()
+	root.Handle("/", h)
+	root.HandleFunc("/healthz", s.handleHealthz)
+	root.HandleFunc("/readyz", s.handleReadyz)
+	return root
 }
 
 // planner returns the current planner snapshot.
@@ -217,6 +263,9 @@ func (s *Server) execUpdate(w http.ResponseWriter, updateText string) {
 		httpError(w, http.StatusForbidden, "read-only replica: updates must go to the leader")
 		return
 	}
+	if s.shedDegradedWrite(w) {
+		return
+	}
 	defer s.wlock()()
 	res, err := sparql.ExecUpdate(s.g, updateText)
 	if err != nil {
@@ -277,6 +326,9 @@ func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.readOnly {
 		httpError(w, http.StatusForbidden, "read-only replica: ingestion must go to the leader")
+		return
+	}
+	if s.shedDegradedWrite(w) {
 		return
 	}
 	ct := r.Header.Get("Content-Type")

@@ -36,11 +36,21 @@ type Follower struct {
 	batchSz     int
 	beforeApply func(ops []graph.TripleOp)
 
-	mu      sync.Mutex
-	offset  int64 // leader-log offset of the first unconsumed byte
-	applied int64 // records replayed
-	resets  int64 // truncation events observed
-	lastErr error
+	backoffMin  time.Duration
+	backoffMax  time.Duration
+	dialTimeout time.Duration
+	readTimeout time.Duration
+	maxFailures int
+
+	mu          sync.Mutex
+	offset      int64 // leader-log offset of the first unconsumed byte
+	applied     int64 // records replayed
+	resets      int64 // truncation events observed
+	consecFails int   // consecutive failed TCP attempts since the last good handshake
+	degraded    bool  // sticky: the retry cap was hit; reconnects stopped
+	connected   bool  // a TCP stream is currently established
+	lastContact time.Time
+	lastErr     error
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -57,6 +67,33 @@ type FollowerOptions struct {
 	// applied. A replica cluster uses it to keep its read router's
 	// predicate presence in sync (Cluster.NotePredicates).
 	BeforeApply func(ops []graph.TripleOp)
+
+	// BackoffMin and BackoffMax bound the TCP reconnect backoff: the
+	// delay after the n-th consecutive failure is
+	// min(BackoffMax, BackoffMin·2ⁿ⁻¹), jittered ±50% so a fleet of
+	// replicas does not reconnect in lockstep. Defaults 100ms and 15s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+
+	// MaxFailures caps consecutive failed TCP connection attempts:
+	// reaching it puts the follower into the sticky degraded state — no
+	// further reconnects, Stats().Degraded set — until Resume is called.
+	// A replica that cannot reach its leader is serving unboundedly
+	// stale reads; going visibly degraded lets the health endpoint pull
+	// it from rotation instead of silently thrashing. 0 means the
+	// default (10); negative retries forever.
+	MaxFailures int
+
+	// DialTimeout bounds each TCP connection attempt (default 5s).
+	DialTimeout time.Duration
+
+	// ReadTimeout is the per-read deadline on an established stream.
+	// The leader sends a keepalive byte when idle, so an expiry means
+	// the leader is stalled or the network is dead — the follower
+	// reconnects (with backoff) rather than blocking forever. It must
+	// exceed the leader's keepalive interval (ShipOptions.Keepalive);
+	// the default is 10s against a 1s keepalive.
+	ReadTimeout time.Duration
 }
 
 func (o FollowerOptions) poll() time.Duration {
@@ -73,6 +110,41 @@ func (o FollowerOptions) batch() int {
 	return o.BatchSize
 }
 
+func (o FollowerOptions) backoffMin() time.Duration {
+	if o.BackoffMin <= 0 {
+		return 100 * time.Millisecond
+	}
+	return o.BackoffMin
+}
+
+func (o FollowerOptions) backoffMax() time.Duration {
+	if o.BackoffMax <= 0 {
+		return 15 * time.Second
+	}
+	return o.BackoffMax
+}
+
+func (o FollowerOptions) maxFailures() int {
+	if o.MaxFailures == 0 {
+		return 10
+	}
+	return o.MaxFailures
+}
+
+func (o FollowerOptions) dialTimeout() time.Duration {
+	if o.DialTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return o.DialTimeout
+}
+
+func (o FollowerOptions) readTimeout() time.Duration {
+	if o.ReadTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return o.ReadTimeout
+}
+
 // NewFollower tails the write-ahead log at walPath into dst.
 func NewFollower(dst graph.Graph, walPath string, opts FollowerOptions) *Follower {
 	return &Follower{
@@ -81,6 +153,11 @@ func NewFollower(dst graph.Graph, walPath string, opts FollowerOptions) *Followe
 		poll:        opts.poll(),
 		batchSz:     opts.batch(),
 		beforeApply: opts.BeforeApply,
+		backoffMin:  opts.backoffMin(),
+		backoffMax:  opts.backoffMax(),
+		dialTimeout: opts.dialTimeout(),
+		readTimeout: opts.readTimeout(),
+		maxFailures: opts.maxFailures(),
 		stop:        make(chan struct{}),
 	}
 }
@@ -94,7 +171,7 @@ func NewTCPFollower(dst graph.Graph, addr string, shard int, opts FollowerOption
 	return f
 }
 
-// FollowerStats is a snapshot of replication progress.
+// FollowerStats is a snapshot of replication progress and connectivity.
 type FollowerStats struct {
 	// Offset is the leader-log offset of the next byte to consume.
 	Offset int64 `json:"offset"`
@@ -102,19 +179,72 @@ type FollowerStats struct {
 	Applied int64 `json:"applied"`
 	// Resets counts leader checkpoints observed (log truncations).
 	Resets int64 `json:"resets"`
-	// LastError is the most recent replay error, if any.
+	// Connected reports an established TCP stream (false between
+	// reconnect attempts; always false in file mode).
+	Connected bool `json:"connected"`
+	// Degraded reports the sticky state entered when MaxFailures
+	// consecutive connection attempts failed; the follower has stopped
+	// reconnecting and a replica serving from it is unboundedly stale.
+	Degraded bool `json:"degraded"`
+	// ConsecutiveFailures counts TCP attempts since the last successful
+	// handshake.
+	ConsecutiveFailures int `json:"consecutiveFailures"`
+	// LagSeconds is the time since the follower last heard from the
+	// leader (a frame or a keepalive) — the observable replica-lag
+	// proxy: the replica can be behind by at most what the leader wrote
+	// in this window. Negative when there has been no contact yet.
+	LagSeconds float64 `json:"lagSeconds"`
+	// LastError is the most recent replay or connection error, if any.
 	LastError string `json:"lastError,omitempty"`
 }
 
-// Stats returns replication progress counters.
+// Stats returns replication progress and connectivity counters.
 func (f *Follower) Stats() FollowerStats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	st := FollowerStats{Offset: f.offset, Applied: f.applied, Resets: f.resets}
+	st := FollowerStats{
+		Offset:              f.offset,
+		Applied:             f.applied,
+		Resets:              f.resets,
+		Connected:           f.connected,
+		Degraded:            f.degraded,
+		ConsecutiveFailures: f.consecFails,
+		LagSeconds:          -1,
+	}
+	if !f.lastContact.IsZero() {
+		st.LagSeconds = time.Since(f.lastContact).Seconds()
+	}
 	if f.lastErr != nil {
 		st.LastError = f.lastErr.Error()
 	}
 	return st
+}
+
+// Degraded reports the sticky degraded state (see
+// FollowerOptions.MaxFailures).
+func (f *Follower) Degraded() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.degraded
+}
+
+// Resume clears the sticky degraded state, letting the running loop
+// attempt to reconnect again (with the backoff restarting from its
+// minimum). An operator calls this after repairing the leader.
+func (f *Follower) Resume() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.degraded = false
+	f.consecFails = 0
+}
+
+// touchContact records that the leader was heard from just now. Called
+// on handshake completion, on every received frame batch, and on
+// keepalives.
+func (f *Follower) touchContact() {
+	f.mu.Lock()
+	f.lastContact = time.Now()
+	f.mu.Unlock()
 }
 
 // CatchUp synchronously replays every record currently in the log
@@ -134,6 +264,9 @@ func (f *Follower) catchUpLocked() (int, error) {
 	for {
 		var recs []wal.Record
 		newOff, err := wal.Tail(f.path, f.offset, func(r wal.Record) error {
+			if r.Op == wal.OpCommit {
+				return nil // marker: its bytes are in newOff, no triple to apply
+			}
 			recs = append(recs, r)
 			return nil
 		})
@@ -151,6 +284,11 @@ func (f *Follower) catchUpLocked() (int, error) {
 			return total, err
 		}
 		if len(recs) == 0 {
+			// A successful read of the log — even an empty one — is
+			// leader contact in file mode: the log is reachable and we
+			// are provably caught up to its current end.
+			f.lastContact = time.Now()
+			f.offset = newOff
 			return total, nil
 		}
 		n, aerr := f.applyLocked(recs)

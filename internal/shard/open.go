@@ -2,7 +2,6 @@ package shard
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"runtime"
 
@@ -11,6 +10,7 @@ import (
 	"hexastore/internal/dictionary"
 	"hexastore/internal/disk"
 	"hexastore/internal/graph"
+	"hexastore/internal/iofault"
 )
 
 // Config parameterizes OpenCluster.
@@ -40,6 +40,9 @@ type Config struct {
 	// snapshot, a non-empty disk shard, or a non-empty WAL), mirroring
 	// the server's refuse-to-double-load rule.
 	Load [][3]ID
+	// FS routes every shard's file I/O (WALs, snapshots, disk stores)
+	// through a fault-injection layer; nil means the real filesystem.
+	FS iofault.FS
 }
 
 // ShardWALPath names shard i's write-ahead log for a cluster logging
@@ -101,6 +104,7 @@ func OpenCluster(cfg Config) (*Cluster, error) {
 				CompactThreshold: cfg.CompactThreshold,
 				Uncompressed:     cfg.Uncompressed,
 				Workers:          workers,
+				FS:               cfg.FS,
 			}
 		)
 		if cfg.WALPath != "" {
@@ -149,7 +153,7 @@ func OpenCluster(cfg Config) (*Cluster, error) {
 func openMemoryShard(cfg Config, dict *dictionary.Dictionary, load [][3]ID, i, workers int) (*core.Store, bool, error) {
 	if cfg.WALPath != "" {
 		snapPath := ShardWALPath(cfg.WALPath, i) + ".snapshot"
-		st, ok, err := delta.RestoreSnapshotShared(snapPath, dict, !cfg.Uncompressed)
+		st, ok, err := delta.RestoreSnapshotSharedFS(cfg.FS, snapPath, dict, !cfg.Uncompressed)
 		if err != nil {
 			return nil, false, fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -159,7 +163,7 @@ func openMemoryShard(cfg Config, dict *dictionary.Dictionary, load [][3]ID, i, w
 		// A fresh bulk load must not race a leftover WAL: replaying old
 		// records over the loaded data would resurrect deleted triples.
 		if len(load) > 0 {
-			if fi, err := os.Stat(ShardWALPath(cfg.WALPath, i)); err == nil && fi.Size() > int64(len("HEXWAL01")) {
+			if fi, err := iofault.Or(cfg.FS).Stat(ShardWALPath(cfg.WALPath, i)); err == nil && fi.Size() > int64(len("HEXWAL01")) {
 				return nil, false, fmt.Errorf("shard: refusing to bulk-load shard %d over a non-empty WAL", i)
 			}
 		}
@@ -178,7 +182,7 @@ func openMemoryShard(cfg Config, dict *dictionary.Dictionary, load [][3]ID, i, w
 // store from its load partition.
 func openDiskShard(cfg Config, dict *dictionary.Dictionary, load [][3]ID, i, workers int) (*disk.Store, bool, error) {
 	dir := ShardDir(cfg.Dir, i)
-	opts := disk.Options{CacheSize: cfg.CacheSize, Uncompressed: cfg.Uncompressed, Dictionary: dict}
+	opts := disk.Options{CacheSize: cfg.CacheSize, Uncompressed: cfg.Uncompressed, Dictionary: dict, FS: cfg.FS}
 	if disk.Exists(dir) {
 		st, err := disk.Open(dir, opts)
 		if err != nil {

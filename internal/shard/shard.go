@@ -127,6 +127,23 @@ func ShardOf(s ID, n int) int { return shardIndex(s, n) }
 // Dictionary returns the cluster's shared dictionary.
 func (c *Cluster) Dictionary() *dictionary.Dictionary { return c.dict }
 
+// Degraded returns the first shard's degraded-state error, or nil when
+// every shard is healthy. A cluster is degraded as soon as any shard's
+// overlay is (sticky WAL failure, sticky disk-merge failure): writes
+// fan out by subject hash, so one degraded shard makes cluster-wide
+// write availability partial — the readiness endpoint reports it and
+// the serving layer sheds writes.
+func (c *Cluster) Degraded() error {
+	for i, g := range c.shards {
+		if ov, ok := g.(*delta.Overlay); ok {
+			if err := ov.Degraded(); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
 // Len returns the total triple count (shard counts sum exactly: subject
 // sets are disjoint, so no triple is double-counted).
 func (c *Cluster) Len() int { return c.pin().Len() }

@@ -1,0 +1,157 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"hexastore/internal/iofault"
+)
+
+// nop is the replay callback for tests that don't inspect replayed
+// records.
+func nop(Record) error { return nil }
+
+// TestStickyFsyncFailure pins the fsyncgate contract: after one failed
+// fsync the log refuses every further operation with the ORIGINAL
+// error, because retrying a group commit after the kernel dropped the
+// dirty pages could report durability for records that never reached
+// disk. Recovery is reopening — replay plus torn-tail truncation
+// re-derives what is actually durable.
+func TestStickyFsyncFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	inj := iofault.NewInjector(nil)
+	l, err := OpenFS(inj, path, nop)
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	if err := l.Append([]Record{rec(OpAdd, 0)}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	// The header sync was sync #1, the first group commit sync #2; fail
+	// the next one.
+	inj.AddFault(iofault.Fault{Op: iofault.OpSync, Nth: 3})
+	if err := l.Append([]Record{rec(OpAdd, 1)}); !errors.Is(err, iofault.ErrInjected) {
+		t.Fatalf("Append over failed fsync: err = %v, want ErrInjected", err)
+	}
+	if err := l.Err(); !errors.Is(err, iofault.ErrInjected) {
+		t.Fatalf("Err() = %v, want the sticky fsync error", err)
+	}
+
+	// Sticky: the fault is spent (a real retry would succeed), but the
+	// log must keep refusing with the original error anyway.
+	if err := l.Append([]Record{rec(OpAdd, 2)}); !errors.Is(err, iofault.ErrInjected) {
+		t.Fatalf("Append after poison: err = %v, want sticky ErrInjected", err)
+	}
+	if err := l.Sync(); !errors.Is(err, iofault.ErrInjected) {
+		t.Fatalf("Sync after poison: err = %v, want sticky ErrInjected", err)
+	}
+	if err := l.Truncate(); !errors.Is(err, iofault.ErrInjected) {
+		t.Fatalf("Truncate after poison: err = %v, want sticky ErrInjected", err)
+	}
+	if err := l.Close(); !errors.Is(err, iofault.ErrInjected) {
+		t.Fatalf("Close after poison: err = %v, want sticky ErrInjected", err)
+	}
+
+	// Reopen on a clean filesystem: record 0 was acked durable and must
+	// replay; the log must accept appends again.
+	got, l2 := replayAll(t, path)
+	defer l2.Close()
+	if len(got) == 0 || got[0] != rec(OpAdd, 0) {
+		t.Fatalf("replay after recovery: got %+v, want rec 0 first", got)
+	}
+	if err := l2.Append([]Record{rec(OpAdd, 3)}); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+}
+
+// TestTornAppendTruncatedOnReopen crashes an Append's group write short
+// and verifies reopen discards the torn batch — both when the tear
+// lands mid-frame and when it leaves an intact prefix of whole frames
+// whose commit marker is missing (the batch-atomicity case the torture
+// harness originally caught).
+func TestTornAppendTruncatedOnReopen(t *testing.T) {
+	frame := len(EncodeRecord(nil, rec(OpAdd, 1)))
+	for _, tc := range []struct {
+		name string
+		keep int
+	}{
+		{"mid-frame", 5},
+		{"intact-frame-no-marker", frame},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal.log")
+			inj := iofault.NewInjector(nil)
+			l, err := OpenFS(inj, path, nop)
+			if err != nil {
+				t.Fatalf("OpenFS: %v", err)
+			}
+			if err := l.Append([]Record{rec(OpAdd, 0)}); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			goodSize := l.Size()
+
+			// Header write was write #1, the first batch write #2; tear
+			// the second batch's single group write.
+			inj.AddFault(iofault.Fault{Op: iofault.OpWrite, Nth: 3, Keep: tc.keep})
+			if err := l.Append([]Record{rec(OpAdd, 1), rec(OpAdd, 2)}); err == nil {
+				t.Fatal("Append over torn write: no error")
+			}
+			l.Close() //nolint:errcheck // poisoned; recovery is reopening
+
+			got, l2 := replayAll(t, path)
+			defer l2.Close()
+			if len(got) != 1 || got[0] != rec(OpAdd, 0) {
+				t.Fatalf("replay after torn append: got %+v, want only rec 0", got)
+			}
+			if l2.Size() != goodSize {
+				t.Fatalf("size after reopen %d, want truncated back to %d", l2.Size(), goodSize)
+			}
+			if err := l2.Append([]Record{rec(OpAdd, 3)}); err != nil {
+				t.Fatalf("Append after recovery: %v", err)
+			}
+			l2.Close()
+			got, l3 := replayAll(t, path)
+			defer l3.Close()
+			if len(got) != 2 || got[1] != rec(OpAdd, 3) {
+				t.Fatalf("final replay: got %+v", got)
+			}
+		})
+	}
+}
+
+// TestAppendENOSPC fills the disk under an Append: the caller sees the
+// real ENOSPC, the log poisons itself (the partial frame cannot be
+// trusted), and reopening recovers every previously-acked record.
+func TestAppendENOSPC(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	inj := iofault.NewInjector(nil)
+	l, err := OpenFS(inj, path, nop)
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	if err := l.Append([]Record{rec(OpAdd, 0), rec(OpAdd, 1)}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	inj.AddFault(iofault.Fault{Op: iofault.OpWrite, Nth: 3, Err: iofault.ErrNoSpace})
+	err = l.Append([]Record{rec(OpAdd, 2)})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Append on full disk: err = %v, want ENOSPC", err)
+	}
+	if err := l.Append([]Record{rec(OpAdd, 3)}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Append after ENOSPC: err = %v, want sticky ENOSPC", err)
+	}
+	l.Close() //nolint:errcheck // poisoned; recovery is reopening
+
+	got, l2 := replayAll(t, path)
+	defer l2.Close()
+	if len(got) != 2 || got[0] != rec(OpAdd, 0) || got[1] != rec(OpAdd, 1) {
+		t.Fatalf("replay after ENOSPC: got %+v, want the two acked records", got)
+	}
+	if err := l2.Append([]Record{rec(OpAdd, 4)}); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+}

@@ -5,7 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
+
+	"hexastore/internal/iofault"
 )
 
 // ErrTruncated reports that the log shrank below the caller's offset —
@@ -19,21 +20,33 @@ var ErrTruncated = errors.New("wal: log truncated below offset")
 // offset for Tail on a fresh log.
 const HeaderSize = headerSize
 
-// Tail reads every intact record at or after offset and streams it to
-// fn, returning the offset of the first byte it did not consume. It is
-// the incremental companion to Open's full replay: callers persist the
-// returned offset and pass it back to pick up exactly where they left
-// off. A torn or partially-written tail ends the scan without error —
-// unlike Open, Tail never truncates, because the writer may still be
-// extending that frame; the next call simply retries from the same
-// offset. An offset of 0 (or anything below HeaderSize) starts at the
-// first record. If the file has shrunk below offset the writer has
-// checkpointed: Tail returns (HeaderSize, ErrTruncated) without calling
-// fn. A non-nil error from fn stops the scan and is returned with the
-// offset of the record that produced it, so a failed consumer resumes
-// at the failing record.
+// Tail reads every committed record batch at or after offset and
+// streams it to fn, returning the offset of the first byte it did not
+// consume. It is the incremental companion to Open's full replay:
+// callers persist the returned offset and pass it back to pick up
+// exactly where they left off. Batches are delivered whole — records
+// after offset are buffered until their OpCommit marker, and the
+// marker itself is passed to fn (consumers that only care about data
+// skip it; consumers that track the leader's file offsets need its
+// frame bytes). A torn tail, or an intact record run with no marker
+// yet, ends the scan without error — unlike Open, Tail never
+// truncates, because the writer may still be extending that batch; the
+// next call simply retries from the last committed boundary. An offset
+// of 0 (or anything below HeaderSize) starts at the first record. If
+// the file has shrunk below offset the writer has checkpointed: Tail
+// returns (HeaderSize, ErrTruncated) without calling fn. A non-nil
+// error from fn stops the scan and is returned with the offset of the
+// batch that produced it, so a failed consumer resumes at that batch's
+// start — re-delivering an already-applied prefix of the batch is safe
+// because records are last-op-wins.
 func Tail(path string, offset int64, fn func(Record) error) (int64, error) {
-	f, err := os.Open(path)
+	return TailFS(nil, path, offset, fn)
+}
+
+// TailFS is Tail with the file I/O routed through fsys (nil = the real
+// filesystem).
+func TailFS(fsys iofault.FS, path string, offset int64, fn func(Record) error) (int64, error) {
+	f, err := iofault.Open(iofault.Or(fsys), path)
 	if err != nil {
 		return offset, fmt.Errorf("wal: open %s: %w", path, err)
 	}
@@ -57,17 +70,31 @@ func Tail(path string, offset int64, fn func(Record) error) (int64, error) {
 		return headerSize, ErrTruncated
 	}
 	br := bufio.NewReader(io.NewSectionReader(f, offset, fi.Size()-offset))
+	var (
+		pending      []Record
+		pendingBytes int64
+	)
 	for {
 		rec, frameLen, rerr := readRecord(br)
 		if rerr != nil {
-			// Clean EOF, or a frame still being written: stop here and let
-			// the next Tail retry from this offset.
+			// Clean EOF, a frame still being written, or an intact run
+			// whose commit marker has not landed yet: stop at the last
+			// committed boundary and let the next Tail retry from there.
 			return offset, nil
 		}
-		if err := fn(rec); err != nil {
-			return offset, err
+		pending = append(pending, rec)
+		pendingBytes += frameLen
+		if rec.Op != OpCommit {
+			continue
 		}
-		offset += frameLen
+		for _, r := range pending {
+			if err := fn(r); err != nil {
+				return offset, err
+			}
+		}
+		offset += pendingBytes
+		pending = pending[:0]
+		pendingBytes = 0
 	}
 }
 

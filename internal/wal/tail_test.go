@@ -7,10 +7,15 @@ import (
 	"testing"
 )
 
+// tailAll collects the data records Tail delivers, skipping commit
+// markers the way real consumers (followers) do.
 func tailAll(t *testing.T, path string, offset int64) ([]Record, int64) {
 	t.Helper()
 	var got []Record
 	off, err := Tail(path, offset, func(r Record) error {
+		if r.Op == OpCommit {
+			return nil
+		}
 		got = append(got, r)
 		return nil
 	})
@@ -105,17 +110,80 @@ func TestTailIgnoresTornTail(t *testing.T) {
 		t.Fatalf("torn tail: got %+v", got)
 	}
 	// The torn frame was not consumed: a retry from the returned offset
-	// after the frame completes must yield the record.
+	// after the frame (and its batch's commit marker) completes must
+	// yield the record.
 	f, err = os.OpenFile(path, os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
-	if _, err := f.WriteAt(full[len(full)-3:], off+int64(len(full))-3); err != nil {
+	tail := append(full[len(full)-3:], EncodeRecord(nil, Record{Op: OpCommit})...)
+	if _, err := f.WriteAt(tail, off+int64(len(full))-3); err != nil {
 		t.Fatalf("complete frame: %v", err)
 	}
 	f.Close()
 	got, _ = tailAll(t, path, off)
 	if len(got) != 1 || got[0] != rec(OpAdd, 1) {
 		t.Fatalf("completed tail: got %+v", got)
+	}
+}
+
+// TestTailCommitMarkers pins the batch-atomicity contract: Tail
+// delivers the OpCommit marker itself (so shipping consumers can keep
+// byte offsets aligned with the leader's file), withholds intact
+// records whose marker has not landed, and releases them once it does.
+func TestTailCommitMarkers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	_, l := replayAll(t, path)
+	defer l.Close()
+	if err := l.Append([]Record{rec(OpAdd, 0), rec(OpAdd, 1)}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	var raw []Record
+	off, err := Tail(path, 0, func(r Record) error {
+		raw = append(raw, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Tail: %v", err)
+	}
+	if len(raw) != 3 || raw[2].Op != OpCommit {
+		t.Fatalf("raw tail: got %+v, want two records plus marker", raw)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if off != fi.Size() {
+		t.Fatalf("committed offset %d != file size %d", off, fi.Size())
+	}
+
+	// An intact record with no marker yet stays invisible: the batch is
+	// still in flight and a crash now would erase it on replay.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Write(EncodeRecord(nil, rec(OpAdd, 2))); err != nil {
+		t.Fatalf("write record: %v", err)
+	}
+	f.Close()
+	got, off2 := tailAll(t, path, off)
+	if len(got) != 0 || off2 != off {
+		t.Fatalf("uncommitted batch leaked: %+v at offset %d", got, off2)
+	}
+
+	// The marker landing releases the whole batch.
+	f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, err := f.Write(EncodeRecord(nil, Record{Op: OpCommit})); err != nil {
+		t.Fatalf("write marker: %v", err)
+	}
+	f.Close()
+	got, _ = tailAll(t, path, off)
+	if len(got) != 1 || got[0] != rec(OpAdd, 2) {
+		t.Fatalf("committed batch: got %+v", got)
 	}
 }

@@ -18,6 +18,16 @@
 //	header:  8 bytes, "HEXWAL01"
 //	record:  uvarint payload length | payload | 4-byte little-endian CRC-32
 //	payload: 1 op byte | 3 × (uvarint key length | term key bytes)
+//
+// Every Append batch is terminated by a commit-marker record (OpCommit,
+// empty keys). Replay and Tail deliver records only up to the last
+// marker: per-record CRCs make a torn tail detectable frame by frame,
+// but a torn multi-record batch write can leave an *intact prefix* of
+// the batch on disk — without the marker, recovery would surface half a
+// batch, silently breaking Append's atomicity contract (found by the
+// crash-consistency torture harness crashing on torn group-commit
+// writes). Uncommitted intact frames are truncated by Open exactly like
+// corrupt ones.
 package wal
 
 import (
@@ -28,6 +38,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"hexastore/internal/iofault"
 )
 
 const (
@@ -44,10 +56,14 @@ const (
 // Op is the operation type of a record.
 type Op uint8
 
-// The two record types.
+// The record types. OpCommit is the batch terminator written by Append
+// and consumed by replay/Tail; it never reaches fn callbacks from Open,
+// but Tail delivers it (so byte-offset accounting over the shipping
+// protocol stays aligned with the leader's file) and followers skip it.
 const (
 	OpAdd    Op = 1
 	OpRemove Op = 2
+	OpCommit Op = 3
 )
 
 // Record is one logged triple operation. S, P and O are RDF term keys
@@ -62,7 +78,7 @@ type Record struct {
 type Log struct {
 	mu   sync.Mutex
 	cond *sync.Cond
-	f    *os.File
+	f    iofault.File
 	path string
 	size int64 // bytes of durable-format log (header + intact records)
 
@@ -71,7 +87,25 @@ type Log struct {
 	seq     int64
 	synced  int64
 	syncing bool
-	failed  error // sticky: a failed write or sync poisons the log
+
+	// failed is sticky (fsyncgate semantics): once a write or fsync has
+	// errored, the kernel may have silently dropped the dirty pages the
+	// failed fsync covered, so "retrying" the next group commit could
+	// report durability for records that never reached disk. The log
+	// therefore refuses every further Append/Sync/Truncate and keeps
+	// surfacing the ORIGINAL error — including at Close — until the
+	// caller discards it and recovers by reopening (replay + torn-tail
+	// truncation re-derives what is actually durable).
+	failed error
+}
+
+// Err returns the sticky failure that has poisoned the log, or nil. A
+// non-nil Err means no further appends will be accepted; the serving
+// layer surfaces this as WAL-degraded on its health endpoints.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
 }
 
 // Open opens (creating if absent) the log at path and replays every
@@ -80,7 +114,14 @@ type Log struct {
 // unknown op — ends replay and is truncated away, so the next Append
 // starts at the last durable record. A non-nil error from fn aborts Open.
 func Open(path string, fn func(Record) error) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFS(nil, path, fn)
+}
+
+// OpenFS is Open with the file I/O routed through fsys (nil = the real
+// filesystem) — the fault-injection seam used by the crash-consistency
+// torture harness.
+func OpenFS(fsys iofault.FS, path string, fn func(Record) error) (*Log, error) {
+	f, err := iofault.Or(fsys).OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
@@ -111,19 +152,34 @@ func Open(path string, fn func(Record) error) (*Log, error) {
 		return nil, fmt.Errorf("wal: %s: bad header (not a WAL?)", path)
 	}
 
-	// Replay: consume records until the first one that does not verify.
+	// Replay: records buffer until their batch's commit marker, and only
+	// then stream to fn — a batch whose marker never made it to disk is
+	// discarded whole, even when a prefix of its frames is intact.
+	// offset tracks the end of the last committed batch; everything
+	// beyond it (torn frame, corrupt frame, or intact-but-uncommitted
+	// frames) is truncated away.
 	br := bufio.NewReader(io.NewSectionReader(f, headerSize, fi.Size()-headerSize))
 	offset := headerSize
+	scanned := headerSize
+	var pending []Record
 	for {
 		rec, frameLen, rerr := readRecord(br)
 		if rerr != nil {
-			break // clean EOF or corrupt tail; offset marks the last good byte
+			break // clean EOF or corrupt tail; offset marks the last committed byte
 		}
-		if err := fn(rec); err != nil {
-			f.Close()
-			return nil, err
+		scanned += frameLen
+		if rec.Op != OpCommit {
+			pending = append(pending, rec)
+			continue
 		}
-		offset += frameLen
+		for _, p := range pending {
+			if err := fn(p); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		pending = pending[:0]
+		offset = scanned
 	}
 	l.size = offset
 	if offset < fi.Size() {
@@ -160,7 +216,7 @@ func readRecord(br *bufio.Reader) (Record, int64, error) {
 	}
 
 	op := Op(payload[0])
-	if op != OpAdd && op != OpRemove {
+	if op != OpAdd && op != OpRemove && op != OpCommit {
 		return rec, 0, fmt.Errorf("wal: unknown op %d", op)
 	}
 	rec.Op = op
@@ -236,6 +292,9 @@ func (l *Log) Append(recs []Record) error {
 	for _, r := range recs {
 		buf = appendRecord(buf, r)
 	}
+	// The commit marker rides in the same write: either the whole batch
+	// including its marker persists, or replay discards the batch.
+	buf = appendRecord(buf, Record{Op: OpCommit})
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
