@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"hexastore/internal/bench"
+	"hexastore/internal/govern"
 	"hexastore/internal/iofault/torture"
 	"hexastore/internal/sparql"
 )
@@ -51,12 +52,22 @@ func main() {
 		rev      = flag.String("rev", "", "revision label for the -json snapshot (default: current git short hash, else 'dev')")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"parallelism budget for the load pipeline and intra-query joins; 1 = sequential")
+		timeout = flag.Duration("timeout", 0,
+			"per-query deadline applied to every benchmark query (0 = none)")
+		memBudget = flag.String("mem-budget", "",
+			"per-query soft memory budget applied to every benchmark query (e.g. 64M; empty = unlimited)")
 		tortureRun = flag.Bool("torture", false, "run the crash-consistency torture campaign instead of benchmarks")
 		runs       = flag.Int("runs", 200, "crash runs for -torture (split across scenarios)")
 		batches    = flag.Int("batches", 0, "workload batches per -torture run (0 = harness default)")
 	)
 	flag.Parse()
 	sparql.SetMaxWorkers(*workers)
+	budget, err := govern.ParseBytes(*memBudget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hexbench: -mem-budget: %v\n", err)
+		os.Exit(2)
+	}
+	sparql.SetDefaultLimits(budget, *timeout)
 
 	if *tortureRun {
 		logf := func(format string, a ...any) {
@@ -102,6 +113,9 @@ func main() {
 		for _, id := range bench.ShardFigureIDs {
 			fmt.Println(id)
 		}
+		for _, id := range bench.GovernFigureIDs {
+			fmt.Println(id)
+		}
 		return
 	}
 
@@ -116,7 +130,7 @@ func main() {
 	// -list advertises the load and write suites alongside the paper
 	// figures; accept their ids through -fig too instead of bouncing
 	// users to the dedicated flags.
-	runLoad, runWrite, runSpace, runShard := false, *write, false, false
+	runLoad, runWrite, runSpace, runShard, runGovern := false, *write, false, false, false
 	figIDs := ids[:0]
 	for _, id := range ids {
 		switch id {
@@ -128,6 +142,8 @@ func main() {
 			runSpace = true
 		case "shard01":
 			runShard = true
+		case "govern01":
+			runGovern = true
 		default:
 			figIDs = append(figIDs, id)
 		}
@@ -194,12 +210,16 @@ func main() {
 	if runShard && !*jsonOut {
 		runSuite(bench.RunShard)
 	}
+	if runGovern && !*jsonOut {
+		runSuite(bench.RunGovern)
+	}
 
 	if *jsonOut {
 		runSuite(bench.RunLoad)
 		runSuite(bench.RunWrite)
 		runSuite(bench.RunSpace)
 		runSuite(bench.RunShard)
+		runSuite(bench.RunGovern)
 		runSuite(bench.RunSPARQL)
 
 		label := *rev

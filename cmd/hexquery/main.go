@@ -12,6 +12,9 @@
 // With no query argument the query text is read from stdin. -workers
 // bounds the parallelism of both the load pipeline and the intra-query
 // join workers (default GOMAXPROCS), matching hexload/hexserver/hexbench.
+// -timeout puts a deadline on the query and -mem-budget caps its engine
+// memory (oversized join state spills to temp files; 4x the budget
+// fails the query instead of OOMing).
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 
 	"hexastore"
 	"hexastore/internal/disk"
+	"hexastore/internal/govern"
 	"hexastore/internal/sparql"
 )
 
@@ -35,14 +39,23 @@ func main() {
 		diskDir = flag.String("disk", "", "query an existing disk-based Hexastore directory")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"parallelism budget for the load pipeline and intra-query joins; 1 = sequential")
+		timeout = flag.Duration("timeout", 0,
+			"per-query deadline; an expired query fails with context.DeadlineExceeded (0 = none)")
+		memBudget = flag.String("mem-budget", "",
+			"per-query soft memory budget (e.g. 64M, 1G); oversized join state spills to temp files, and 4x the budget kills the query instead of OOMing (empty = unlimited)")
 	)
 	flag.Parse()
 	sparql.SetMaxWorkers(*workers)
+	budget, err := govern.ParseBytes(*memBudget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hexquery: -mem-budget: %v\n", err)
+		os.Exit(2)
+	}
+	sparql.SetDefaultLimits(budget, *timeout)
 
 	var (
 		st      *hexastore.Store
 		diskSt  *disk.Store
-		err     error
 		triples int
 	)
 	switch {

@@ -21,6 +21,7 @@
 //	hexserver [-addr :8751] [-disk dir] [-load data.nt] [-turtle data.ttl]
 //	          [-live] [-wal path] [-compact-threshold n]
 //	          [-shards n] [-ship addr]
+//	          [-max-queries n] [-query-timeout d] [-mem-budget 64M]
 //	hexserver -follow <walprefix|tcp://addr> [-follow-shards n] [-shards n]
 //
 // Endpoints:
@@ -68,6 +69,7 @@ import (
 	"hexastore/internal/delta"
 	"hexastore/internal/dictionary"
 	"hexastore/internal/disk"
+	"hexastore/internal/govern"
 	"hexastore/internal/graph"
 	"hexastore/internal/rdf"
 	"hexastore/internal/server"
@@ -100,9 +102,17 @@ func main() {
 	drainGrace := flag.Duration("drain-grace", 0,
 		"delay between failing /readyz and stopping the listener on shutdown, so load balancers observe the flip and stop routing here first")
 	maxInflight := flag.Int("max-inflight", 1024,
-		"concurrently served requests before load-shedding with 503 + Retry-After (0 = unlimited)")
+		"concurrently served non-query requests before load-shedding with 503 + Retry-After (0 = unlimited); /sparql traffic is admitted by the query governor instead (-max-queries)")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second,
 		"per-request deadline; expiry answers 503 (0 = unlimited)")
+	maxQueries := flag.Int("max-queries", 64,
+		"concurrently executing /sparql queries; excess waits briefly in a bounded deadline-aware queue, then sheds with 503 + Retry-After (0 = unlimited)")
+	queryTimeout := flag.Duration("query-timeout", 0,
+		"per-query deadline; an expired query answers 408 (0 = none beyond -request-timeout)")
+	memBudget := flag.String("mem-budget", "",
+		"per-query soft memory budget (e.g. 64M, 1G); oversized join state spills to temp files, and 4x the budget fails the query with 503 instead of OOMing (empty = unlimited)")
+	slowQuery := flag.Duration("slow-query", time.Second,
+		"log queries slower than this, with peak memory and spilled bytes (0 = disable)")
 	maxReplicaLag := flag.Duration("max-replica-lag", 30*time.Second,
 		"replica readiness bound: /readyz fails when a follower has not heard from its leader within this window (0 = no lag check)")
 	flag.Parse()
@@ -110,6 +120,10 @@ func main() {
 	// Large joins inside a single query partition across this many
 	// workers (requests are additionally served concurrently by net/http).
 	sparql.SetMaxWorkers(*workers)
+	budget, err := govern.ParseBytes(*memBudget)
+	if err != nil {
+		log.Fatalf("hexserver: -mem-budget: %v", err)
+	}
 
 	var triples []rdf.Triple
 	for _, f := range []struct {
@@ -202,6 +216,17 @@ func main() {
 	srv.SetReadOnly(*follow != "")
 	srv.SetMaxInflight(*maxInflight)
 	srv.SetRequestTimeout(*reqTimeout)
+	// Query governance: /sparql admission moves from the generic
+	// inflight semaphore to the governor, which distinguishes why a
+	// query ended (canceled, timed out, budget-killed, shed) in both
+	// status codes and /stats counters.
+	srv.SetGovernor(govern.Config{
+		MaxConcurrent: *maxQueries,
+		MaxQueue:      *maxQueries,
+		QueueTimeout:  5 * time.Second,
+		SlowQuery:     *slowQuery,
+	})
+	srv.SetQueryLimits(*queryTimeout, budget)
 	// Readiness follows the backend's sticky failure state: a poisoned
 	// WAL or failed compaction pulls the node from rotation and sheds
 	// writes while reads keep flowing.

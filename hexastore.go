@@ -41,9 +41,11 @@
 package hexastore
 
 import (
+	"context"
 	"errors"
 	"io"
 	"sync"
+	"time"
 
 	"hexastore/internal/core"
 	"hexastore/internal/delta"
@@ -139,6 +141,11 @@ type DB struct {
 	// overlay serializes its own writers, so queries stream concurrently
 	// with updates.
 	mu sync.RWMutex
+
+	// queryTimeout and memBudget are the handle-level query limits set
+	// with WithQueryTimeout / WithMemBudget; zero means unlimited.
+	queryTimeout time.Duration
+	memBudget    int64
 }
 
 // Unwrap exposes the concrete store behind the handle, so the planner
@@ -156,6 +163,8 @@ type options struct {
 	walPath          string
 	compactThreshold int
 	compress         bool
+	queryTimeout     time.Duration
+	memBudget        int64
 }
 
 // Option configures Open.
@@ -237,9 +246,29 @@ func WithCompactThreshold(n int) Option { return func(o *options) { o.compactThr
 // mutates the main indexes in place.
 func WithCompression(on bool) Option { return func(o *options) { o.compress = on } }
 
+// WithQueryTimeout bounds every Query/QueryContext on the handle: an
+// evaluation exceeding d fails with context.DeadlineExceeded. A tighter
+// deadline already on the QueryContext context wins. 0 (the default)
+// means no handle-level deadline.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(o *options) { o.queryTimeout = d }
+}
+
+// WithMemBudget bounds every Query/QueryContext on the handle to a soft
+// memory budget of n bytes: a query whose intermediate join state would
+// cross it spills oversized partitions to temp files and streams them
+// back (results are identical, just slower), and one that cannot be
+// kept under the hard cap (4×n) even by spilling fails with
+// govern.ErrBudgetExceeded instead of exhausting process memory. 0 (the
+// default) means unlimited.
+func WithMemBudget(n int64) Option {
+	return func(o *options) { o.memBudget = n }
+}
+
 // Open returns a Graph-backed store handle. With no options it opens an
 // empty in-memory Hexastore; see WithDisk, WithBaseline, WithDictionary,
-// WithDiskCache, WithDeltaOverlay and WithWAL.
+// WithDiskCache, WithDeltaOverlay, WithWAL, WithQueryTimeout and
+// WithMemBudget.
 func Open(opts ...Option) (*DB, error) {
 	o := options{compress: true}
 	for _, fn := range opts {
@@ -302,7 +331,7 @@ func Open(opts ...Option) (*DB, error) {
 	}
 
 	if !o.overlay {
-		return &DB{Graph: base, closer: baseCloser}, nil
+		return &DB{Graph: base, closer: baseCloser, queryTimeout: o.queryTimeout, memBudget: o.memBudget}, nil
 	}
 	dopts := delta.Options{
 		WALPath:          o.walPath,
@@ -321,7 +350,7 @@ func Open(opts ...Option) (*DB, error) {
 	}
 	// The overlay's Close checkpoints, closes the WAL and closes the
 	// underlying store, so it replaces the base closer.
-	return &DB{Graph: ov, overlay: ov, closer: ov}, nil
+	return &DB{Graph: ov, overlay: ov, closer: ov, queryTimeout: o.queryTimeout, memBudget: o.memBudget}, nil
 }
 
 // openCluster builds the WithShards serving tier: every shard is
@@ -351,7 +380,7 @@ func openCluster(o options) (*DB, error) {
 	}
 	// Cluster.Close checkpoints every shard (overlay compaction +
 	// snapshot/flush + WAL truncation) before closing it.
-	return &DB{Graph: c, cluster: c, closer: c}, nil
+	return &DB{Graph: c, cluster: c, closer: c, queryTimeout: o.queryTimeout, memBudget: o.memBudget}, nil
 }
 
 // Close flushes and releases the backend. In-memory backends are a
@@ -451,8 +480,26 @@ func (db *DB) HasTriple(t Triple) (bool, error) {
 // overlay backend the evaluation pins one consistent snapshot and runs
 // without blocking (or being blocked by) Update.
 func (db *DB) Query(src string) (*Result, error) {
+	return db.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query observing ctx and the handle-level limits
+// (WithQueryTimeout, WithMemBudget): the evaluation stops with
+// ctx.Err() shortly after ctx is done — mid-join, at block granularity,
+// releasing any pinned snapshot — and spills or fails typed when it
+// crosses the memory budget.
+func (db *DB) QueryContext(ctx context.Context, src string) (*Result, error) {
 	defer db.rlock()()
-	return sparql.Exec(db.Graph, src)
+	if db.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, db.queryTimeout)
+		defer cancel()
+	}
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return sparql.EvalOpts(ctx, db.Graph, q, sparql.EvalOptions{MemBudget: db.memBudget})
 }
 
 // Update parses and applies a SPARQL UPDATE request (INSERT DATA /
@@ -460,8 +507,16 @@ func (db *DB) Query(src string) (*Result, error) {
 // whole request is one atomic batch (single WAL group commit, single
 // version swap).
 func (db *DB) Update(src string) (*UpdateResult, error) {
+	return db.UpdateContext(context.Background(), src)
+}
+
+// UpdateContext is Update observing ctx at request granularity: a
+// request whose context is already done is not applied at all, but an
+// admitted batch always completes — aborting half-applied mutations
+// would leave state no client asked for.
+func (db *DB) UpdateContext(ctx context.Context, src string) (*UpdateResult, error) {
 	defer db.wlock()()
-	res, err := sparql.ExecUpdate(db.Graph, src)
+	res, err := sparql.ExecUpdateContext(ctx, db.Graph, src)
 	if err != nil {
 		return res, err
 	}

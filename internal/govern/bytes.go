@@ -1,0 +1,50 @@
+package govern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseBytes parses a human-readable byte size for the -mem-budget
+// flags: a number with an optional K/M/G/T suffix (powers of 1024,
+// case-insensitive, optional trailing "B" or "iB"). Fractions are
+// allowed with a suffix ("1.5G"); the empty string parses to 0
+// (unlimited).
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, nil
+	}
+	u := strings.ToUpper(t)
+	u = strings.TrimSuffix(u, "IB")
+	u = strings.TrimSuffix(u, "B")
+	mult := int64(1)
+	if n := len(u); n > 0 {
+		switch u[n-1] {
+		case 'K':
+			mult = 1 << 10
+		case 'M':
+			mult = 1 << 20
+		case 'G':
+			mult = 1 << 30
+		case 'T':
+			mult = 1 << 40
+		}
+		if mult > 1 {
+			u = u[:n-1]
+		}
+	}
+	if mult == 1 {
+		n, err := strconv.ParseInt(u, 10, 64)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("invalid byte size %q", s)
+		}
+		return n, nil
+	}
+	f, err := strconv.ParseFloat(u, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("invalid byte size %q", s)
+	}
+	return int64(f * float64(mult)), nil
+}

@@ -1,0 +1,33 @@
+package graph
+
+import "context"
+
+// ContextAware is an optional Graph capability: a backend whose single
+// operations can run long on their own — the sharded cluster view, whose
+// scatter-gather merges fan out goroutines per call — returns a
+// ctx-observing variant of itself so cancellation reaches the inside of
+// one operation, not just the gaps between operations.
+//
+// Backends without the capability do not need it for responsiveness:
+// the SPARQL evaluator checks its context between per-row probes and
+// every 128 streamed callbacks, which bounds cancellation latency to
+// one candidate-list fetch on the memory and disk stores.
+type ContextAware interface {
+	// WithContext returns a view of the graph whose operations fail
+	// with ctx.Err() once ctx is done. The returned graph shares the
+	// receiver's state and capabilities.
+	WithContext(ctx context.Context) Graph
+}
+
+// WithContext returns g observing ctx when the backend supports it
+// (ContextAware), and g unchanged otherwise. A nil or Background
+// context never wraps.
+func WithContext(ctx context.Context, g Graph) Graph {
+	if ctx == nil || ctx == context.Background() || ctx == context.TODO() {
+		return g
+	}
+	if ca, ok := g.(ContextAware); ok {
+		return ca.WithContext(ctx)
+	}
+	return g
+}

@@ -1,0 +1,129 @@
+package server
+
+// Query governance for the /sparql endpoint: admission control (max
+// concurrent queries with a bounded, deadline-aware wait queue),
+// per-query deadlines and memory budgets, a slow-query log, and typed
+// HTTP error mapping. This subsumes the generic -max-inflight semaphore
+// for query traffic: the governor knows *why* a query ended (canceled,
+// timed out, budget-killed, rejected) and surfaces each outcome as a
+// distinct status code and /stats counter, where the load shedder could
+// only answer an undifferentiated 503.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+	"time"
+
+	"hexastore/internal/govern"
+	"hexastore/internal/sparql"
+)
+
+// statusClientClosedRequest is the nginx-convention status for "the
+// client went away before the response was ready". It never reaches the
+// client (the connection is gone); it makes access logs and tests
+// distinguish client disconnects from server faults.
+const statusClientClosedRequest = 499
+
+// SetGovernor installs the query governor on /sparql. cfg.Logf defaults
+// to log.Printf so slow-query lines land on the server log. Configure
+// before Handler; a nil-config governor still counts active queries.
+func (s *Server) SetGovernor(cfg govern.Config) {
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	s.gov = govern.New(cfg)
+}
+
+// SetQueryLimits bounds every governed query: timeout is the per-query
+// deadline (0 = none; the client's own context still applies) and
+// memBudget is the per-query soft memory budget in bytes (0 =
+// unlimited). Crossing the budget makes oversized join state spill to
+// temp files; crossing its hard cap (4× the budget) fails the query
+// with 503 instead of taking the process down. Configure before
+// Handler.
+func (s *Server) SetQueryLimits(timeout time.Duration, memBudget int64) {
+	s.queryTimeout = timeout
+	s.memBudget = memBudget
+}
+
+// GovernorStats returns the governor's counters (zero when no governor
+// is installed).
+func (s *Server) GovernorStats() govern.Stats { return s.gov.Stats() }
+
+// serveQuery runs one governed SPARQL query: admission, limits,
+// evaluation, observation, response.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, queryText string) {
+	q, err := sparql.Parse(queryText)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "query: %v", err)
+		return
+	}
+
+	ctx := r.Context()
+	start := time.Now()
+	release, err := s.gov.Acquire(ctx)
+	if err != nil {
+		s.gov.Observe(queryText, time.Since(start), err, nil)
+		s.writeQueryError(w, r, err)
+		return
+	}
+	defer release()
+
+	if s.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+		defer cancel()
+	}
+	var m *govern.Meter
+	if s.memBudget > 0 {
+		// Hard cap at 4× the soft budget: spillable state stays under
+		// the budget, so only unspillable growth reaches beyond it.
+		m = govern.NewMeter(s.memBudget, 4*s.memBudget)
+	}
+
+	unlock := s.rlock()
+	res, err := s.planner().EvalOpts(ctx, q, sparql.EvalOptions{Meter: m})
+	unlock()
+	s.gov.Observe(queryText, time.Since(start), err, m)
+	if err != nil {
+		s.writeQueryError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/sparql-results+json")
+	json.NewEncoder(w).Encode(resultsJSON(res)) //nolint:errcheck // client may be gone
+}
+
+// writeQueryError maps a query failure to its HTTP status:
+//
+//   - client disconnected → 499 (never a 500: the server did nothing
+//     wrong, and the connection is gone anyway)
+//   - deadline exceeded (per-query timeout or client deadline) → 408
+//   - memory budget exhausted → 503 + Retry-After (the query may
+//     succeed when the server is less loaded or with a tighter query)
+//   - admission rejected / queue timeout → 503 + Retry-After
+//   - syntax errors → 400; everything else → 500
+func (s *Server) writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case r.Context().Err() != nil && errors.Is(r.Context().Err(), context.Canceled):
+		httpError(w, statusClientClosedRequest, "client closed request: %v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusRequestTimeout, "query deadline exceeded: %v", err)
+	case errors.Is(err, context.Canceled):
+		httpError(w, statusClientClosedRequest, "query canceled: %v", err)
+	case errors.Is(err, govern.ErrBudgetExceeded):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "query rejected: %v", err)
+	case errors.Is(err, govern.ErrRejected):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "query rejected: %v", err)
+	default:
+		if _, ok := err.(*sparql.SyntaxError); ok {
+			httpError(w, http.StatusBadRequest, "query: %v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "query: %v", err)
+	}
+}

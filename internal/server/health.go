@@ -147,6 +147,13 @@ func (s *Server) shedLoad(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Governed /sparql traffic is admitted by the query governor
+		// (bounded deadline-aware queue, typed rejections) instead of
+		// the generic semaphore.
+		if s.gov != nil && r.URL.Path == "/sparql" {
+			next.ServeHTTP(w, r)
+			return
+		}
 		select {
 		case s.inflight <- struct{}{}:
 			defer func() { <-s.inflight }()

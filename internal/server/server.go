@@ -21,6 +21,7 @@ import (
 	"hexastore/internal/core"
 	"hexastore/internal/delta"
 	"hexastore/internal/disk"
+	"hexastore/internal/govern"
 	"hexastore/internal/graph"
 	"hexastore/internal/rdf"
 	"hexastore/internal/shard"
@@ -69,6 +70,18 @@ type Server struct {
 
 	// reqTimeout bounds each non-probe request; 0 means unlimited.
 	reqTimeout time.Duration
+
+	// gov, when non-nil, governs /sparql: admission control, per-query
+	// outcome counters, slow-query log (see govern.go). Governed query
+	// traffic bypasses the generic inflight semaphore — the governor is
+	// its replacement for this endpoint, with typed errors and a bounded
+	// deadline-aware queue instead of immediate shedding.
+	gov *govern.Governor
+
+	// queryTimeout and memBudget bound each governed query (see
+	// SetQueryLimits); zero values mean unlimited.
+	queryTimeout time.Duration
+	memBudget    int64
 
 	// degradedCheck, when non-nil, reports the backend's sticky failure
 	// state (a poisoned WAL, a failed compaction). A non-nil error fails
@@ -230,7 +243,7 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if strings.TrimSpace(updateText) != "" {
-		s.execUpdate(w, updateText)
+		s.execUpdate(w, r, updateText)
 		return
 	}
 	if strings.TrimSpace(queryText) == "" {
@@ -238,27 +251,17 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	unlock := s.rlock()
-	res, err := s.planner().Exec(queryText)
-	unlock()
-	if err != nil {
-		// Parse and projection errors are the client's; anything else
-		// (backend I/O mid-evaluation) is ours.
-		if _, ok := err.(*sparql.SyntaxError); ok {
-			httpError(w, http.StatusBadRequest, "query: %v", err)
-		} else {
-			httpError(w, http.StatusInternalServerError, "query: %v", err)
-		}
-		return
-	}
-	w.Header().Set("Content-Type", "application/sparql-results+json")
-	json.NewEncoder(w).Encode(resultsJSON(res))
+	s.serveQuery(w, r, queryText)
 }
 
 // execUpdate applies a SPARQL UPDATE request and reports its effect. On
 // an overlay backend the request is one atomic batch (single WAL group
 // commit) and concurrent queries keep streaming from their snapshots.
-func (s *Server) execUpdate(w http.ResponseWriter, updateText string) {
+// Updates share the governor's admission control with queries (one
+// concurrency pool for the whole endpoint) and are checked against the
+// request context at request granularity — a batch is never aborted
+// half-applied.
+func (s *Server) execUpdate(w http.ResponseWriter, r *http.Request, updateText string) {
 	if s.readOnly {
 		httpError(w, http.StatusForbidden, "read-only replica: updates must go to the leader")
 		return
@@ -266,14 +269,23 @@ func (s *Server) execUpdate(w http.ResponseWriter, updateText string) {
 	if s.shedDegradedWrite(w) {
 		return
 	}
+	start := time.Now()
+	release, err := s.gov.Acquire(r.Context())
+	if err != nil {
+		s.gov.Observe(updateText, time.Since(start), err, nil)
+		s.writeQueryError(w, r, err)
+		return
+	}
+	defer release()
 	defer s.wlock()()
-	res, err := sparql.ExecUpdate(s.g, updateText)
+	res, err := sparql.ExecUpdateContext(r.Context(), s.g, updateText)
+	s.gov.Observe(updateText, time.Since(start), err, nil)
 	if err != nil {
 		if _, ok := err.(*sparql.SyntaxError); ok {
 			httpError(w, http.StatusBadRequest, "update: %v", err)
-		} else {
-			httpError(w, http.StatusInternalServerError, "update: %v", err)
+			return
 		}
+		s.writeQueryError(w, r, err)
 		return
 	}
 	if res.Inserted > 0 || res.Deleted > 0 {
@@ -382,6 +394,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"distinctSubjects": sum.DistinctS,
 		"distinctPreds":    sum.DistinctP,
 		"distinctObjects":  sum.DistinctO,
+	}
+	// The query governor reports its live and cumulative counters:
+	// active/queued now, and admitted/rejected/canceled/budget-killed/
+	// spilled-bytes/slow-query totals since start.
+	if s.gov != nil {
+		out["govern"] = s.gov.Stats()
 	}
 	// A sharded cluster reports the serving tier's layout: shard count
 	// and one row per shard (triples, predicates routed there, delta

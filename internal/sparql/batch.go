@@ -130,6 +130,18 @@ type batchExec struct {
 	bufB []core.ID
 	bufC []core.ID
 
+	// Budget/spill state (see spill.go). spilled, when non-nil, holds
+	// the current binding table's rows on disk (tbl keeps the schema and
+	// serves as per-chunk scratch). accounted is what the meter currently
+	// carries for engine state; pendCells batches expansion accounting;
+	// scratchBytes covers a streaming step's shared candidate buffers;
+	// decBuf is chunk-decode scratch.
+	spilled      *spillTable
+	accounted    int64
+	pendCells    int
+	scratchBytes int64
+	decBuf       []byte
+
 	// rowCap, when ≥ 0, bounds the rows produced by the current step.
 	// It is set only on the final join step of a branch where every
 	// surviving row is guaranteed to be emitted (no DISTINCT, trailing
@@ -143,7 +155,9 @@ type batchExec struct {
 // directly from the columns when the query has no OPTIONAL groups, or
 // through the tuple-at-a-time optional matcher otherwise.
 func (bx *batchExec) runBatch(pats []idPattern, order []int, stepFilters [][]Filter, optionals [][]idPattern, lateFilters []Filter) error {
+	bx.release() // drop any previous branch's spill/accounting
 	bx.tbl.reset()
+	defer bx.release()
 	// When nothing after the join can reject or merge rows, the final
 	// step needs to produce only as many rows as are still wanted.
 	finalCap := -1
@@ -153,29 +167,35 @@ func (bx *batchExec) runBatch(pats []idPattern, order []int, stepFilters [][]Fil
 		finalCap = ev.target - len(ev.res.Rows)
 	}
 	for k, pi := range order {
+		if err := ev.ctxCheck(); err != nil {
+			return err
+		}
 		for _, f := range stepFilters[k] {
-			if err := bx.filterRows(f); err != nil {
+			if err := bx.applyFilter(f); err != nil {
 				return err
 			}
 		}
-		if bx.tbl.n == 0 {
+		if bx.rows() == 0 {
 			return nil
 		}
 		bx.rowCap = -1
 		if k == len(order)-1 {
 			bx.rowCap = finalCap
 		}
-		if err := bx.step(&pats[pi]); err != nil {
+		if err := bx.stepGoverned(&pats[pi]); err != nil {
 			return err
 		}
-		if bx.tbl.n == 0 {
+		if bx.rows() == 0 {
 			return nil
 		}
 	}
 	for _, f := range stepFilters[len(order)] {
-		if err := bx.filterRows(f); err != nil {
+		if err := bx.applyFilter(f); err != nil {
 			return err
 		}
+	}
+	if bx.spilled != nil {
+		return bx.emitSpilled(optionals, lateFilters)
 	}
 	if len(optionals) == 0 {
 		return bx.emitRows(lateFilters)
@@ -291,6 +311,9 @@ func (bx *batchExec) filterStep(sp *stepSpec) error {
 		}
 		keep := bx.keep[:0]
 		for r := 0; r < tbl.n; r++ {
+			if !bx.ev.tickOK() {
+				return bx.ev.ctxErr
+			}
 			if bx.rowCap >= 0 && len(keep) >= bx.rowCap {
 				break
 			}
@@ -353,10 +376,16 @@ func (bx *batchExec) candidateList(sp *stepSpec) ([]core.ID, error) {
 	}
 	bx.bufA = bx.bufA[:0]
 	if err := bx.src.Match(sp.ids[0], sp.ids[1], sp.ids[2], func(ms, mp, mo core.ID) bool {
+		if !bx.ev.tickOK() {
+			return false
+		}
 		bx.bufA = append(bx.bufA, pick(free, ms, mp, mo))
 		return true
 	}); err != nil {
 		return nil, err
+	}
+	if bx.ev.ctxErr != nil {
+		return nil, bx.ev.ctxErr
 	}
 	slices.Sort(bx.bufA)
 	return bx.bufA, nil
@@ -422,6 +451,9 @@ func (bx *batchExec) expandStep(sp *stepSpec) error {
 			shared = ids
 		}
 		for r := 0; r < tbl.n; r++ {
+			if !bx.ev.tickOK() {
+				return bx.ev.ctxErr
+			}
 			left := remaining()
 			if left == 0 {
 				break
@@ -444,10 +476,16 @@ func (bx *batchExec) expandStep(sp *stepSpec) error {
 				out[c] = appendRun(out[c], oldCols[c][r], len(ids))
 			}
 			out[len(oldCols)] = append(out[len(oldCols)], ids...)
+			if err := bx.noteGrowth(len(ids) * (len(oldCols) + 1)); err != nil {
+				return err
+			}
 		}
 
 	case 2:
 		for r := 0; r < tbl.n; r++ {
+			if !bx.ev.tickOK() {
+				return bx.ev.ctxErr
+			}
 			left := remaining()
 			if left == 0 {
 				break
@@ -472,6 +510,9 @@ func (bx *batchExec) expandStep(sp *stepSpec) error {
 			if len(sp.newNames) == 2 {
 				out[len(oldCols)+1] = append(out[len(oldCols)+1], bx.bufB[:k]...)
 			}
+			if err := bx.noteGrowth(k * (len(oldCols) + len(sp.newNames))); err != nil {
+				return err
+			}
 		}
 
 	default: // 3 free positions: full scan seed (or cross product)
@@ -479,6 +520,9 @@ func (bx *batchExec) expandStep(sp *stepSpec) error {
 			return err
 		}
 		for r := 0; r < tbl.n && len(bx.bufA) > 0; r++ {
+			if !bx.ev.tickOK() {
+				return bx.ev.ctxErr
+			}
 			k := len(bx.bufA)
 			left := remaining()
 			if left == 0 {
@@ -496,6 +540,9 @@ func (bx *batchExec) expandStep(sp *stepSpec) error {
 			}
 			if len(sp.newNames) == 3 {
 				out[len(oldCols)+2] = append(out[len(oldCols)+2], bx.bufC[:k]...)
+			}
+			if err := bx.noteGrowth(k * (len(oldCols) + len(sp.newNames))); err != nil {
+				return err
 			}
 		}
 	}
@@ -530,9 +577,12 @@ func (bx *batchExec) expandStep(sp *stepSpec) error {
 // copy under the store's lock with a SortedSource, a Match collection
 // otherwise.
 func (bx *batchExec) candidates1(sp *stepSpec, r int) ([]core.ID, error) {
-	ids, err := bx.fetchOne(sp, r, bx.bufA[:0])
+	ids, err := bx.fetchOne(sp, r, bx.bufA[:0], bx.ev.tickFn)
 	if err != nil {
 		return nil, err
+	}
+	if bx.ev.ctxErr != nil {
+		return nil, bx.ev.ctxErr
 	}
 	bx.bufA = ids
 	return ids, nil
@@ -542,8 +592,11 @@ func (bx *batchExec) candidates1(sp *stepSpec, r int) ([]core.ID, error) {
 // row r into dst and returns the extended slice. It reads only immutable
 // step state and the table columns, so concurrent workers may call it as
 // long as each owns its dst (both backends' sorted accessors and Match
-// are safe for concurrent readers).
-func (bx *batchExec) fetchOne(sp *stepSpec, r int, dst []core.ID) ([]core.ID, error) {
+// are safe for concurrent readers). tick, when non-nil, is consulted per
+// streamed candidate; returning false stops the stream (the caller then
+// surfaces its context error) — sequential callers pass the evaluator's
+// tick, parallel workers pass a private one, so no counter is shared.
+func (bx *batchExec) fetchOne(sp *stepSpec, r int, dst []core.ID, tick func() bool) ([]core.ID, error) {
 	s, p, o := bx.subst(sp, 0, r), bx.subst(sp, 1, r), bx.subst(sp, 2, r)
 	if bx.sorted != nil {
 		return bx.sorted.AppendSortedList(dst, s, p, o)
@@ -555,6 +608,9 @@ func (bx *batchExec) fetchOne(sp *stepSpec, r int, dst []core.ID) ([]core.ID, er
 		}
 	}
 	if err := bx.src.Match(s, p, o, func(ms, mp, mo core.ID) bool {
+		if tick != nil && !tick() {
+			return false
+		}
 		dst = append(dst, pick(free, ms, mp, mo))
 		return true
 	}); err != nil {
@@ -569,16 +625,19 @@ func (bx *batchExec) fetchOne(sp *stepSpec, r int, dst []core.ID) ([]core.ID, er
 // bufA alone). A non-negative limit stops collection once that many
 // pairs are kept.
 func (bx *batchExec) candidates2(sp *stepSpec, r, limit int) error {
-	a, b, err := bx.fetchPair(sp, r, limit, bx.bufA[:0], bx.bufB[:0])
+	a, b, err := bx.fetchPair(sp, r, limit, bx.bufA[:0], bx.bufB[:0], bx.ev.tickFn)
 	bx.bufA, bx.bufB = a, b
+	if err == nil && bx.ev.ctxErr != nil {
+		return bx.ev.ctxErr
+	}
 	return err
 }
 
 // fetchPair collects the value pairs of the two free positions for row r
 // into the caller's a/b buffers (a alone when the positions share a slot)
 // and returns the extended slices. Like fetchOne it is safe for
-// concurrent workers with private buffers.
-func (bx *batchExec) fetchPair(sp *stepSpec, r, limit int, a, b []core.ID) ([]core.ID, []core.ID, error) {
+// concurrent workers with private buffers and a private tick.
+func (bx *batchExec) fetchPair(sp *stepSpec, r, limit int, a, b []core.ID, tick func() bool) ([]core.ID, []core.ID, error) {
 	s, p, o := bx.subst(sp, 0, r), bx.subst(sp, 1, r), bx.subst(sp, 2, r)
 	ja, jb := -1, -1
 	for j := 0; j < 3; j++ {
@@ -592,6 +651,9 @@ func (bx *batchExec) fetchPair(sp *stepSpec, r, limit int, a, b []core.ID) ([]co
 	}
 	same := sp.slot[ja] == sp.slot[jb]
 	add := func(x, y core.ID) bool {
+		if tick != nil && !tick() {
+			return false
+		}
 		if same {
 			if x == y {
 				a = append(a, x)
@@ -620,7 +682,10 @@ func (bx *batchExec) fetchPair(sp *stepSpec, r, limit int, a, b []core.ID) ([]co
 func (bx *batchExec) candidates3(sp *stepSpec, limit int) error {
 	bx.bufA, bx.bufB, bx.bufC = bx.bufA[:0], bx.bufB[:0], bx.bufC[:0]
 	bufs := [3]*[]core.ID{&bx.bufA, &bx.bufB, &bx.bufC}
-	return bx.src.Match(core.None, core.None, core.None, func(ms, mp, mo core.ID) bool {
+	err := bx.src.Match(core.None, core.None, core.None, func(ms, mp, mo core.ID) bool {
+		if !bx.ev.tickOK() {
+			return false
+		}
 		vals := [3]core.ID{ms, mp, mo}
 		var out [3]core.ID
 		var seen [3]bool
@@ -639,6 +704,10 @@ func (bx *batchExec) candidates3(sp *stepSpec, limit int) error {
 		}
 		return limit < 0 || len(bx.bufA) < limit
 	})
+	if err == nil && bx.ev.ctxErr != nil {
+		return bx.ev.ctxErr
+	}
+	return err
 }
 
 // filterRows applies one staged FILTER to every row.
@@ -648,6 +717,9 @@ func (bx *batchExec) filterRows(f Filter) error {
 	var r int
 	lookup := bx.rowLookup(&r)
 	for r = 0; r < tbl.n; r++ {
+		if !bx.ev.tickOK() {
+			return bx.ev.ctxErr
+		}
 		ok, err := bx.ev.evalFilterWith(f, lookup)
 		if err != nil {
 			return err
@@ -686,6 +758,9 @@ func (bx *batchExec) emitRows(lateFilters []Filter) error {
 	var r int
 	lookup := bx.rowLookup(&r)
 	for r = 0; r < bx.tbl.n && !ev.done; r++ {
+		if !ev.tickOK() {
+			return ev.ctxErr
+		}
 		if err := ev.emitWith(lookup, lateFilters); err != nil {
 			return err
 		}
@@ -702,6 +777,9 @@ func (bx *batchExec) emitRowsWithOptionals(optionals [][]idPattern, lateFilters 
 	tbl := &bx.tbl
 	clear(ev.binding) // drop bindings left over from a previous union branch
 	for r := 0; r < tbl.n && !ev.done; r++ {
+		if !ev.tickOK() {
+			return ev.ctxErr
+		}
 		for c, name := range tbl.vars {
 			ev.binding[name] = tbl.cols[c][r]
 		}

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -9,7 +10,9 @@ import (
 
 	"hexastore/internal/core"
 	"hexastore/internal/dictionary"
+	"hexastore/internal/govern"
 	"hexastore/internal/graph"
+	"hexastore/internal/iofault"
 	"hexastore/internal/query"
 	"hexastore/internal/rdf"
 	"hexastore/internal/stats"
@@ -67,11 +70,21 @@ func SourceOf(st *core.Store) Source { return graph.Memory(st) }
 // in-memory Hexastore (graph.Memory), the disk-based Hexastore, or the
 // baseline triples table (graph.Baseline).
 func Exec(g graph.Graph, src string) (*Result, error) {
+	return ExecContext(context.Background(), g, src)
+}
+
+// ExecContext is Exec observing ctx: the evaluation stops with ctx.Err()
+// shortly after ctx is canceled or its deadline passes. Cancellation is
+// checked at block granularity — between join steps, once per row in the
+// per-row probe and expansion loops, and every 128 streamed candidates —
+// so an in-flight multi-way join stops within one block on every
+// backend, and a pinned snapshot is released promptly.
+func ExecContext(ctx context.Context, g graph.Graph, src string) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return Eval(g, q)
+	return EvalContext(ctx, g, q)
 }
 
 // ExecSource parses and evaluates queryText against any Graph backend.
@@ -103,26 +116,67 @@ func EvalSource(g graph.Graph, q *Query) (*Result, error) {
 // earliest step where their variables are bound; OPTIONAL groups extend
 // solutions after the required patterns.
 func Eval(g graph.Graph, q *Query) (*Result, error) {
-	return EvalWorkers(g, q, MaxWorkers())
+	return EvalOpts(context.Background(), g, q, EvalOptions{})
+}
+
+// EvalContext is Eval observing ctx (see ExecContext for the
+// cancellation granularity).
+func EvalContext(ctx context.Context, g graph.Graph, q *Query) (*Result, error) {
+	return EvalOpts(ctx, g, q, EvalOptions{})
 }
 
 // EvalWorkers is Eval with an explicit intra-query worker budget,
 // overriding the package-wide SetMaxWorkers default for this evaluation
 // (workers <= 1 keeps execution single-threaded; see parallel.go for
 // what parallelizes and why results are identical for every budget).
+func EvalWorkers(g graph.Graph, q *Query, workers int) (*Result, error) {
+	return EvalOpts(context.Background(), g, q, EvalOptions{Workers: workers})
+}
+
+// EvalOpts is the fully governed evaluation entry point: ctx carries
+// cancellation and deadlines, opt carries the worker budget and the
+// memory budget (see EvalOptions). Package-wide defaults installed with
+// SetDefaultLimits apply to whatever opt leaves unset.
 //
 // When the backend offers consistent snapshots (graph.Snapshotter — the
-// delta overlay), the whole evaluation is pinned to one snapshot, so a
-// query's many pattern fetches all observe the same store version even
-// while writers commit concurrently.
-func EvalWorkers(g graph.Graph, q *Query, workers int) (*Result, error) {
+// delta overlay, the sharded cluster), the whole evaluation is pinned to
+// one snapshot, so a query's many pattern fetches all observe the same
+// store version even while writers commit concurrently. The pin is
+// released when the evaluation returns — including when it returns early
+// with ctx.Err() or govern.ErrBudgetExceeded.
+func EvalOpts(ctx context.Context, g graph.Graph, q *Query, opt EvalOptions) (*Result, error) {
+	return evalWith(ctx, g, q, nil, opt)
+}
+
+// evalWith is the shared core of EvalOpts and Planner.EvalOpts.
+func evalWith(ctx context.Context, g graph.Graph, q *Query, sum *stats.Summary, opt EvalOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := withDefaultTimeout(ctx)
+	defer cancel()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = MaxWorkers()
+	}
 	g = graph.Snapshot(g)
+	// Backends whose single operations run long (the sharded cluster
+	// view) observe ctx inside one Match/AppendSortedList call.
+	g = graph.WithContext(ctx, g)
 	ev := &evaluator{
-		src:     g,
-		dict:    g.Dictionary(),
-		q:       q,
-		eng:     engineFor(g),
-		workers: workers,
+		src:      g,
+		dict:     g.Dictionary(),
+		q:        q,
+		sum:      sum,
+		eng:      engineFor(g),
+		workers:  workers,
+		mem:      meterFor(&opt),
+		noSpill:  opt.NoSpill,
+		spillFS:  iofault.Or(opt.FS),
+		spillDir: opt.SpillDir,
+	}
+	if ctx.Done() != nil {
+		ev.ctx = ctx
 	}
 	return ev.run()
 }
@@ -152,6 +206,28 @@ type evaluator struct {
 	// workers is the intra-query parallelism budget (0 is normalized to
 	// 1 at run time).
 	workers int
+
+	// ctx is non-nil only when the evaluation is cancelable (the caller's
+	// context has a Done channel); ctxTick counts tick sites so the check
+	// itself runs once per 128 of them, and ctxErr latches the first
+	// observed context error so every later tick fails fast.
+	ctx     context.Context
+	ctxTick int
+	ctxErr  error
+	// tickFn is tickOK bound once, handed to streaming fetches so their
+	// callbacks can observe cancellation without a per-call closure.
+	tickFn func() bool
+
+	// mem accounts binding-table and result-row growth (nil: unlimited);
+	// noSpill turns a soft-budget crossing into an immediate
+	// govern.ErrBudgetExceeded instead of spilling. spillFS/spillDir say
+	// where spill files go (see spill.go). rowBytes is the accounted
+	// estimate of one materialized result row.
+	mem      *govern.Meter
+	noSpill  bool
+	spillFS  iofault.FS
+	spillDir string
+	rowBytes int64
 
 	vars    []string
 	optVars map[string]bool
@@ -198,6 +274,49 @@ type orderVal struct {
 	bound bool
 }
 
+// tickOK is the evaluator's cancellation check, called once per row in
+// join loops and once per streamed candidate in Match callbacks: it
+// returns false once the context is done, with the actual ctx.Err()
+// latched in ev.ctxErr. The context is consulted every 128 ticks, so the
+// steady-state cost is one increment and one branch.
+func (ev *evaluator) tickOK() bool {
+	if ev.ctxErr != nil {
+		return false
+	}
+	if ev.ctx == nil {
+		return true
+	}
+	if ev.ctxTick++; ev.ctxTick&127 != 0 {
+		return true
+	}
+	if err := ev.ctx.Err(); err != nil {
+		ev.ctxErr = err
+		return false
+	}
+	return true
+}
+
+// ctxCheck consults the context directly (no tick amortization); used at
+// step and chunk boundaries.
+func (ev *evaluator) ctxCheck() error {
+	if ev.ctxErr != nil {
+		return ev.ctxErr
+	}
+	if ev.ctx != nil {
+		if err := ev.ctx.Err(); err != nil {
+			ev.ctxErr = err
+		}
+	}
+	return ev.ctxErr
+}
+
+// canSpill reports whether a soft-budget crossing may be answered by
+// spilling (rather than failing): spilling enabled and a soft budget
+// configured to size the spill chunks by.
+func (ev *evaluator) canSpill() bool {
+	return !ev.noSpill && ev.mem.Budget() > 0
+}
+
 func (ev *evaluator) run() (*Result, error) {
 	q := ev.q
 	ev.vars = q.Vars
@@ -231,6 +350,14 @@ func (ev *evaluator) run() (*Result, error) {
 		ev.vars = outVars
 	}
 	ev.res = &Result{Vars: ev.vars}
+	ev.tickFn = ev.tickOK
+	// Accounted estimate of one materialized row: map + terms, DISTINCT
+	// key, ORDER BY keys. Result rows cannot spill, so they count against
+	// the hard cap — a query whose output alone is enormous fails typed
+	// instead of exhausting memory.
+	ev.rowBytes = int64(96 + 56*len(ev.vars) + 40*len(q.OrderBy))
+	// Whatever path exits, drop spill files and return accounted bytes.
+	defer ev.batch.release()
 	if q.Distinct && !ev.aggMode {
 		ev.distinct = make(map[string]bool)
 	}
@@ -251,6 +378,9 @@ func (ev *evaluator) run() (*Result, error) {
 	}
 
 	for _, branch := range expandUnions(q) {
+		if err := ev.ctxCheck(); err != nil {
+			return nil, err
+		}
 		pats := ev.resolve(branch)
 		if err := ev.runBranch(pats, optionals); err != nil {
 			return nil, err
@@ -408,6 +538,9 @@ func (ev *evaluator) runOptionals(optionals [][]idPattern, g int, lateFilters []
 			o, oVar := resolvePos(p, 2, ev.binding)
 			var walkErr error
 			merr := ev.src.Match(s, pr, o, func(ms, mp, mo core.ID) bool {
+				if !ev.tickOK() {
+					return false
+				}
 				if sVar != "" {
 					ev.binding[sVar] = ms
 				}
@@ -433,6 +566,9 @@ func (ev *evaluator) runOptionals(optionals [][]idPattern, g int, lateFilters []
 			}
 			if walkErr != nil {
 				return walkErr
+			}
+			if ev.ctxErr != nil {
+				return ev.ctxErr
 			}
 			return merr
 		}
@@ -514,6 +650,11 @@ func (ev *evaluator) emitWith(lookup func(string) (core.ID, bool), lateFilters [
 		}
 		ev.distinct[string(key)] = true
 	}
+	if ev.mem != nil {
+		if err := ev.mem.Grow(ev.rowBytes); err != nil {
+			return err
+		}
+	}
 	row := make(Row, len(ev.vars))
 	for _, name := range ev.vars {
 		id, ok := lookup(name)
@@ -560,6 +701,11 @@ func (ev *evaluator) foldWith(lookup func(string) (core.ID, bool)) error {
 	ev.keyBuf = key
 	g, ok := ev.groups[string(key)]
 	if !ok {
+		if ev.mem != nil {
+			if err := ev.mem.Grow(ev.rowBytes); err != nil {
+				return err
+			}
+		}
 		g = &aggGroup{
 			keyIDs:   make(map[string]core.ID, len(ev.q.GroupBy)),
 			counts:   make([]int, len(ev.q.Aggregates)),

@@ -21,11 +21,14 @@ package sparql
 // DISTINCT set, decode cache) and are a small fraction of join time.
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"hexastore/internal/core"
+	"hexastore/internal/govern"
 )
 
 // maxWorkersSetting holds the configured package-wide worker budget;
@@ -104,12 +107,22 @@ func (bx *batchExec) probeRowsParallel(sp *stepSpec) error {
 	keeps := make([][]int, len(parts))
 	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
+	ctx := bx.ev.ctx
 	for w, pr := range parts {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			keep := make([]int, 0, hi-lo)
 			for r := lo; r < hi; r++ {
+				// Workers observe the context with private counters —
+				// the evaluator's tick state is not shared across
+				// goroutines.
+				if ctx != nil && (r-lo)&127 == 0 {
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						return
+					}
+				}
 				ok, err := bx.src.Has(bx.subst(sp, 0, r), bx.subst(sp, 1, r), bx.subst(sp, 2, r))
 				if err != nil {
 					errs[w] = err
@@ -151,6 +164,25 @@ func (bx *batchExec) expandStepParallel(sp *stepSpec) error {
 	parts := partitionRows(tbl.n, bx.workers)
 	outs := make([][][]core.ID, len(parts))
 	errs := make([]error, len(parts))
+	ctx := bx.ev.ctx
+
+	// Budget governance across workers: a shared cell counter against the
+	// soft headroom left when the step started. Crossing it raises the
+	// abort flag; every worker sees the shared counter cross, so all stop
+	// within one row. The overshoot is bounded by one in-flight fetch per
+	// worker; the sequential re-run (spill or typed failure) is decided
+	// after the join below.
+	var abort atomic.Bool
+	var cells atomic.Int64
+	headroom := int64(-1)
+	if m := bx.ev.mem; m != nil {
+		if b := m.Budget(); b > 0 {
+			if headroom = b - m.Used(); headroom < 0 {
+				headroom = 0
+			}
+		}
+	}
+
 	var wg sync.WaitGroup
 	for w, pr := range parts {
 		wg.Add(1)
@@ -158,38 +190,53 @@ func (bx *batchExec) expandStepParallel(sp *stepSpec) error {
 			defer wg.Done()
 			out := make([][]core.ID, len(oldCols)+nNew)
 			var bufA, bufB []core.ID
+			tick := workerTick(ctx)
 			for r := lo; r < hi; r++ {
+				if abort.Load() {
+					return
+				}
 				var k int
 				if sp.nFree == 1 {
-					ids, err := bx.fetchOne(sp, r, bufA[:0])
+					ids, err := bx.fetchOne(sp, r, bufA[:0], tick)
 					if err != nil {
 						errs[w] = err
 						return
 					}
 					bufA = ids
 					k = len(ids)
-					if k == 0 {
-						continue
+					if k > 0 {
+						out[len(oldCols)] = append(out[len(oldCols)], ids...)
 					}
-					out[len(oldCols)] = append(out[len(oldCols)], ids...)
 				} else {
 					var err error
-					bufA, bufB, err = bx.fetchPair(sp, r, -1, bufA[:0], bufB[:0])
+					bufA, bufB, err = bx.fetchPair(sp, r, -1, bufA[:0], bufB[:0], tick)
 					if err != nil {
 						errs[w] = err
 						return
 					}
 					k = len(bufA)
-					if k == 0 {
-						continue
+					if k > 0 {
+						out[len(oldCols)] = append(out[len(oldCols)], bufA...)
+						if nNew == 2 {
+							out[len(oldCols)+1] = append(out[len(oldCols)+1], bufB...)
+						}
 					}
-					out[len(oldCols)] = append(out[len(oldCols)], bufA...)
-					if nNew == 2 {
-						out[len(oldCols)+1] = append(out[len(oldCols)+1], bufB...)
+				}
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						return
 					}
+				}
+				if k == 0 {
+					continue
 				}
 				for c := range oldCols {
 					out[c] = appendRun(out[c], oldCols[c][r], k)
+				}
+				if headroom >= 0 && cells.Add(int64(k*(len(oldCols)+nNew)))*8 > headroom {
+					abort.Store(true)
+					return
 				}
 			}
 			outs[w] = out
@@ -200,6 +247,13 @@ func (bx *batchExec) expandStepParallel(sp *stepSpec) error {
 		if err != nil {
 			return err
 		}
+	}
+	if abort.Load() {
+		if bx.ev.canSpill() {
+			return errSpillNeeded
+		}
+		return fmt.Errorf("%w: step output crossed the %d-byte budget with spilling disabled",
+			govern.ErrBudgetExceeded, bx.ev.mem.Budget())
 	}
 
 	out := make([][]core.ID, len(oldCols)+nNew)
@@ -218,4 +272,20 @@ func (bx *batchExec) expandStepParallel(sp *stepSpec) error {
 	tbl.sorted = newSorted
 	tbl.n = len(out[len(out)-1])
 	return nil
+}
+
+// workerTick returns a goroutine-private cancellation tick for streamed
+// fetch callbacks: every 128 calls it consults ctx directly. nil when
+// the evaluation is not cancelable.
+func workerTick(ctx context.Context) func() bool {
+	if ctx == nil {
+		return nil
+	}
+	n := 0
+	return func() bool {
+		if n++; n&127 != 0 {
+			return true
+		}
+		return ctx.Err() == nil
+	}
 }

@@ -1,6 +1,8 @@
 package sparql
 
 import (
+	"context"
+
 	"hexastore/internal/core"
 	"hexastore/internal/graph"
 	"hexastore/internal/stats"
@@ -43,11 +45,17 @@ func (pl *Planner) Graph() graph.Graph { return pl.g }
 
 // Exec parses and evaluates src with cost-based planning.
 func (pl *Planner) Exec(src string) (*Result, error) {
+	return pl.ExecContext(context.Background(), src)
+}
+
+// ExecContext is Exec observing ctx (see the package-level ExecContext
+// for the cancellation granularity).
+func (pl *Planner) ExecContext(ctx context.Context, src string) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return pl.Eval(q)
+	return pl.EvalOpts(ctx, q, EvalOptions{})
 }
 
 // Eval evaluates a parsed query with cost-based planning, using the
@@ -56,16 +64,18 @@ func (pl *Planner) Exec(src string) (*Result, error) {
 // backend offers them (graph.Snapshotter); the cached statistics
 // summary needs no pinning — stale stats only affect pattern order.
 func (pl *Planner) Eval(q *Query) (*Result, error) {
-	g := graph.Snapshot(pl.g)
-	ev := &evaluator{
-		src:     g,
-		dict:    g.Dictionary(),
-		q:       q,
-		sum:     pl.sum,
-		eng:     engineFor(g),
-		workers: MaxWorkers(),
-	}
-	return ev.run()
+	return pl.EvalOpts(context.Background(), q, EvalOptions{})
+}
+
+// EvalContext is Eval observing ctx.
+func (pl *Planner) EvalContext(ctx context.Context, q *Query) (*Result, error) {
+	return pl.EvalOpts(ctx, q, EvalOptions{})
+}
+
+// EvalOpts is the governed evaluation entry point with cost-based
+// planning: the planner's analogue of the package-level EvalOpts.
+func (pl *Planner) EvalOpts(ctx context.Context, q *Query, opt EvalOptions) (*Result, error) {
+	return evalWith(ctx, pl.g, q, pl.sum, opt)
 }
 
 // planOrderStats orders patterns greedily by estimated result

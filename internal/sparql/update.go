@@ -1,6 +1,8 @@
 package sparql
 
 import (
+	"context"
+
 	"hexastore/internal/graph"
 )
 
@@ -19,9 +21,29 @@ type UpdateResult struct {
 // per-triple backends it aborts mid-way with the counts accumulated so
 // far.
 func ExecUpdate(g graph.Graph, src string) (*UpdateResult, error) {
+	return ExecUpdateContext(context.Background(), g, src)
+}
+
+// ExecUpdateContext is ExecUpdate observing ctx. Updates are checked at
+// request granularity: a request whose context is already done is not
+// applied at all. The batch itself is not interruptible — aborting a
+// half-applied non-atomic batch would leave the store in a state no
+// client requested, which is worse than finishing bounded work.
+func ExecUpdateContext(ctx context.Context, g graph.Graph, src string) (*UpdateResult, error) {
 	u, err := ParseUpdate(src)
 	if err != nil {
 		return nil, err
+	}
+	return EvalUpdateContext(ctx, g, u)
+}
+
+// EvalUpdateContext is EvalUpdate observing ctx (request granularity;
+// see ExecUpdateContext).
+func EvalUpdateContext(ctx context.Context, g graph.Graph, u *Update) (*UpdateResult, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	return EvalUpdate(g, u)
 }
