@@ -116,6 +116,9 @@ func main() {
 		for _, id := range bench.GovernFigureIDs {
 			fmt.Println(id)
 		}
+		for _, id := range bench.TraceFigureIDs {
+			fmt.Println(id)
+		}
 		return
 	}
 
@@ -130,7 +133,7 @@ func main() {
 	// -list advertises the load and write suites alongside the paper
 	// figures; accept their ids through -fig too instead of bouncing
 	// users to the dedicated flags.
-	runLoad, runWrite, runSpace, runShard, runGovern := false, *write, false, false, false
+	runLoad, runWrite, runSpace, runShard, runGovern, runTrace := false, *write, false, false, false, false
 	figIDs := ids[:0]
 	for _, id := range ids {
 		switch id {
@@ -144,6 +147,8 @@ func main() {
 			runShard = true
 		case "govern01":
 			runGovern = true
+		case "trace_overhead":
+			runTrace = true
 		default:
 			figIDs = append(figIDs, id)
 		}
@@ -213,6 +218,9 @@ func main() {
 	if runGovern && !*jsonOut {
 		runSuite(bench.RunGovern)
 	}
+	if runTrace && !*jsonOut {
+		runSuite(bench.RunTrace)
+	}
 
 	if *jsonOut {
 		runSuite(bench.RunLoad)
@@ -220,6 +228,7 @@ func main() {
 		runSuite(bench.RunSpace)
 		runSuite(bench.RunShard)
 		runSuite(bench.RunGovern)
+		runSuite(bench.RunTrace)
 		runSuite(bench.RunSPARQL)
 
 		label := *rev

@@ -14,10 +14,15 @@
 // join workers (default GOMAXPROCS), matching hexload/hexserver/hexbench.
 // -timeout puts a deadline on the query and -mem-budget caps its engine
 // memory (oversized join state spills to temp files; 4x the budget
-// fails the query instead of OOMing).
+// fails the query instead of OOMing). -explain prints the query plan
+// (pattern order and cardinality estimates) without executing;
+// -explain-analyze executes and prints the full span tree with
+// estimated vs actual rows per step — equivalent to prefixing the query
+// with EXPLAIN or EXPLAIN ANALYZE.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +33,8 @@ import (
 	"hexastore"
 	"hexastore/internal/disk"
 	"hexastore/internal/govern"
+	"hexastore/internal/graph"
+	"hexastore/internal/obs"
 	"hexastore/internal/sparql"
 )
 
@@ -43,6 +50,10 @@ func main() {
 			"per-query deadline; an expired query fails with context.DeadlineExceeded (0 = none)")
 		memBudget = flag.String("mem-budget", "",
 			"per-query soft memory budget (e.g. 64M, 1G); oversized join state spills to temp files, and 4x the budget kills the query instead of OOMing (empty = unlimited)")
+		explain = flag.Bool("explain", false,
+			"print the query plan (planner choice, pattern order, cardinality estimates) without executing")
+		explainAnalyze = flag.Bool("explain-analyze", false,
+			"execute the query with tracing and print the span tree (estimated vs actual rows per step)")
 	)
 	flag.Parse()
 	sparql.SetMaxWorkers(*workers)
@@ -100,15 +111,46 @@ func main() {
 		src = string(raw)
 	}
 
-	start := time.Now()
-	var res *hexastore.Result
+	var g graph.Graph
 	if diskSt != nil {
-		res, err = sparql.ExecSource(diskSt, src)
-		triples = diskSt.Len()
+		g = graph.Disk(diskSt)
 		defer diskSt.Close()
 	} else {
-		res, err = hexastore.Query(st, src)
-		triples = st.Len()
+		g = hexastore.AsGraph(st)
+	}
+	triples = g.Len()
+
+	start := time.Now()
+	var res *hexastore.Result
+	if *explain || *explainAnalyze {
+		q, perr := sparql.Parse(src)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "hexquery: %v\n", perr)
+			os.Exit(1)
+		}
+		// The flags mirror the in-query EXPLAIN [ANALYZE] prefix; a
+		// prefix already present in the query text wins.
+		if q.Explain == sparql.ExplainNone {
+			if *explain {
+				q.Explain = sparql.ExplainPlan
+			} else {
+				q.Explain = sparql.ExplainExec
+			}
+		}
+		tr := obs.NewTrace("query")
+		res, err = sparql.EvalOpts(context.Background(), g, q, sparql.EvalOptions{Trace: tr})
+		tr.Finish()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hexquery: %v\n", err)
+			os.Exit(1)
+		}
+		tr.WriteTree(os.Stdout)
+		if q.Explain == sparql.ExplainPlan {
+			fmt.Fprintf(os.Stderr, "planned in %v over %d triples\n", time.Since(start), triples)
+			return
+		}
+	} else {
+		res, err = sparql.ExecSource(g, src)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hexquery: %v\n", err)

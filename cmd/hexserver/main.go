@@ -115,6 +115,8 @@ func main() {
 		"log queries slower than this, with peak memory and spilled bytes (0 = disable)")
 	maxReplicaLag := flag.Duration("max-replica-lag", 30*time.Second,
 		"replica readiness bound: /readyz fails when a follower has not heard from its leader within this window (0 = no lag check)")
+	pprofFlag := flag.Bool("pprof", false,
+		"expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default: they reveal internals and cost CPU on demand)")
 	flag.Parse()
 
 	// Large joins inside a single query partition across this many
@@ -216,6 +218,9 @@ func main() {
 	srv.SetReadOnly(*follow != "")
 	srv.SetMaxInflight(*maxInflight)
 	srv.SetRequestTimeout(*reqTimeout)
+	if *pprofFlag {
+		srv.EnablePprof()
+	}
 	// Query governance: /sparql admission moves from the generic
 	// inflight semaphore to the governor, which distinguishes why a
 	// query ended (canceled, timed out, budget-killed, shed) in both

@@ -53,6 +53,7 @@ import (
 	"hexastore/internal/disk"
 	"hexastore/internal/graph"
 	"hexastore/internal/idlist"
+	"hexastore/internal/obs"
 	"hexastore/internal/query"
 	"hexastore/internal/rdf"
 	"hexastore/internal/shard"
@@ -95,6 +96,10 @@ type (
 	Row = sparql.Row
 	// UpdateResult reports the effect of a SPARQL UPDATE request.
 	UpdateResult = sparql.UpdateResult
+	// Trace is a query execution trace: a span tree with per-step
+	// cardinality estimates and actuals (see QueryTraced and the
+	// EXPLAIN / EXPLAIN ANALYZE query prefixes).
+	Trace = obs.Trace
 )
 
 // None is the unbound/wildcard marker in patterns.
@@ -500,6 +505,33 @@ func (db *DB) QueryContext(ctx context.Context, src string) (*Result, error) {
 		return nil, err
 	}
 	return sparql.EvalOpts(ctx, db.Graph, q, sparql.EvalOptions{MemBudget: db.memBudget})
+}
+
+// QueryTraced is QueryContext with execution tracing: it returns the
+// result alongside the query's span tree — planner choice and pattern
+// order with cardinality estimates, per-step rows in/out, merge-vs-probe
+// decisions, worker counts, spill volumes, and (on a sharded backend)
+// per-shard scanned/pruned stream counts. A query with the EXPLAIN
+// prefix returns the plan tree and no rows; with EXPLAIN ANALYZE — or
+// with no prefix at all — it returns rows plus the executed trace.
+func (db *DB) QueryTraced(ctx context.Context, src string) (*Result, *Trace, error) {
+	defer db.rlock()()
+	if db.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, db.queryTimeout)
+		defer cancel()
+	}
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := obs.NewTrace("query")
+	res, err := sparql.EvalOpts(ctx, db.Graph, q, sparql.EvalOptions{MemBudget: db.memBudget, Trace: tr})
+	tr.Finish()
+	if err != nil {
+		return nil, tr, err
+	}
+	return res, tr, nil
 }
 
 // Update parses and applies a SPARQL UPDATE request (INSERT DATA /

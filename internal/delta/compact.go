@@ -3,6 +3,7 @@ package delta
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"hexastore/internal/core"
 	"hexastore/internal/dictionary"
@@ -42,6 +43,8 @@ func (o *Overlay) maybeCompactLocked(st *state) {
 // trees and the delta is served exactly once). Ends with a store flush
 // and, when a WAL is attached, checkpoint truncation.
 func (o *Overlay) backgroundCompact() {
+	t0 := time.Now()
+	defer func() { deltaCompactSeconds.Observe(time.Since(t0).Seconds()) }()
 	if o.diskMain != nil {
 		o.writeMu.Lock()
 		err := o.compactDiskLocked()
@@ -85,6 +88,7 @@ func (o *Overlay) backgroundCompact() {
 func (o *Overlay) finishCompactLocked(err error) {
 	if err == nil {
 		o.compactions.Add(1)
+		deltaCompactions.Inc()
 	}
 	o.lastCompactErr = err
 	o.compacting = false
@@ -238,10 +242,13 @@ func (o *Overlay) compactMainLocked() error {
 	if st.deltaLen() == 0 {
 		return nil
 	}
+	t0 := time.Now()
+	defer func() { deltaCompactSeconds.Observe(time.Since(t0).Seconds()) }()
 	if o.diskMain != nil {
 		err := o.compactDiskLocked()
 		if err == nil {
 			o.compactions.Add(1)
+			deltaCompactions.Inc()
 		}
 		return err
 	}
@@ -256,6 +263,7 @@ func (o *Overlay) compactMainLocked() error {
 		return err
 	}
 	o.compactions.Add(1)
+	deltaCompactions.Inc()
 	return nil
 }
 

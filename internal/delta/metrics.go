@@ -1,0 +1,16 @@
+package delta
+
+import "hexastore/internal/obs"
+
+// Process-wide compaction metrics on the default registry; every
+// overlay (one per server, or one per shard) feeds the same families.
+// The per-overlay Stats() counter stays the source of truth for /stats.
+var (
+	deltaCompactions = obs.Default.Counter(
+		"hex_delta_compactions_total",
+		"Delta-overlay compactions completed (delta folded into main).")
+	deltaCompactSeconds = obs.Default.Histogram(
+		"hex_delta_compact_seconds",
+		"Delta-overlay compaction duration in seconds (failures included).",
+		obs.LatencyBuckets)
+)

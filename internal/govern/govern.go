@@ -266,8 +266,10 @@ func (g *Governor) release() {
 // Observe records one finished query's outcome: its error class feeds
 // the canceled/budget-kill counters, its meter feeds spilled bytes, and
 // queries at or over the slow-query threshold are logged. query is
-// truncated for the log; m may be nil.
-func (g *Governor) Observe(query string, d time.Duration, err error, m *Meter) {
+// truncated for the log; m may be nil. Optional detail strings (e.g.
+// the query trace's most expensive spans) are appended to the
+// slow-query line so the log explains the latency, not just reports it.
+func (g *Governor) Observe(query string, d time.Duration, err error, m *Meter, detail ...string) {
 	if g == nil {
 		return
 	}
@@ -288,8 +290,14 @@ func (g *Governor) Observe(query string, d time.Duration, err error, m *Meter) {
 			if err != nil {
 				outcome = err.Error()
 			}
-			g.cfg.Logf("slow query (%s, peak %dB, spilled %dB, %s): %s",
-				d.Round(time.Millisecond), m.Peak(), m.Spilled(), outcome, truncate(query, 200))
+			extra := ""
+			for _, dt := range detail {
+				if dt != "" {
+					extra += " [" + dt + "]"
+				}
+			}
+			g.cfg.Logf("slow query (%s, peak %dB, spilled %dB, %s): %s%s",
+				d.Round(time.Millisecond), m.Peak(), m.Spilled(), outcome, truncate(query, 200), extra)
 		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"hexastore/internal/govern"
+	"hexastore/internal/obs"
 	"hexastore/internal/sparql"
 )
 
@@ -35,6 +36,11 @@ func (s *Server) SetGovernor(cfg govern.Config) {
 		cfg.Logf = log.Printf
 	}
 	s.gov = govern.New(cfg)
+	// Remember the threshold: serveQuery traces queries whenever the
+	// slow-query log is live, so a slow line can name its most expensive
+	// spans instead of just reporting a duration.
+	s.slowQuery = cfg.SlowQuery
+	s.registerGovernorMetrics()
 }
 
 // SetQueryLimits bounds every governed query: timeout is the per-query
@@ -54,12 +60,20 @@ func (s *Server) SetQueryLimits(timeout time.Duration, memBudget int64) {
 func (s *Server) GovernorStats() govern.Stats { return s.gov.Stats() }
 
 // serveQuery runs one governed SPARQL query: admission, limits,
-// evaluation, observation, response.
+// evaluation, observation, response. Tracing is enabled when the query
+// asks for it (EXPLAIN / EXPLAIN ANALYZE prefix, or ?explain=1) or when
+// the slow-query log is live — in the latter case the trace's most
+// expensive spans ride along on the slow-query line.
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, queryText string) {
 	q, err := sparql.Parse(queryText)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "query: %v", err)
 		return
+	}
+	explainParam := r.URL.Query().Get("explain") == "1" || r.Form.Get("explain") == "1"
+	var tr *obs.Trace
+	if q.Explain != sparql.ExplainNone || explainParam || s.slowQuery > 0 {
+		tr = obs.NewTrace("query")
 	}
 
 	ctx := r.Context()
@@ -85,15 +99,28 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, queryText st
 	}
 
 	unlock := s.rlock()
-	res, err := s.planner().EvalOpts(ctx, q, sparql.EvalOptions{Meter: m})
+	res, err := s.planner().EvalOpts(ctx, q, sparql.EvalOptions{Meter: m, Trace: tr})
 	unlock()
-	s.gov.Observe(queryText, time.Since(start), err, m)
+	tr.Finish()
+	if tr != nil {
+		s.gov.Observe(queryText, time.Since(start), err, m, tr.FormatTop(3))
+	} else {
+		s.gov.Observe(queryText, time.Since(start), err, m)
+	}
 	if err != nil {
 		s.writeQueryError(w, r, err)
 		return
 	}
+	out := resultsJSON(res)
+	if q.Explain != sparql.ExplainNone || explainParam {
+		// EXPLAIN (plan-only) returns the plan tree with no bindings;
+		// EXPLAIN ANALYZE and ?explain=1 return bindings plus the executed
+		// trace. Either way the span tree is one JSON field on the normal
+		// results document, so existing clients keep parsing.
+		out["explain"] = tr
+	}
 	w.Header().Set("Content-Type", "application/sparql-results+json")
-	json.NewEncoder(w).Encode(resultsJSON(res)) //nolint:errcheck // client may be gone
+	json.NewEncoder(w).Encode(out) //nolint:errcheck // client may be gone
 }
 
 // writeQueryError maps a query failure to its HTTP status:

@@ -53,6 +53,14 @@ func (s *Server) SetDegradedCheck(fn func() error) { s.degradedCheck = fn }
 func (s *Server) SetFollowers(maxLag time.Duration, fs ...*shard.Follower) {
 	s.followers = fs
 	s.maxLag = maxLag
+	s.metricsInit()
+	for i, f := range fs {
+		f := f
+		s.reg.GaugeFunc("hex_follower_lag_seconds",
+			"Seconds since the follower last heard from its leader (-1 before first contact).",
+			func() float64 { return f.Stats().LagSeconds },
+			"follower", fmt.Sprintf("%d", i))
+	}
 }
 
 // SetMaxInflight caps concurrently served data requests at n; arrivals

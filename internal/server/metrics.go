@@ -1,0 +1,115 @@
+package server
+
+// Prometheus-style instrumentation for the HTTP serving tier. Each
+// Server owns a registry for its own families (per-endpoint HTTP
+// latency and status counts, governor counters, follower lag, runtime
+// gauges); /metrics merges it with obs.Default, where the storage
+// packages (wal, delta, sparql spill) publish their process-wide
+// families. A fresh Server re-registering runtime gauges on its own
+// registry is always consistent; the governor funcs are re-pointed by
+// SetGovernor, so the most recently configured governor is the one
+// observed.
+
+import (
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"hexastore/internal/obs"
+)
+
+// metricsInit lazily builds the per-server registry and its static
+// families; called from every registration site so configuration order
+// (SetGovernor/SetFollowers before or after Handler) does not matter.
+func (s *Server) metricsInit() {
+	if s.reg != nil {
+		return
+	}
+	s.reg = obs.NewRegistry()
+	s.httpSeconds = s.reg.HistogramVec(
+		"hex_http_request_seconds",
+		"HTTP request latency in seconds.",
+		obs.LatencyBuckets, "endpoint")
+	s.httpRequests = s.reg.CounterVec(
+		"hex_http_requests_total",
+		"HTTP requests served.",
+		"endpoint", "code")
+	s.reg.GaugeFunc("hex_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	s.reg.GaugeFunc("hex_heap_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+}
+
+// registerGovernorMetrics points the governor families at the given
+// governor's counters. Func-backed, so /metrics always reflects the
+// live Stats() values without a second bookkeeping path.
+func (s *Server) registerGovernorMetrics() {
+	s.metricsInit()
+	gov := s.gov
+	s.reg.GaugeFunc("hex_govern_active",
+		"Governed queries currently executing.",
+		func() float64 { return float64(gov.Stats().Active) })
+	s.reg.GaugeFunc("hex_govern_queued",
+		"Governed queries waiting for admission.",
+		func() float64 { return float64(gov.Stats().Queued) })
+	s.reg.CounterFunc("hex_govern_admitted_total",
+		"Queries admitted by the governor.",
+		func() float64 { return float64(gov.Stats().Admitted) })
+	s.reg.CounterFunc("hex_govern_rejected_total",
+		"Queries rejected at admission (queue full or wait timeout).",
+		func() float64 { return float64(gov.Stats().Rejected) })
+	s.reg.CounterFunc("hex_govern_canceled_total",
+		"Queries ended by cancellation or deadline.",
+		func() float64 { return float64(gov.Stats().Canceled) })
+	s.reg.CounterFunc("hex_govern_budget_kills_total",
+		"Queries killed for crossing their hard memory cap.",
+		func() float64 { return float64(gov.Stats().BudgetKills) })
+	s.reg.CounterFunc("hex_govern_spilled_bytes_total",
+		"Bytes of join state spilled to disk by governed queries.",
+		func() float64 { return float64(gov.Stats().SpilledBytes) })
+	s.reg.CounterFunc("hex_govern_slow_queries_total",
+		"Queries at or over the slow-query threshold.",
+		func() float64 { return float64(gov.Stats().SlowQueries) })
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// instrument wraps one endpoint with latency and status recording.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.httpSeconds.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		h(sw, r)
+		hist.Observe(time.Since(t0).Seconds())
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		s.httpRequests.With(endpoint, strconv.Itoa(sw.code)).Inc()
+	}
+}

@@ -1,0 +1,349 @@
+package server
+
+// Tests for the observability layer: /metrics exposition, ?explain=1
+// and the EXPLAIN prefixes over HTTP, per-shard spans on a sharded
+// backend, and the golden /stats key sets per backend mode.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hexastore/internal/core"
+	"hexastore/internal/delta"
+	"hexastore/internal/disk"
+	"hexastore/internal/govern"
+	"hexastore/internal/graph"
+	"hexastore/internal/rdf"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	st := core.New()
+	st.AddTriple(rdf.T(rdf.NewIRI("http://ex/a"), rdf.NewIRI("http://ex/p"), rdf.NewIRI("http://ex/b")))
+	srv := New(st)
+	srv.SetGovernor(govern.Config{MaxConcurrent: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Drive one query so the http and govern families have data.
+	resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(`SELECT ?s WHERE { ?s ?p ?o }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, family := range []string{
+		"hex_http_request_seconds",
+		"hex_http_requests_total",
+		"hex_govern_admitted_total",
+		"hex_govern_rejected_total",
+		"hex_goroutines",
+		"hex_heap_bytes",
+		// obs.Default families registered by the storage packages; their
+		// values may be zero here, but the families must be exposed.
+		"hex_wal_fsync_seconds",
+		"hex_wal_appended_bytes_total",
+		"hex_delta_compactions_total",
+		"hex_sparql_spill_bytes_total",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+	if !strings.Contains(text, `endpoint="/sparql"`) {
+		t.Error("/metrics missing per-endpoint label for /sparql")
+	}
+	if !strings.Contains(text, "# TYPE hex_http_request_seconds histogram") {
+		t.Error("/metrics missing histogram TYPE line")
+	}
+	if !strings.Contains(text, `le="+Inf"`) {
+		t.Error("/metrics missing +Inf bucket")
+	}
+}
+
+// explainResults is sparqlResults plus the explain tree.
+type explainResults struct {
+	sparqlResults
+	Explain *explainSpan `json:"explain"`
+}
+
+type explainSpan struct {
+	Name     string         `json:"name"`
+	Attrs    map[string]any `json:"attrs"`
+	Children []*explainSpan `json:"children"`
+}
+
+func (sp *explainSpan) find(prefix string) []*explainSpan {
+	var out []*explainSpan
+	if strings.HasPrefix(sp.Name, prefix) {
+		out = append(out, sp)
+	}
+	for _, c := range sp.Children {
+		out = append(out, c.find(prefix)...)
+	}
+	return out
+}
+
+func TestExplainParamAndPrefix(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// ?explain=1 attaches the executed trace to a plain query.
+	q := url.QueryEscape(`SELECT ?who WHERE { <http://ex/alice> <http://ex/knows> ?who }`)
+	var res explainResults
+	if code := getJSON(t, ts.URL+"/sparql?explain=1&query="+q, &res); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(res.Results.Bindings) != 1 {
+		t.Fatalf("bindings = %d, want 1", len(res.Results.Bindings))
+	}
+	if res.Explain == nil || res.Explain.Name != "query" {
+		t.Fatalf("explain tree = %+v", res.Explain)
+	}
+	if steps := res.Explain.find("step["); len(steps) != 1 {
+		t.Fatalf("step spans = %d, want 1", len(steps))
+	} else if _, ok := steps[0].Attrs["rowsOut"]; !ok {
+		t.Error("executed step span missing rowsOut")
+	}
+
+	// Without the param or prefix there is no explain field.
+	var plain explainResults
+	if code := getJSON(t, ts.URL+"/sparql?query="+q, &plain); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if plain.Explain != nil {
+		t.Error("unrequested explain field present")
+	}
+
+	// The EXPLAIN prefix returns the plan tree and no bindings.
+	pq := url.QueryEscape(`EXPLAIN SELECT ?who WHERE { <http://ex/alice> <http://ex/knows> ?who }`)
+	var planned explainResults
+	if code := getJSON(t, ts.URL+"/sparql?query="+pq, &planned); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(planned.Results.Bindings) != 0 {
+		t.Fatalf("EXPLAIN returned %d bindings, want 0", len(planned.Results.Bindings))
+	}
+	if planned.Explain == nil {
+		t.Fatal("EXPLAIN missing explain tree")
+	}
+	steps := planned.Explain.find("step[")
+	if len(steps) != 1 {
+		t.Fatalf("EXPLAIN step spans = %d, want 1", len(steps))
+	}
+	if _, ok := steps[0].Attrs["estRows"]; !ok {
+		t.Error("plan step missing estRows")
+	}
+	if _, ok := steps[0].Attrs["rowsOut"]; ok {
+		t.Error("plan-only step has rowsOut — it executed")
+	}
+}
+
+// TestExplainAnalyzeSharded: EXPLAIN ANALYZE over a 3-shard cluster
+// surfaces the scatter-gather leg — one span per shard with
+// scanned/pruned stream counts.
+func TestExplainAnalyzeSharded(t *testing.T) {
+	ts, _ := newClusterServer(t)
+	resp, err := http.PostForm(ts.URL+"/sparql", url.Values{"update": {`INSERT DATA {
+		<http://ex/a> <http://ex/p> <http://ex/b> .
+		<http://ex/b> <http://ex/p> <http://ex/c> .
+		<http://ex/c> <http://ex/p> <http://ex/d> }`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	q := url.QueryEscape(`EXPLAIN ANALYZE SELECT ?x ?z WHERE {
+		?x <http://ex/p> ?y . ?y <http://ex/p> ?z }`)
+	var res explainResults
+	if code := getJSON(t, ts.URL+"/sparql?query="+q, &res); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(res.Results.Bindings) != 2 {
+		t.Fatalf("bindings = %d, want 2", len(res.Results.Bindings))
+	}
+	if res.Explain == nil {
+		t.Fatal("missing explain tree")
+	}
+	scatter := res.Explain.find("scatter")
+	if len(scatter) != 1 {
+		t.Fatalf("scatter spans = %d, want 1", len(scatter))
+	}
+	shardSpans := res.Explain.find("shard[")
+	if len(shardSpans) != 3 {
+		t.Fatalf("per-shard spans = %d, want 3", len(shardSpans))
+	}
+	touched := false
+	for _, sp := range shardSpans {
+		if _, ok := sp.Attrs["streamsScanned"]; ok {
+			touched = true
+		}
+	}
+	if !touched {
+		t.Error("no shard span recorded a scanned stream")
+	}
+}
+
+// TestSlowQueryLogIncludesSpans: with the slow-query log live, every
+// query is traced and a slow line names its most expensive spans.
+func TestSlowQueryLogIncludesSpans(t *testing.T) {
+	st := core.New()
+	st.AddTriple(rdf.T(rdf.NewIRI("http://ex/a"), rdf.NewIRI("http://ex/p"), rdf.NewIRI("http://ex/b")))
+	var mu sync.Mutex
+	var lines []string
+	srv := New(st)
+	srv.SetGovernor(govern.Config{
+		MaxConcurrent: 2,
+		SlowQuery:     time.Nanosecond, // everything is slow
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(`SELECT ?s WHERE { ?s ?p ?o }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) == 0 {
+		t.Fatal("no slow-query line logged")
+	}
+	if !strings.Contains(lines[0], "step[") && !strings.Contains(lines[0], "branch") {
+		t.Errorf("slow-query line has no span detail: %q", lines[0])
+	}
+}
+
+// statsKeys fetches /stats and returns its key set.
+func statsKeys(t *testing.T, tsURL string) map[string]any {
+	t.Helper()
+	var out map[string]any
+	if code := getJSON(t, tsURL+"/stats", &out); code != 200 {
+		t.Fatalf("stats status = %d", code)
+	}
+	return out
+}
+
+func wantKeys(t *testing.T, mode string, got map[string]any, want []string) {
+	t.Helper()
+	for _, k := range want {
+		if _, ok := got[k]; !ok {
+			t.Errorf("%s /stats missing key %q (got %v)", mode, k, keysOf(got))
+		}
+	}
+}
+
+func rejectKeys(t *testing.T, mode string, got map[string]any, reject []string) {
+	t.Helper()
+	for _, k := range reject {
+		if _, ok := got[k]; ok {
+			t.Errorf("%s /stats has unexpected key %q", mode, k)
+		}
+	}
+}
+
+func keysOf(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestStatsGoldenShape pins the /stats key set per backend mode, so a
+// dashboard built against one mode keeps working after refactors.
+func TestStatsGoldenShape(t *testing.T) {
+	base := []string{"triples", "dictionaryTerms", "distinctSubjects", "distinctPreds", "distinctObjects"}
+
+	t.Run("memory", func(t *testing.T) {
+		ts, _ := newTestServer(t)
+		got := statsKeys(t, ts.URL)
+		wantKeys(t, "memory", got, append(base,
+			"headers", "vectorEntries", "listEntries", "expansionFactor",
+			"indexSizeBytes", "indexBytes", "indexBytesPerTriple", "indexCompressed"))
+		rejectKeys(t, "memory", got, []string{"shards", "deltaAdds", "diskBytes", "govern"})
+	})
+
+	t.Run("disk", func(t *testing.T) {
+		ds, err := disk.Create(t.TempDir(), disk.Options{CacheSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ds.Close() })
+		if _, err := ds.AddTriple(rdf.T(rdf.NewIRI("a"), rdf.NewIRI("p"), rdf.NewIRI("b"))); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(NewGraph(graph.Disk(ds)).Handler())
+		t.Cleanup(ts.Close)
+		got := statsKeys(t, ts.URL)
+		wantKeys(t, "disk", got, append(base, "diskBytes", "diskBytesPerTriple"))
+		rejectKeys(t, "disk", got, []string{"shards", "deltaAdds", "headers"})
+	})
+
+	t.Run("overlay", func(t *testing.T) {
+		ov, err := delta.Open(graph.Memory(core.New()), delta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ov.Close() })
+		ts := httptest.NewServer(NewGraph(ov).Handler())
+		t.Cleanup(ts.Close)
+		got := statsKeys(t, ts.URL)
+		wantKeys(t, "overlay", got, append(base,
+			"deltaAdds", "deltaDels", "compactThreshold", "compactions", "mainTriples"))
+		rejectKeys(t, "overlay", got, []string{"shards"})
+	})
+
+	t.Run("shards", func(t *testing.T) {
+		ts, _ := newClusterServer(t)
+		got := statsKeys(t, ts.URL)
+		wantKeys(t, "shards", got, append(base, "shards", "perShard"))
+		rejectKeys(t, "shards", got, []string{"deltaAdds", "headers", "diskBytes"})
+	})
+
+	t.Run("govern", func(t *testing.T) {
+		st := core.New()
+		srv := New(st)
+		srv.SetGovernor(govern.Config{MaxConcurrent: 2, SlowQuery: time.Hour})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		got := statsKeys(t, ts.URL)
+		wantKeys(t, "govern", got, append(base, "govern"))
+		gov, ok := got["govern"].(map[string]any)
+		if !ok {
+			t.Fatalf("govern section = %T", got["govern"])
+		}
+		for _, k := range []string{"maxConcurrent", "active", "queued", "admitted", "rejected", "canceled", "budgetKills", "spilledBytes", "slowQueries"} {
+			if _, ok := gov[k]; !ok {
+				t.Errorf("govern section missing %q", k)
+			}
+		}
+	})
+}

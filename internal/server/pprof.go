@@ -1,0 +1,19 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// mountPprof exposes the runtime profiling endpoints on the given mux.
+// The handlers are mounted explicitly rather than relying on the
+// package's DefaultServeMux side effect, because the server builds its
+// own mux — and the endpoints only appear at all when the operator
+// opted in (hexserver -pprof).
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -23,6 +23,7 @@ import (
 	"hexastore/internal/disk"
 	"hexastore/internal/govern"
 	"hexastore/internal/graph"
+	"hexastore/internal/obs"
 	"hexastore/internal/rdf"
 	"hexastore/internal/shard"
 	"hexastore/internal/sparql"
@@ -94,6 +95,17 @@ type Server struct {
 	// maxLag.
 	followers []*shard.Follower
 	maxLag    time.Duration
+
+	// Observability (see metrics.go): reg is the per-server metric
+	// registry exposed on /metrics (merged with obs.Default, where the
+	// storage packages publish); slowQuery mirrors the governor's
+	// threshold so serveQuery knows to trace queries for the slow-query
+	// log; pprof mounts net/http/pprof on the root mux when set.
+	reg          *obs.Registry
+	httpSeconds  *obs.HistogramVec
+	httpRequests *obs.CounterVec
+	slowQuery    time.Duration
+	pprof        bool
 }
 
 // New returns a Server over the in-memory store st.
@@ -155,10 +167,11 @@ func (s *Server) SetReadOnly(ro bool) { s.readOnly = ro }
 // (SetMaxInflight, SetRequestTimeout, SetDegradedCheck, SetFollowers)
 // before calling Handler.
 func (s *Server) Handler() http.Handler {
+	s.metricsInit()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/sparql", s.handleSPARQL)
-	mux.HandleFunc("/triples", s.handleTriples)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/sparql", s.instrument("/sparql", s.handleSPARQL))
+	mux.HandleFunc("/triples", s.instrument("/triples", s.handleTriples))
+	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
 
 	var h http.Handler = mux
 	if s.reqTimeout > 0 {
@@ -171,8 +184,21 @@ func (s *Server) Handler() http.Handler {
 	root.Handle("/", h)
 	root.HandleFunc("/healthz", s.handleHealthz)
 	root.HandleFunc("/readyz", s.handleReadyz)
+	// /metrics sits beside the probes, outside the shedding middleware: a
+	// saturated server must still be scrapable — that is when the metrics
+	// matter most.
+	root.Handle("/metrics", obs.Handler(s.reg, obs.Default))
+	if s.pprof {
+		mountPprof(root)
+	}
 	return root
 }
+
+// EnablePprof mounts net/http/pprof's profile endpoints under
+// /debug/pprof/ on the next Handler call (the hexserver -pprof flag).
+// Off by default: profiling endpoints expose internals and add
+// overhead-on-demand, so they are strictly opt-in.
+func (s *Server) EnablePprof() { s.pprof = true }
 
 // planner returns the current planner snapshot.
 func (s *Server) planner() *sparql.Planner {

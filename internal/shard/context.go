@@ -5,6 +5,7 @@ import (
 
 	"hexastore/internal/dictionary"
 	"hexastore/internal/graph"
+	"hexastore/internal/obs"
 )
 
 // ctxView wraps a pinned cluster view with a context: every operation
@@ -28,12 +29,23 @@ type ctxView struct {
 // emitted elements, matching the evaluator's block granularity.
 const ctxCheckEvery = 128
 
-// WithContext implements graph.ContextAware on the pinned view.
+// WithContext implements graph.ContextAware on the pinned view. When
+// the context carries an execution trace (obs.NewContext — the SPARQL
+// evaluator plants one for EXPLAIN ANALYZE and slow-query capture), the
+// wrapper works on a shallow copy of the view that records per-shard
+// scanned/pruned stream counts into that trace; the shared pinned view
+// itself stays trace-free.
 func (v *view) WithContext(ctx context.Context) graph.Graph {
 	if ctx == nil {
 		return v
 	}
-	return &ctxView{v: v, ctx: ctx}
+	vv := v
+	if sp := obs.FromContext(ctx); sp != nil && v.tr == nil {
+		cp := *v
+		cp.tr = newShardTrace(sp, len(v.shards))
+		vv = &cp
+	}
+	return &ctxView{v: vv, ctx: ctx}
 }
 
 // WithContext re-anchors an already-wrapped view to a new context.

@@ -1,0 +1,73 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hexastore/internal/obs"
+)
+
+// shardTrace is the scatter-gather leg of a query's execution trace:
+// one span per shard under a "scatter" group, counting how many index
+// streams each shard served ("streamsScanned") versus how
+// many fan-outs the predicate router pruned it from ("streamsPruned").
+// The trace arrives through the query context (obs.FromContext) when
+// the evaluator wraps the pinned view via graph.WithContext; a query
+// without a trace never allocates any of this.
+//
+// Counters are atomics flushed into span attributes on every update:
+// scatter goroutines and parallel join workers hit these paths
+// concurrently, and obs.Span attributes are mutex-guarded, so the
+// rendered numbers are consistent at whatever instant the trace is
+// serialized.
+type shardTrace struct {
+	spans   []*obs.Span
+	scanned []atomic.Int64
+	pruned  []atomic.Int64
+}
+
+func newShardTrace(parent *obs.Span, n int) *shardTrace {
+	sc := parent.Child("scatter")
+	sc.SetInt("shards", int64(n))
+	st := &shardTrace{
+		spans:   make([]*obs.Span, n),
+		scanned: make([]atomic.Int64, n),
+		pruned:  make([]atomic.Int64, n),
+	}
+	for i := range st.spans {
+		st.spans[i] = sc.Child(fmt.Sprintf("shard[%d]", i))
+		// These spans are counters, not timers: their data lives in the
+		// attributes, so stamp them closed immediately rather than
+		// letting them report a meaningless live duration.
+		st.spans[i].Finish()
+	}
+	sc.Finish()
+	return st
+}
+
+// one records a single-shard routed read (the bound-subject fast path).
+func (st *shardTrace) one(i int) {
+	if st == nil {
+		return
+	}
+	st.spans[i].SetInt("streamsScanned", st.scanned[i].Add(1))
+}
+
+// scatter records one fan-out: every targeted shard scanned a stream,
+// every other shard was pruned by the predicate router.
+func (st *shardTrace) scatter(targets []int, total int) {
+	if st == nil {
+		return
+	}
+	hit := make([]bool, total)
+	for _, i := range targets {
+		hit[i] = true
+	}
+	for i := 0; i < total; i++ {
+		if hit[i] {
+			st.spans[i].SetInt("streamsScanned", st.scanned[i].Add(1))
+		} else {
+			st.spans[i].SetInt("streamsPruned", st.pruned[i].Add(1))
+		}
+	}
+}

@@ -22,6 +22,12 @@ type view struct {
 	c      *Cluster
 	shards []graph.Graph
 	sorted []graph.SortedSource
+
+	// tr, when non-nil, records per-shard scanned/pruned stream counts
+	// into the query's execution trace. It is attached by WithContext
+	// when the query context carries an obs trace; the pinned view kept
+	// by the cluster never has one.
+	tr *shardTrace
 }
 
 func (v *view) Dictionary() *dictionary.Dictionary { return v.c.dict }
@@ -44,7 +50,9 @@ func (v *view) Has(s, p, o ID) (bool, error) {
 	if s == None || p == None || o == None {
 		return false, nil
 	}
-	return v.shards[v.c.shardFor(s)].Has(s, p, o)
+	i := v.c.shardFor(s)
+	v.tr.one(i)
+	return v.shards[i].Has(s, p, o)
 }
 
 // targets lists the shards a subject-free pattern must touch: the
@@ -78,7 +86,9 @@ func (v *view) targets(p ID) []int {
 func (v *view) Match(s, p, o ID, fn func(s, p, o ID) bool) error {
 	switch {
 	case s != None:
-		return v.shards[v.c.shardFor(s)].Match(s, p, o, fn)
+		i := v.c.shardFor(s)
+		v.tr.one(i)
+		return v.shards[i].Match(s, p, o, fn)
 	case p != None && o != None:
 		subjects, err := v.AppendSortedList(nil, s, p, o)
 		if err != nil {
@@ -91,10 +101,15 @@ func (v *view) Match(s, p, o ID, fn func(s, p, o ID) bool) error {
 		}
 		return nil
 	case p != None:
-		return v.gatherPairs(v.targets(p), s, p, o, func(a, b ID) bool { return fn(a, p, b) })
+		ts := v.targets(p)
+		v.tr.scatter(ts, len(v.shards))
+		return v.gatherPairs(ts, s, p, o, func(a, b ID) bool { return fn(a, p, b) })
 	case o != None:
-		return v.gatherPairs(v.targets(None), s, p, o, func(a, b ID) bool { return fn(a, b, o) })
+		ts := v.targets(None)
+		v.tr.scatter(ts, len(v.shards))
+		return v.gatherPairs(ts, s, p, o, func(a, b ID) bool { return fn(a, b, o) })
 	default:
+		v.tr.scatter(v.targets(None), len(v.shards))
 		return v.scanAll(fn)
 	}
 }
@@ -146,9 +161,12 @@ func (v *view) scanAll(fn func(s, p, o ID) bool) error {
 
 func (v *view) Count(s, p, o ID) (int, error) {
 	if s != None {
-		return v.shards[v.c.shardFor(s)].Count(s, p, o)
+		i := v.c.shardFor(s)
+		v.tr.one(i)
+		return v.shards[i].Count(s, p, o)
 	}
 	targets := v.targets(p)
+	v.tr.scatter(targets, len(v.shards))
 	counts := make([]int, len(targets))
 	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
@@ -177,12 +195,15 @@ func (v *view) Count(s, p, o ID) (int, error) {
 // per-shard subject lists.
 func (v *view) AppendSortedList(dst []ID, s, p, o ID) ([]ID, error) {
 	if s != None {
-		return v.sorted[v.c.shardFor(s)].AppendSortedList(dst, s, p, o)
+		i := v.c.shardFor(s)
+		v.tr.one(i)
+		return v.sorted[i].AppendSortedList(dst, s, p, o)
 	}
 	if p == None || o == None {
 		return dst, fmt.Errorf("shard: AppendSortedList needs a 2-bound pattern, got ⟨%d,%d,%d⟩", s, p, o)
 	}
 	targets := v.targets(p)
+	v.tr.scatter(targets, len(v.shards))
 	switch len(targets) {
 	case 0:
 		return dst, nil
@@ -212,7 +233,9 @@ func (v *view) SortedPairs(s, p, o ID, fn func(a, b ID) bool) error {
 		if p != None || o != None {
 			return fmt.Errorf("shard: SortedPairs needs a 1-bound pattern, got ⟨%d,%d,%d⟩", s, p, o)
 		}
-		return v.sorted[v.c.shardFor(s)].SortedPairs(s, p, o, fn)
+		i := v.c.shardFor(s)
+		v.tr.one(i)
+		return v.sorted[i].SortedPairs(s, p, o, fn)
 	}
 	var targets []int
 	switch {
@@ -223,6 +246,7 @@ func (v *view) SortedPairs(s, p, o ID, fn func(a, b ID) bool) error {
 	default:
 		return fmt.Errorf("shard: SortedPairs needs a 1-bound pattern, got ⟨%d,%d,%d⟩", s, p, o)
 	}
+	v.tr.scatter(targets, len(v.shards))
 	if len(targets) == 1 {
 		return v.sorted[targets[0]].SortedPairs(s, p, o, fn)
 	}

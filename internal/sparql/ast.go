@@ -159,8 +159,26 @@ func (a Aggregate) String() string {
 	return fmt.Sprintf("(%s(%s) AS ?%s)", a.Func, arg, a.As)
 }
 
+// ExplainMode selects how much of an EXPLAIN-prefixed query runs.
+type ExplainMode int
+
+const (
+	// ExplainNone is a regular query: execute, return solutions.
+	ExplainNone ExplainMode = iota
+	// ExplainPlan (EXPLAIN) plans each union branch — pattern order and
+	// per-step cardinality estimates — without executing any join step.
+	ExplainPlan
+	// ExplainExec (EXPLAIN ANALYZE) executes the query fully, recording
+	// actual per-step row counts alongside the estimates.
+	ExplainExec
+)
+
 // Query is a parsed SELECT or ASK query.
 type Query struct {
+	// Explain, when non-zero, marks an EXPLAIN / EXPLAIN ANALYZE query:
+	// the caller should evaluate with an obs trace attached and render
+	// the span tree (plan-only for ExplainPlan).
+	Explain ExplainMode
 	// Ask marks an ASK query: evaluation stops at the first solution and
 	// reports only whether one exists.
 	Ask      bool

@@ -41,10 +41,12 @@ package sparql
 
 import (
 	"slices"
+	"strings"
 
 	"hexastore/internal/core"
 	"hexastore/internal/graph"
 	"hexastore/internal/idlist"
+	"hexastore/internal/obs"
 )
 
 // batchTable is the columnar binding table: cols[i] holds the value of
@@ -148,6 +150,15 @@ type batchExec struct {
 	// filters or OPTIONAL groups), restoring the streaming engine's
 	// early termination for ASK and plain LIMIT queries.
 	rowCap int
+
+	// Tracing state (nil when tracing is off — the common case, and the
+	// nil-safe span methods keep every recording site a cheap no-op).
+	// branchSp is the current union branch's span and stepEsts the
+	// planner's per-step estimates aligned with the order; curSp is the
+	// in-flight step's span, annotated by the step shapes below.
+	branchSp *obs.Span
+	stepEsts []float64
+	curSp    *obs.Span
 }
 
 // runBatch joins the ordered patterns into the binding table, applying
@@ -182,7 +193,21 @@ func (bx *batchExec) runBatch(pats []idPattern, order []int, stepFilters [][]Fil
 		if k == len(order)-1 {
 			bx.rowCap = finalCap
 		}
-		if err := bx.stepGoverned(&pats[pi]); err != nil {
+		if bx.branchSp != nil {
+			sp := bx.branchSp.Child("step[" + pats[pi].pat.String() + "]")
+			if bx.stepEsts != nil {
+				sp.SetInt("estRows", int64(bx.stepEsts[k]))
+			}
+			sp.SetInt("rowsIn", int64(bx.rows()))
+			bx.curSp = sp
+		}
+		err := bx.stepGoverned(&pats[pi])
+		if bx.curSp != nil {
+			bx.curSp.SetInt("rowsOut", int64(bx.rows()))
+			bx.curSp.Finish()
+			bx.curSp = nil
+		}
+		if err != nil {
 			return err
 		}
 		if bx.rows() == 0 {
@@ -193,6 +218,15 @@ func (bx *batchExec) runBatch(pats []idPattern, order []int, stepFilters [][]Fil
 		if err := bx.applyFilter(f); err != nil {
 			return err
 		}
+	}
+	var emitSp *obs.Span
+	if bx.branchSp != nil {
+		emitSp = bx.branchSp.Child("emit")
+		emitSp.SetInt("rowsIn", int64(bx.rows()))
+		defer func() {
+			emitSp.SetInt("emitted", int64(len(ev.res.Rows)))
+			emitSp.Finish()
+		}()
 	}
 	if bx.spilled != nil {
 		return bx.emitSpilled(optionals, lateFilters)
@@ -261,6 +295,7 @@ func (bx *batchExec) filterStep(sp *stepSpec) error {
 	switch {
 	case sp.nCols == 0:
 		// Fully constant pattern: one existence probe decides all rows.
+		bx.curSp.Set("kind", "const-probe")
 		ok, err := bx.src.Has(sp.ids[0], sp.ids[1], sp.ids[2])
 		if err != nil {
 			return err
@@ -289,6 +324,14 @@ func (bx *batchExec) filterStep(sp *stepSpec) error {
 				c = sp.colAt[j]
 			}
 		}
+		if bx.curSp != nil {
+			bx.curSp.SetInt("candidates", int64(view.Len()))
+			if tbl.sorted[c] {
+				bx.curSp.Set("kind", "merge")
+			} else {
+				bx.curSp.Set("kind", "probe-list")
+			}
+		}
 		keep := bx.keep[:0]
 		if tbl.sorted[c] {
 			idlist.MergeFilterView(tbl.cols[c], view, func(i int) { keep = append(keep, i) })
@@ -306,6 +349,7 @@ func (bx *batchExec) filterStep(sp *stepSpec) error {
 	default:
 		// Two or more bound columns: per-row existence probe, which the
 		// store answers from the right index for any binding shape.
+		bx.curSp.Set("kind", "probe")
 		if bx.parallelOK(tbl.n) {
 			return bx.probeRowsParallel(sp)
 		}
@@ -418,6 +462,10 @@ func appendRun(dst []core.ID, v core.ID, k int) []core.ID {
 func (bx *batchExec) expandStep(sp *stepSpec) error {
 	tbl := &bx.tbl
 	rowIndep := sp.nCols == 0
+	if bx.curSp != nil {
+		bx.curSp.Set("kind", "expand")
+		bx.curSp.Set("newVars", strings.Join(sp.newNames, ","))
+	}
 	// Row-dependent expansions over a large table partition across
 	// workers; row-independent fetches are a single shared list and the
 	// all-free seed is one scan, so neither benefits from splitting.
@@ -449,6 +497,7 @@ func (bx *batchExec) expandStep(sp *stepSpec) error {
 				return err
 			}
 			shared = ids
+			bx.curSp.SetInt("candidates", int64(len(shared)))
 		}
 		for r := 0; r < tbl.n; r++ {
 			if !bx.ev.tickOK() {

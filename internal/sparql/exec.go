@@ -13,6 +13,7 @@ import (
 	"hexastore/internal/govern"
 	"hexastore/internal/graph"
 	"hexastore/internal/iofault"
+	"hexastore/internal/obs"
 	"hexastore/internal/query"
 	"hexastore/internal/rdf"
 	"hexastore/internal/stats"
@@ -159,7 +160,24 @@ func evalWith(ctx context.Context, g graph.Graph, q *Query, sum *stats.Summary, 
 	if workers <= 0 {
 		workers = MaxWorkers()
 	}
+	// The trace rides the context so layers reached only through the
+	// Graph interface (the sharded cluster's context wrapper) can attach
+	// their own spans; a value-only context has no Done channel, so this
+	// costs nothing on the cancellation path.
+	if opt.Trace != nil {
+		ctx = obs.NewContext(ctx, opt.Trace)
+	}
+	var pin *obs.Span
+	if opt.Trace != nil {
+		pin = opt.Trace.Child("snapshot")
+	}
 	g = graph.Snapshot(g)
+	// The pin span covers the whole window the snapshot is held; it is
+	// released when the evaluation returns, success or not.
+	defer pin.Finish()
+	if pin != nil {
+		pin.Set("backend", fmt.Sprintf("%T", graph.Unwrap(g)))
+	}
 	// Backends whose single operations run long (the sharded cluster
 	// view) observe ctx inside one Match/AppendSortedList call.
 	g = graph.WithContext(ctx, g)
@@ -170,6 +188,7 @@ func evalWith(ctx context.Context, g graph.Graph, q *Query, sum *stats.Summary, 
 		sum:      sum,
 		eng:      engineFor(g),
 		workers:  workers,
+		tr:       opt.Trace,
 		mem:      meterFor(&opt),
 		noSpill:  opt.NoSpill,
 		spillFS:  iofault.Or(opt.FS),
@@ -206,6 +225,10 @@ type evaluator struct {
 	// workers is the intra-query parallelism budget (0 is normalized to
 	// 1 at run time).
 	workers int
+
+	// tr is the evaluation's trace root (nil: tracing off — the nil-safe
+	// span methods make every recording site a predictable no-op).
+	tr *obs.Span
 
 	// ctx is non-nil only when the evaluation is cancelable (the caller's
 	// context has a Done channel); ctxTick counts tick sites so the check
@@ -446,9 +469,16 @@ func (ev *evaluator) resolve(pats []Pattern) []idPattern {
 
 // runBranch evaluates one union branch.
 func (ev *evaluator) runBranch(pats []idPattern, optionals [][]idPattern) error {
+	var br *obs.Span
+	if ev.tr != nil {
+		br = ev.tr.Child("branch")
+		defer br.Finish()
+	}
 	for i := range pats {
 		if !pats[i].resolved {
-			return nil // some constant unknown: branch has no solutions
+			// Some constant unknown: the branch has no solutions.
+			br.Set("unresolvable", pats[i].pat.String())
+			return nil
 		}
 	}
 	var order []int
@@ -456,6 +486,44 @@ func (ev *evaluator) runBranch(pats []idPattern, optionals [][]idPattern) error 
 		order = planOrderStats(ev.sum, pats, nil)
 	} else {
 		order = planOrder(ev.eng, pats, nil)
+	}
+
+	// Record the chosen plan — pattern order plus the per-step
+	// cardinality estimates the planner saw — and hand the branch span to
+	// the batch engine so each step gets its own child with actuals.
+	var ests []float64
+	if br != nil {
+		ests = ev.estimateSteps(pats, order)
+		plan := br.Child("plan")
+		planner := "greedy"
+		if ev.sum != nil {
+			planner = "stats"
+		}
+		plan.Set("planner", planner)
+		var ob strings.Builder
+		for si, pi := range order {
+			if si > 0 {
+				ob.WriteString(" ; ")
+			}
+			ob.WriteString(pats[pi].pat.String())
+		}
+		plan.Set("order", ob.String())
+		plan.Finish()
+		ev.batch.branchSp = br
+		ev.batch.stepEsts = ests
+		defer func() { ev.batch.branchSp, ev.batch.stepEsts = nil, nil }()
+	}
+	if ev.q.Explain == ExplainPlan {
+		// EXPLAIN without ANALYZE: emit the plan's step spans with
+		// estimates only; no join step runs.
+		for si, pi := range order {
+			sp := br.Child("step[" + pats[pi].pat.String() + "]")
+			if ests != nil {
+				sp.SetInt("estRows", int64(ests[si]))
+			}
+			sp.Finish()
+		}
+		return nil
 	}
 
 	// Stage filters: filter k runs at the earliest step after which all
@@ -942,6 +1010,41 @@ func resolvePos(p *idPattern, j int, binding map[string]core.ID) (core.ID, strin
 		return id, ""
 	}
 	return core.None, term.Name
+}
+
+// estimateSteps prices each step of the chosen order for the trace,
+// simulating the evolving bound-variable set: the stats summary's
+// uniformity estimate when cost-based planning is active, the engine's
+// index cardinality (core.Store.PatternCardinality under the hood)
+// otherwise; -1 when the backend answers neither without a scan.
+func (ev *evaluator) estimateSteps(pats []idPattern, order []int) []float64 {
+	ests := make([]float64, len(order))
+	bound := map[string]bool{}
+	for si, pi := range order {
+		p := &pats[pi]
+		switch {
+		case ev.sum != nil:
+			ests[si] = estimatePatternBound(ev.sum, p, bound)
+		case ev.eng != nil:
+			var qp query.Pattern
+			if p.pat.S.Kind == Const {
+				qp.S = p.ids[0]
+			}
+			if p.pat.P.Kind == Const {
+				qp.P = p.ids[1]
+			}
+			if p.pat.O.Kind == Const {
+				qp.O = p.ids[2]
+			}
+			ests[si] = float64(ev.eng.Selectivity(qp))
+		default:
+			ests[si] = -1
+		}
+		for _, v := range p.pat.Vars() {
+			bound[v] = true
+		}
+	}
+	return ests
 }
 
 // planOrder returns the pattern evaluation order: greedy most-bound-

@@ -1,0 +1,229 @@
+package sparql
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"hexastore/internal/disk"
+	"hexastore/internal/graph"
+	"hexastore/internal/obs"
+	"hexastore/internal/rdf"
+)
+
+func TestParseExplainPrefix(t *testing.T) {
+	cases := []struct {
+		src  string
+		want ExplainMode
+	}{
+		{`SELECT ?x WHERE { ?x <p> ?y }`, ExplainNone},
+		{`EXPLAIN SELECT ?x WHERE { ?x <p> ?y }`, ExplainPlan},
+		{`EXPLAIN ANALYZE SELECT ?x WHERE { ?x <p> ?y }`, ExplainExec},
+		{`explain analyze select ?x where { ?x <p> ?y }`, ExplainExec},
+		{`EXPLAIN ASK { <a> <p> <b> }`, ExplainPlan},
+		{`EXPLAIN ANALYZE PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:p ?y }`, ExplainExec},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if q.Explain != c.want {
+			t.Errorf("Parse(%q).Explain = %d, want %d", c.src, q.Explain, c.want)
+		}
+	}
+}
+
+// findSpans walks the tree depth-first collecting spans whose name has
+// the given prefix.
+func findSpans(sp *obs.Span, prefix string) []*obs.Span {
+	var out []*obs.Span
+	if strings.HasPrefix(sp.Name(), prefix) {
+		out = append(out, sp)
+	}
+	for _, c := range sp.Children() {
+		out = append(out, findSpans(c, prefix)...)
+	}
+	return out
+}
+
+func attrInt(t *testing.T, sp *obs.Span, key string) int64 {
+	t.Helper()
+	v, ok := sp.Attr(key)
+	if !ok {
+		t.Fatalf("span %q: missing attr %q", sp.Name(), key)
+	}
+	n, ok := v.(int64)
+	if !ok {
+		t.Fatalf("span %q: attr %q = %T, want int64", sp.Name(), key, v)
+	}
+	return n
+}
+
+// checkAnalyzeTrace asserts the executed-trace shape the EXPLAIN
+// ANALYZE contract promises: a plan span naming the pattern order, and
+// one step span per pattern carrying estimated and actual cardinalities.
+func checkAnalyzeTrace(t *testing.T, tr *obs.Trace, patterns, rows int) {
+	t.Helper()
+	if plans := findSpans(tr, "plan"); len(plans) != 1 {
+		t.Fatalf("plan spans = %d, want 1", len(plans))
+	} else {
+		if _, ok := plans[0].Attr("order"); !ok {
+			t.Error("plan span missing order attr")
+		}
+		if _, ok := plans[0].Attr("planner"); !ok {
+			t.Error("plan span missing planner attr")
+		}
+	}
+	steps := findSpans(tr, "step[")
+	if len(steps) != patterns {
+		t.Fatalf("step spans = %d, want %d", len(steps), patterns)
+	}
+	for _, sp := range steps {
+		attrInt(t, sp, "estRows") // may be -1 (unknown), must be present
+		attrInt(t, sp, "rowsIn")
+		attrInt(t, sp, "rowsOut")
+	}
+	emits := findSpans(tr, "emit")
+	if len(emits) != 1 {
+		t.Fatalf("emit spans = %d, want 1", len(emits))
+	}
+	if got := attrInt(t, emits[0], "emitted"); got != int64(rows) {
+		t.Errorf("emit emitted = %d, want %d", got, rows)
+	}
+	if snaps := findSpans(tr, "snapshot"); len(snaps) != 1 {
+		t.Errorf("snapshot spans = %d, want 1", len(snaps))
+	}
+}
+
+const explainJoin = `EXPLAIN ANALYZE SELECT ?prof ?course WHERE {
+	?prof <type> <FullProfessor> .
+	?prof <teacherOf> ?course }`
+
+func TestExplainAnalyzeMemory(t *testing.T) {
+	g := academicStore(t)
+	q, err := Parse(explainJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace("query")
+	res, err := EvalOpts(context.Background(), g, q, EvalOptions{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1 (ID1 teaches AI)", len(res.Rows))
+	}
+	checkAnalyzeTrace(t, tr, 2, 1)
+
+	// The first step must have seen actual rows flow through.
+	steps := findSpans(tr, "step[")
+	if got := attrInt(t, steps[len(steps)-1], "rowsOut"); got != 1 {
+		t.Errorf("final step rowsOut = %d, want 1", got)
+	}
+}
+
+func TestExplainPlanOnlySkipsExecution(t *testing.T) {
+	g := academicStore(t)
+	q, err := Parse(`EXPLAIN SELECT ?prof ?course WHERE {
+		?prof <type> <FullProfessor> .
+		?prof <teacherOf> ?course }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace("query")
+	res, err := EvalOpts(context.Background(), g, q, EvalOptions{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	if len(res.Rows) != 0 {
+		t.Fatalf("plan-only returned %d rows, want 0", len(res.Rows))
+	}
+	steps := findSpans(tr, "step[")
+	if len(steps) != 2 {
+		t.Fatalf("plan step spans = %d, want 2", len(steps))
+	}
+	for _, sp := range steps {
+		attrInt(t, sp, "estRows")
+		if _, ok := sp.Attr("rowsOut"); ok {
+			t.Errorf("plan-only step %q has rowsOut — it executed", sp.Name())
+		}
+	}
+}
+
+func TestExplainAnalyzeDisk(t *testing.T) {
+	st, err := disk.Create(t.TempDir(), disk.Options{CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ex := func(l string) rdf.Term { return rdf.NewIRI("http://ex/" + l) }
+	for _, tr := range []rdf.Triple{
+		rdf.T(ex("alice"), ex("knows"), ex("bob")),
+		rdf.T(ex("bob"), ex("knows"), ex("carol")),
+		rdf.T(ex("carol"), ex("knows"), ex("dave")),
+	} {
+		if _, err := st.AddTriple(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := Parse(`EXPLAIN ANALYZE PREFIX ex: <http://ex/>
+		SELECT ?x ?z WHERE { ?x ex:knows ?y . ?y ex:knows ?z }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace("query")
+	res, err := EvalOpts(context.Background(), graph.Disk(st), q, EvalOptions{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	checkAnalyzeTrace(t, tr, 2, 2)
+}
+
+// TestTraceDifferential asserts tracing changes no results: the same
+// query over the same store, traced and untraced, row for row.
+func TestTraceDifferential(t *testing.T) {
+	g := academicStore(t)
+	queries := []string{
+		`SELECT ?s ?p ?o WHERE { ?s ?p ?o }`,
+		`SELECT ?prof ?course WHERE { ?prof <type> <FullProfessor> . ?prof <teacherOf> ?course }`,
+		`SELECT ?s WHERE { ?s <advisor> ?a . ?a <teacherOf> ?c }`,
+		`ASK { <ID1> <teacherOf> <AI> }`,
+	}
+	for _, src := range queries {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := EvalOpts(context.Background(), g, q1, EvalOptions{})
+		if err != nil {
+			t.Fatalf("%s: untraced: %v", src, err)
+		}
+		q2, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traced, err := EvalOpts(context.Background(), g, q2, EvalOptions{Trace: obs.NewTrace("query")})
+		if err != nil {
+			t.Fatalf("%s: traced: %v", src, err)
+		}
+		plain.SortRows()
+		traced.SortRows()
+		if plain.IsAsk != traced.IsAsk || plain.Answer != traced.Answer || len(plain.Rows) != len(traced.Rows) {
+			t.Fatalf("%s: traced result differs (%d vs %d rows)", src, len(plain.Rows), len(traced.Rows))
+		}
+		for i := range plain.Rows {
+			for v, term := range plain.Rows[i] {
+				if traced.Rows[i][v] != term {
+					t.Fatalf("%s: row %d var %s: %v vs %v", src, i, v, term, traced.Rows[i][v])
+				}
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"hexastore/internal/govern"
 	"hexastore/internal/iofault"
+	"hexastore/internal/obs"
 )
 
 // EvalOptions parameterizes one evaluation beyond the package-wide
@@ -57,6 +58,13 @@ type EvalOptions struct {
 	// built from MemBudget/HardCap — callers that want to read peak
 	// and spilled bytes after the query pass their own.
 	Meter *govern.Meter
+
+	// Trace, when non-nil, collects a per-query execution span tree:
+	// planning (pattern order, cardinality estimates), every batch step
+	// (rows in/out, candidate sizes, merge-vs-probe, workers, spill),
+	// and — through the context — shard scatter-gather. nil disables
+	// tracing entirely; the engine's hot loops never touch it.
+	Trace *obs.Trace
 }
 
 // hardCapFactor derives the default hard cap from the soft budget:

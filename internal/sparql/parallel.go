@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -104,6 +105,7 @@ func partitionRows(n, workers int) [][2]int {
 func (bx *batchExec) probeRowsParallel(sp *stepSpec) error {
 	tbl := &bx.tbl
 	parts := partitionRows(tbl.n, bx.workers)
+	bx.curSp.SetInt("workers", int64(len(parts)))
 	keeps := make([][]int, len(parts))
 	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
@@ -162,6 +164,11 @@ func (bx *batchExec) expandStepParallel(sp *stepSpec) error {
 	oldCols := tbl.cols
 	nNew := len(sp.newNames)
 	parts := partitionRows(tbl.n, bx.workers)
+	if bx.curSp != nil {
+		bx.curSp.Set("kind", "expand")
+		bx.curSp.Set("newVars", strings.Join(sp.newNames, ","))
+		bx.curSp.SetInt("workers", int64(len(parts)))
+	}
 	outs := make([][][]core.ID, len(parts))
 	errs := make([]error, len(parts))
 	ctx := bx.ev.ctx

@@ -271,18 +271,38 @@ func (p *parser) expectKeyword(kw string) error {
 }
 
 func (p *parser) parseQuery() (*Query, error) {
+	// EXPLAIN [ANALYZE] prefixes the whole query form: EXPLAIN plans
+	// without executing, EXPLAIN ANALYZE executes and records actuals.
+	explain := ExplainNone
+	if p.isKeyword("EXPLAIN") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		explain = ExplainPlan
+		if p.isKeyword("ANALYZE") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			explain = ExplainExec
+		}
+	}
 	for p.isKeyword("PREFIX") {
 		if err := p.parsePrefix(); err != nil {
 			return nil, err
 		}
 	}
 	if p.isKeyword("ASK") {
-		return p.parseAsk()
+		q, err := p.parseAsk()
+		if err != nil {
+			return nil, err
+		}
+		q.Explain = explain
+		return q, nil
 	}
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
-	q := &Query{}
+	q := &Query{Explain: explain}
 	if p.isKeyword("DISTINCT") {
 		q.Distinct = true
 		if err := p.advance(); err != nil {

@@ -94,24 +94,7 @@ func planOrderStats(sum *stats.Summary, pats []idPattern, preBound map[string]bo
 	}
 
 	estimate := func(p *idPattern) float64 {
-		var ids [3]core.ID
-		var varBound [3]bool
-		for j := 0; j < 3; j++ {
-			t := p.term(j)
-			if t.Kind == Const {
-				ids[j] = p.ids[j]
-			} else if bound[t.Name] {
-				varBound[j] = true
-			}
-		}
-		est := sum.EstimatePattern(ids[0], ids[1], ids[2])
-		divisors := [3]int{sum.DistinctS, sum.DistinctP, sum.DistinctO}
-		for j := 0; j < 3; j++ {
-			if varBound[j] && divisors[j] > 0 {
-				est /= float64(divisors[j])
-			}
-		}
-		return est
+		return estimatePatternBound(sum, p, bound)
 	}
 
 	sharesBoundVar := func(p *idPattern) bool {
@@ -153,4 +136,31 @@ func planOrderStats(sum *stats.Summary, pats []idPattern, preBound map[string]bo
 		}
 	}
 	return chosen
+}
+
+// estimatePatternBound prices one pattern given the currently-bound
+// variable set: the summary's single-pattern estimate over the constant
+// positions, divided by the distinct count of each position held by an
+// already-bound variable (uniformity assumption). Shared by the
+// cost-based planner and the EXPLAIN trace, so the estimates a trace
+// reports are exactly the ones the planner ranked.
+func estimatePatternBound(sum *stats.Summary, p *idPattern, bound map[string]bool) float64 {
+	var ids [3]core.ID
+	var varBound [3]bool
+	for j := 0; j < 3; j++ {
+		t := p.term(j)
+		if t.Kind == Const {
+			ids[j] = p.ids[j]
+		} else if bound[t.Name] {
+			varBound[j] = true
+		}
+	}
+	est := sum.EstimatePattern(ids[0], ids[1], ids[2])
+	divisors := [3]int{sum.DistinctS, sum.DistinctP, sum.DistinctO}
+	for j := 0; j < 3; j++ {
+		if varBound[j] && divisors[j] > 0 {
+			est /= float64(divisors[j])
+		}
+	}
+	return est
 }

@@ -31,7 +31,14 @@ import (
 	"hexastore/internal/core"
 	"hexastore/internal/govern"
 	"hexastore/internal/iofault"
+	"hexastore/internal/obs"
 )
+
+// spillBytesTotal counts every byte written to query spill files across
+// the process, for the /metrics endpoint (per-query spill accounting
+// lives in the govern.Meter; this is the fleet-wide view).
+var spillBytesTotal = obs.Default.Counter(
+	"hex_sparql_spill_bytes_total", "Bytes written to query spill files.")
 
 // errSpillNeeded is the internal signal that an in-memory expansion
 // crossed the soft budget and must restart in streaming mode. It never
@@ -224,6 +231,11 @@ func (sk *tableSink) flush() error {
 		return err
 	}
 	sk.bx.ev.mem.NoteSpill(int64(n))
+	spillBytesTotal.Add(int64(n))
+	if sp := sk.bx.curSp; sp != nil {
+		sp.Add("spillBytes", int64(n))
+		sp.Add("spillChunks", 1)
+	}
 	for c := range sk.cols {
 		sk.cols[c] = sk.cols[c][:0]
 	}
@@ -450,6 +462,7 @@ func (bx *batchExec) stepGoverned(p *idPattern) error {
 // semantics replicate the in-memory step exactly, so results are
 // bit-identical whichever path ran.
 func (bx *batchExec) streamStep(sp *stepSpec) error {
+	bx.curSp.Set("streamed", true)
 	ev := bx.ev
 	in := bx.spilled
 	bx.spilled = nil

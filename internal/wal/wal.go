@@ -38,6 +38,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"hexastore/internal/iofault"
 )
@@ -314,6 +315,7 @@ func (l *Log) Append(recs []Record) error {
 	l.size += int64(len(buf))
 	l.seq++
 	mySeq := l.seq
+	walAppendedBytes.Add(int64(len(buf)))
 
 	for l.synced < mySeq {
 		if l.failed != nil {
@@ -326,15 +328,19 @@ func (l *Log) Append(recs []Record) error {
 			// the unlocked fsync.
 			l.syncing = true
 			target := l.seq
+			covered := target - l.synced
 			f := l.f
 			l.mu.Unlock()
+			t0 := time.Now()
 			err := f.Sync()
+			walFsyncSeconds.Observe(time.Since(t0).Seconds())
 			l.mu.Lock()
 			l.syncing = false
 			if err != nil {
 				l.failed = fmt.Errorf("wal: fsync: %w", err)
 			} else if target > l.synced {
 				l.synced = target
+				walCommitBatch.Observe(float64(covered))
 			}
 			l.cond.Broadcast()
 		} else {
@@ -400,7 +406,10 @@ func (l *Log) Sync() error {
 	if l.synced == l.seq {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	t0 := time.Now()
+	err := l.f.Sync()
+	walFsyncSeconds.Observe(time.Since(t0).Seconds())
+	if err != nil {
 		l.failed = fmt.Errorf("wal: fsync: %w", err)
 		return l.failed
 	}
