@@ -119,6 +119,9 @@ func main() {
 		for _, id := range bench.TraceFigureIDs {
 			fmt.Println(id)
 		}
+		for _, id := range bench.ServeFigureIDs {
+			fmt.Println(id)
+		}
 		return
 	}
 
@@ -133,7 +136,7 @@ func main() {
 	// -list advertises the load and write suites alongside the paper
 	// figures; accept their ids through -fig too instead of bouncing
 	// users to the dedicated flags.
-	runLoad, runWrite, runSpace, runShard, runGovern, runTrace := false, *write, false, false, false, false
+	runLoad, runWrite, runSpace, runShard, runGovern, runTrace, runServe := false, *write, false, false, false, false, false
 	figIDs := ids[:0]
 	for _, id := range ids {
 		switch id {
@@ -149,6 +152,8 @@ func main() {
 			runGovern = true
 		case "trace_overhead":
 			runTrace = true
+		case "serve01", "serve01lat":
+			runServe = true
 		default:
 			figIDs = append(figIDs, id)
 		}
@@ -221,6 +226,9 @@ func main() {
 	if runTrace && !*jsonOut {
 		runSuite(bench.RunTrace)
 	}
+	if runServe && !*jsonOut {
+		runSuite(bench.RunServe)
+	}
 
 	if *jsonOut {
 		runSuite(bench.RunLoad)
@@ -229,6 +237,7 @@ func main() {
 		runSuite(bench.RunShard)
 		runSuite(bench.RunGovern)
 		runSuite(bench.RunTrace)
+		runSuite(bench.RunServe)
 		runSuite(bench.RunSPARQL)
 
 		label := *rev

@@ -22,6 +22,7 @@
 //	          [-live] [-wal path] [-compact-threshold n]
 //	          [-shards n] [-ship addr]
 //	          [-max-queries n] [-query-timeout d] [-mem-budget 64M]
+//	          [-plan-cache n] [-result-cache-bytes 32M]
 //	hexserver -follow <walprefix|tcp://addr> [-follow-shards n] [-shards n]
 //
 // Endpoints:
@@ -113,6 +114,10 @@ func main() {
 		"per-query soft memory budget (e.g. 64M, 1G); oversized join state spills to temp files, and 4x the budget fails the query with 503 instead of OOMing (empty = unlimited)")
 	slowQuery := flag.Duration("slow-query", time.Second,
 		"log queries slower than this, with peak memory and spilled bytes (0 = disable)")
+	planCache := flag.Int("plan-cache", sparql.DefaultPlanCacheSize,
+		"query-shape plan cache capacity in entries: repeated query shapes reuse the memoized join order until statistics refresh (0 = disable)")
+	resultCache := flag.String("result-cache-bytes", "32M",
+		"snapshot-epoch result cache budget (e.g. 32M, 1G): repeated read queries answer from cache until any write bumps the store epoch (empty or 0 = disable)")
 	maxReplicaLag := flag.Duration("max-replica-lag", 30*time.Second,
 		"replica readiness bound: /readyz fails when a follower has not heard from its leader within this window (0 = no lag check)")
 	pprofFlag := flag.Bool("pprof", false,
@@ -125,6 +130,10 @@ func main() {
 	budget, err := govern.ParseBytes(*memBudget)
 	if err != nil {
 		log.Fatalf("hexserver: -mem-budget: %v", err)
+	}
+	resultCacheBytes, err := govern.ParseBytes(*resultCache)
+	if err != nil {
+		log.Fatalf("hexserver: -result-cache-bytes: %v", err)
 	}
 
 	var triples []rdf.Triple
@@ -215,6 +224,8 @@ func main() {
 	}
 	log.Printf("hexserver: %s, %d triples loaded, listening on %s", mode, g.Len(), *addr)
 	srv := server.NewGraph(g)
+	srv.SetPlanCacheSize(*planCache)
+	srv.SetResultCacheBytes(resultCacheBytes)
 	srv.SetReadOnly(*follow != "")
 	srv.SetMaxInflight(*maxInflight)
 	srv.SetRequestTimeout(*reqTimeout)

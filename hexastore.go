@@ -151,6 +151,14 @@ type DB struct {
 	// with WithQueryTimeout / WithMemBudget; zero means unlimited.
 	queryTimeout time.Duration
 	memBudget    int64
+
+	// plMu guards the lazily built planner; planCacheSize and
+	// resultCacheBytes are the cache budgets it is built with (see
+	// WithPlanCache / WithResultCache).
+	plMu             sync.Mutex
+	pl               *sparql.Planner
+	planCacheSize    int
+	resultCacheBytes int64
 }
 
 // Unwrap exposes the concrete store behind the handle, so the planner
@@ -170,6 +178,8 @@ type options struct {
 	compress         bool
 	queryTimeout     time.Duration
 	memBudget        int64
+	planCacheSize    int
+	resultCacheBytes int64
 }
 
 // Option configures Open.
@@ -270,6 +280,29 @@ func WithMemBudget(n int64) Option {
 	return func(o *options) { o.memBudget = n }
 }
 
+// DefaultResultCacheBytes is the handle-level default result-cache
+// budget (see WithResultCache).
+const DefaultResultCacheBytes = 32 << 20
+
+// WithPlanCache sets the handle's query-shape plan cache capacity in
+// entries; negative disables it, 0 keeps the default
+// (sparql.DefaultPlanCacheSize). The plan cache memoizes the cost-based
+// planner's join order and access-path choices per canonical query
+// shape, invalidated when statistics are refreshed.
+func WithPlanCache(entries int) Option {
+	return func(o *options) { o.planCacheSize = entries }
+}
+
+// WithResultCache sets the handle's result-cache budget in bytes;
+// negative disables it, 0 keeps the default (DefaultResultCacheBytes).
+// The result cache serves repeated read queries directly when the
+// store's snapshot epoch is unchanged since the answer was computed;
+// any write invalidates it exactly. Backends without snapshot epochs
+// (the baseline triples table) never consult it.
+func WithResultCache(bytes int64) Option {
+	return func(o *options) { o.resultCacheBytes = bytes }
+}
+
 // Open returns a Graph-backed store handle. With no options it opens an
 // empty in-memory Hexastore; see WithDisk, WithBaseline, WithDictionary,
 // WithDiskCache, WithDeltaOverlay, WithWAL, WithQueryTimeout and
@@ -336,7 +369,7 @@ func Open(opts ...Option) (*DB, error) {
 	}
 
 	if !o.overlay {
-		return &DB{Graph: base, closer: baseCloser, queryTimeout: o.queryTimeout, memBudget: o.memBudget}, nil
+		return newDB(base, baseCloser, o), nil
 	}
 	dopts := delta.Options{
 		WALPath:          o.walPath,
@@ -355,7 +388,21 @@ func Open(opts ...Option) (*DB, error) {
 	}
 	// The overlay's Close checkpoints, closes the WAL and closes the
 	// underlying store, so it replaces the base closer.
-	return &DB{Graph: ov, overlay: ov, closer: ov, queryTimeout: o.queryTimeout, memBudget: o.memBudget}, nil
+	db := newDB(ov, ov, o)
+	db.overlay = ov
+	return db, nil
+}
+
+// newDB assembles the handle shared by every Open path.
+func newDB(g graph.Graph, closer io.Closer, o options) *DB {
+	return &DB{
+		Graph:            g,
+		closer:           closer,
+		queryTimeout:     o.queryTimeout,
+		memBudget:        o.memBudget,
+		planCacheSize:    o.planCacheSize,
+		resultCacheBytes: o.resultCacheBytes,
+	}
 }
 
 // openCluster builds the WithShards serving tier: every shard is
@@ -385,7 +432,9 @@ func openCluster(o options) (*DB, error) {
 	}
 	// Cluster.Close checkpoints every shard (overlay compaction +
 	// snapshot/flush + WAL truncation) before closing it.
-	return &DB{Graph: c, cluster: c, closer: c, queryTimeout: o.queryTimeout, memBudget: o.memBudget}, nil
+	db := newDB(c, c, o)
+	db.cluster = c
+	return db, nil
 }
 
 // Close flushes and releases the backend. In-memory backends are a
@@ -442,6 +491,45 @@ func (db *DB) ClusterStats() (stats shard.Stats, ok bool) {
 	}
 	return db.cluster.Stats(), true
 }
+
+// planner returns the handle's cost-based planner, building dataset
+// statistics on first use (Open stays O(1); the first query pays the
+// scan) and refreshing them lazily once the store has drifted ≥10% from
+// the summary they were built on. A refresh bumps the planner's stats
+// epoch — invalidating memoized plans — but stale statistics between
+// refreshes only degrade join ordering, never correctness: the result
+// cache keys on the store's snapshot epoch, which every write bumps
+// immediately.
+func (db *DB) planner() *sparql.Planner {
+	db.plMu.Lock()
+	defer db.plMu.Unlock()
+	if db.pl == nil {
+		pl := sparql.NewPlanner(db.Graph)
+		if db.planCacheSize != 0 {
+			pl.SetPlanCacheSize(db.planCacheSize)
+		}
+		if db.resultCacheBytes != 0 {
+			pl.SetResultCacheBytes(db.resultCacheBytes)
+		} else {
+			pl.SetResultCacheBytes(DefaultResultCacheBytes)
+		}
+		db.pl = pl
+		return pl
+	}
+	built := db.pl.Stats().Triples
+	drift := db.Graph.Len() - built
+	if drift < 0 {
+		drift = -drift
+	}
+	if drift > 0 && drift*10 >= built {
+		db.pl.Refresh()
+	}
+	return db.pl
+}
+
+// CacheStats reports the handle's plan- and result-cache counters
+// (building the planner if no query has run yet).
+func (db *DB) CacheStats() sparql.CacheStats { return db.planner().CacheStats() }
 
 // rlock takes the shared DB lock unless the backend is an overlay
 // (whose readers pin immutable snapshots instead of locking).
@@ -504,7 +592,7 @@ func (db *DB) QueryContext(ctx context.Context, src string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sparql.EvalOpts(ctx, db.Graph, q, sparql.EvalOptions{MemBudget: db.memBudget})
+	return db.planner().EvalOpts(ctx, q, sparql.EvalOptions{MemBudget: db.memBudget})
 }
 
 // QueryTraced is QueryContext with execution tracing: it returns the
@@ -526,7 +614,12 @@ func (db *DB) QueryTraced(ctx context.Context, src string) (*Result, *Trace, err
 		return nil, nil, err
 	}
 	tr := obs.NewTrace("query")
-	res, err := sparql.EvalOpts(ctx, db.Graph, q, sparql.EvalOptions{MemBudget: db.memBudget, Trace: tr})
+	// A trace must describe the execution that produced these rows, so a
+	// traced query never serves from (or fills) the result cache; the
+	// plan cache still applies and is reported in the plan span.
+	res, err := db.planner().EvalOpts(ctx, q, sparql.EvalOptions{
+		MemBudget: db.memBudget, Trace: tr, NoResultCache: true,
+	})
 	tr.Finish()
 	if err != nil {
 		return nil, tr, err

@@ -1,0 +1,180 @@
+package bench
+
+// serve01: the repeated-query serving figure behind the plan/result
+// cache work. Real query traffic is heavily skewed — a few hot query
+// shapes with a few hot constants account for most requests — so the
+// workload here is a zipfian stream over a pool of parameterized join
+// queries ("students taking course C and their departments"), each
+// request parsed fresh the way an HTTP server would. The three series
+// climb the caching ladder on the same planner implementation: caches
+// off (plan every query, evaluate every query), plan cache (repeated
+// shapes reuse the memoized join order and access-path hints), and
+// plan+result cache (repeated queries at an unchanged snapshot epoch
+// answer straight from the cache). One figure reports throughput per
+// client count, its companion the p50/p99 per-query latencies.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"hexastore/internal/core"
+	"hexastore/internal/graph"
+	"hexastore/internal/lubm"
+	"hexastore/internal/sparql"
+)
+
+// ServeFigureIDs names the serving-tier cache figures RunServe produces.
+var ServeFigureIDs = []string{"serve01", "serve01lat"}
+
+const (
+	// serveShapes is the pool of distinct course constants the zipfian
+	// stream draws from; zipf exponent serveSkew makes the head of the
+	// pool hot (rank-1 roughly serveSkew-law more popular than rank-k).
+	serveShapes = 48
+	serveSkew   = 1.3
+
+	// serveQueriesPerPoint is the total request count per (mode,
+	// clients) point, split evenly across the clients.
+	serveQueriesPerPoint = 480
+)
+
+// serveConcurrency is the client-count sweep.
+var serveConcurrency = []int{1, 4, 8}
+
+// serveStream builds the request texts: a zipfian sample over the
+// parameterized pool. Query i joins the takers of one course with their
+// departments — two patterns, so both the planner and the evaluator
+// have real work per uncached request.
+func serveStream(nCourses int, seed int64) []string {
+	pool := make([]string, serveShapes)
+	for i := range pool {
+		course := i * nCourses / serveShapes
+		pool[i] = fmt.Sprintf(
+			`SELECT ?s ?d WHERE { ?s <%stakesCourse> <%sCourse%d> . ?s <%smemberOf> ?d }`,
+			lubm.Namespace, lubm.Namespace, course, lubm.Namespace)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, serveSkew, 1, serveShapes-1)
+	stream := make([]string, serveQueriesPerPoint)
+	for i := range stream {
+		stream[i] = pool[zipf.Uint64()]
+	}
+	return stream
+}
+
+// servePlanner builds one planner per caching mode over g.
+func servePlanner(g graph.Graph, mode int) *sparql.Planner {
+	pl := sparql.NewPlanner(g)
+	switch mode {
+	case 0: // caches off
+		pl.SetPlanCacheSize(0)
+	case 1: // plan cache only (the planner's default state)
+	case 2: // plan + result cache
+		pl.SetResultCacheBytes(64 << 20)
+	}
+	return pl
+}
+
+// servePoint replays the stream through pl with the given client count:
+// each client parses and evaluates its own disjoint chunk, the way
+// concurrent HTTP requests would. Returns overall throughput and the
+// pooled latency percentiles.
+func servePoint(pl *sparql.Planner, stream []string, clients int) (qps, p50, p99 float64, err error) {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats []float64
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		chunk := stream[c*len(stream)/clients : (c+1)*len(stream)/clients]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]float64, 0, len(chunk))
+			for _, src := range chunk {
+				t0 := time.Now()
+				q, perr := sparql.Parse(src)
+				if perr == nil {
+					_, perr = pl.EvalOpts(context.Background(), q, sparql.EvalOptions{Workers: 1})
+				}
+				local = append(local, time.Since(t0).Seconds())
+				if perr != nil {
+					mu.Lock()
+					err = perr
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	sort.Float64s(lats)
+	return float64(len(lats)) / wall, lats[len(lats)/2], lats[len(lats)*99/100], nil
+}
+
+// RunServe times the serve01/serve01lat figures: zipfian repeated-query
+// throughput and latency over the in-memory store, caches off vs plan
+// cache vs plan+result cache, per concurrent client count.
+func RunServe(cfg Config, progress func(string)) ([]*Figure, error) {
+	cfg = cfg.withDefaults()
+	data := lubm.Config{Universities: cfg.LUBMUniversities, Seed: cfg.Seed}.GenerateAll()
+	b := core.NewBuilder(nil)
+	b.AddAll(core.EncodeTriples(b.Dictionary(), data, cfg.Workers))
+	g := graph.Memory(b.BuildParallel(cfg.Workers))
+
+	// Course count mirrors the generator: 20 per department, 15 per
+	// university (lubm.Config defaults).
+	stream := serveStream(cfg.LUBMUniversities*15*20, cfg.Seed)
+
+	modes := []string{"caches off", "plan cache", "plan+result cache"}
+	qpsFig := &Figure{
+		ID:     "serve01",
+		Title:  fmt.Sprintf("Zipfian repeated-query throughput vs caching, %d triples (x = concurrent clients)", g.Len()),
+		YLabel: "queries/sec",
+	}
+	latFig := &Figure{
+		ID:     "serve01lat",
+		Title:  fmt.Sprintf("Zipfian repeated-query latency vs caching, %d triples (x = concurrent clients)", g.Len()),
+		YLabel: "seconds",
+	}
+	for _, m := range modes {
+		qpsFig.Series = append(qpsFig.Series, Series{Name: m})
+		latFig.Series = append(latFig.Series,
+			Series{Name: "p50 " + m}, Series{Name: "p99 " + m})
+	}
+
+	for _, clients := range serveConcurrency {
+		for mi := range modes {
+			if progress != nil {
+				progress(fmt.Sprintf("serve: %s, %d clients", modes[mi], clients))
+			}
+			// A fresh planner per point: each measurement starts from a
+			// cold cache and includes its own warm-up misses.
+			pl := servePlanner(g, mi)
+			qps, p50, p99, err := servePoint(pl, stream, clients)
+			if err != nil {
+				return nil, fmt.Errorf("bench: serve01 %s: %w", modes[mi], err)
+			}
+			// The Triples column doubles as the x axis: concurrent clients.
+			qpsFig.Series[mi].Points = append(qpsFig.Series[mi].Points,
+				Point{Triples: clients, Value: qps})
+			latFig.Series[mi*2].Points = append(latFig.Series[mi*2].Points,
+				Point{Triples: clients, Value: p50})
+			latFig.Series[mi*2+1].Points = append(latFig.Series[mi*2+1].Points,
+				Point{Triples: clients, Value: p99})
+		}
+	}
+	return []*Figure{qpsFig, latFig}, nil
+}

@@ -17,7 +17,9 @@
 package core
 
 import (
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"hexastore/internal/dictionary"
 	"hexastore/internal/idlist"
@@ -102,7 +104,17 @@ type Store struct {
 
 	size int
 
+	// version counts content mutations (successful Add/Remove calls). It
+	// backs the graph.Epocher capability: result caches key on it, so it
+	// must change whenever query answers can change.
+	version atomic.Uint64
+
 	advisor Advisor
+}
+
+// Epoch returns the store's content-version token (see graph.Epocher).
+func (s *Store) Epoch() string {
+	return "m" + strconv.FormatUint(s.version.Load(), 10)
 }
 
 // New returns an empty Hexastore with its own private dictionary.
@@ -236,6 +248,7 @@ func (st *Store) Add(s, p, o ID) bool {
 		st.headVec(OPS, o).Insert(p, sl)
 	}
 	st.size++
+	st.version.Add(1)
 	return true
 }
 
@@ -273,6 +286,7 @@ func (st *Store) Remove(s, p, o ID) bool {
 		}
 	}
 	st.size--
+	st.version.Add(1)
 	return true
 }
 

@@ -151,6 +151,11 @@ func (o *Overlay) swapRebuiltLocked(newMain *core.Store) error {
 			ns = replayed
 		}
 	}
+	// The published state is content-identical to the current one
+	// (rebuilt snapshot + pending replay = snapshot state + pending
+	// publishes), so the epoch token is preserved: cached results stay
+	// valid across compaction.
+	ns.epoch = o.cur.Load().epoch
 	o.cur.Store(ns)
 	return nil
 }
@@ -215,6 +220,7 @@ func (o *Overlay) compactDiskLocked() error {
 		dict:     st.dict,
 		undo:     undo,
 		visible:  st.visible,
+		epoch:    st.epoch, // content-identical merge: keep cached results valid
 	}
 	o.cur.Store(ns)
 	return nil

@@ -229,6 +229,7 @@ func Open(main graph.Graph, opts Options) (*Overlay, error) {
 			}
 			refreshed := *base
 			refreshed.visible = o.diskMain.Len()
+			refreshed.epoch = base.epoch + 1 // replay changed the trees
 			o.cur.Store(&refreshed)
 		default:
 			if _, _, err := o.apply(ops, false); err != nil {
@@ -275,6 +276,12 @@ func (o *Overlay) Len() int { return o.cur.Load().visible }
 // view that stays valid across any number of subsequent writes. It
 // implements graph.Snapshotter; pinning is one atomic load.
 func (o *Overlay) Snapshot() graph.Graph { return o.cur.Load() }
+
+// Epoch returns the current state's content-version token (see
+// graph.Epocher). Result caches must pin Snapshot first and read the
+// epoch from the pinned state, so a write landing between the two reads
+// cannot tag a stale answer with a fresh token.
+func (o *Overlay) Epoch() string { return o.cur.Load().Epoch() }
 
 // Main returns the current main graph beneath the delta (for stats and
 // introspection; mutating it directly is invalid).
@@ -468,6 +475,7 @@ func applyOps(base *state, ops []idOp) (*state, []idOp, int, int, error) {
 		dict:     base.dict,
 		undo:     base.undo,
 		visible:  base.visible + inserted - deleted,
+		epoch:    base.epoch + 1, // content changed: invalidate cached results
 	}
 	for _, ix := range core.AllIndexes {
 		ns.adds[ix] = mergeApply(base.adds[ix], ix, addIns, addDel)

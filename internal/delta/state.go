@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync/atomic"
 
 	"hexastore/internal/core"
@@ -272,7 +273,17 @@ type state struct {
 	undo *treeUndo
 
 	visible int // |main ⊕ delta|
+
+	// epoch is the content-version token behind graph.Epocher. Every
+	// write publish bumps it; compaction publishes a content-identical
+	// state and keeps it, so cached results validly survive compaction.
+	epoch uint64
 }
+
+// Epoch returns the state's content-version token (see graph.Epocher).
+// A state is immutable, so the token a pinned snapshot reports never
+// changes — exactly the property result caches need.
+func (st *state) Epoch() string { return "o" + strconv.FormatUint(st.epoch, 10) }
 
 // deltaLen returns the number of delta entries (adds + tombstones).
 func (st *state) deltaLen() int { return len(st.adds[core.SPO]) + len(st.dels[core.SPO]) }

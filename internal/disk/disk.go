@@ -24,7 +24,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"hexastore/internal/btree"
 	"hexastore/internal/core"
@@ -90,6 +92,17 @@ type Store struct {
 	dict           *dictionary.Dictionary
 	dictPath       string
 	persistedTerms int
+
+	// version counts content mutations since open. It backs the
+	// graph.Epocher capability for result caching; it is process-local
+	// (reopening a store resets it), which is sound because caches are
+	// process-local too.
+	version atomic.Uint64
+}
+
+// Epoch returns the store's content-version token (see graph.Epocher).
+func (st *Store) Epoch() string {
+	return "d" + strconv.FormatUint(st.version.Load(), 10)
 }
 
 // Exists reports whether dir already contains a disk Hexastore.
@@ -347,6 +360,9 @@ func (st *Store) Add(s, p, o ID) (bool, error) {
 			return false, err
 		}
 	}
+	if added {
+		st.version.Add(1)
+	}
 	return added, nil
 }
 
@@ -365,6 +381,9 @@ func (st *Store) Remove(s, p, o ID) (bool, error) {
 		if _, err := st.trees[ix].Delete(permute(ix, s, p, o)); err != nil {
 			return false, err
 		}
+	}
+	if removed {
+		st.version.Add(1)
 	}
 	return removed, nil
 }

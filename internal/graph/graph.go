@@ -87,6 +87,32 @@ func Snapshot(g Graph) Graph {
 	return g
 }
 
+// Epocher is an optional Graph capability: a cheap token identifying the
+// graph's current content version. Two reads that observe the same epoch
+// token are guaranteed to observe identical triple sets, which is what
+// makes the token usable as a result-cache key — a cached answer tagged
+// with epoch E may be served verbatim while the graph still reports E.
+//
+// Implementations bump (or otherwise change) the token on every state
+// transition that can alter query answers. Physical reorganizations that
+// preserve content (overlay compaction) may keep the token, so cached
+// results validly survive them. Snapshots report the epoch of the pinned
+// instant, which never changes.
+type Epocher interface {
+	// Epoch returns the current content-version token. The empty string
+	// means "unknown" and disables caching.
+	Epoch() string
+}
+
+// EpochOf returns g's content-version token, or "" when the backend does
+// not support epochs (result caching is then disabled for g).
+func EpochOf(g Graph) string {
+	if e, ok := g.(Epocher); ok {
+		return e.Epoch()
+	}
+	return ""
+}
+
 // TripleOp is one entry of a batched update: an insert, or a delete when
 // Del is set.
 type TripleOp struct {
@@ -179,6 +205,16 @@ func (g memGraph) Count(s, p, o ID) (int, error) { return g.st.Count(s, p, o), n
 // Unwrap exposes the concrete store behind the adapter, so planners can
 // detect index-aware backends (see Unwrap).
 func (g memGraph) Unwrap() any { return g.st }
+
+// Epoch forwards the content-version token of stores that maintain one
+// (core.Store does; the flat baseline does not, so graphs over it report
+// "" and stay uncacheable).
+func (g memGraph) Epoch() string {
+	if e, ok := g.st.(Epocher); ok {
+		return e.Epoch()
+	}
+	return ""
+}
 
 // Unwrap returns the concrete backend underlying g: the *core.Store or
 // *triplestore.Store behind an in-memory adapter, or g itself when the

@@ -13,6 +13,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log"
 	"net/http"
 	"time"
@@ -99,11 +100,16 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, queryText st
 	}
 
 	unlock := s.rlock()
-	res, err := s.planner().EvalOpts(ctx, q, sparql.EvalOptions{Meter: m, Trace: tr})
+	// ?explain=1 bypasses the result cache (EXPLAIN-prefixed queries
+	// bypass it inside the evaluator): a trace must describe the
+	// execution that produced these rows, never ride on cached ones.
+	res, err := s.planner().EvalOpts(ctx, q, sparql.EvalOptions{
+		Meter: m, Trace: tr, NoResultCache: explainParam,
+	})
 	unlock()
 	tr.Finish()
 	if tr != nil {
-		s.gov.Observe(queryText, time.Since(start), err, m, tr.FormatTop(3))
+		s.gov.Observe(queryText, time.Since(start), err, m, cacheDetail(tr), tr.FormatTop(3))
 	} else {
 		s.gov.Observe(queryText, time.Since(start), err, m)
 	}
@@ -121,6 +127,41 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, queryText st
 	}
 	w.Header().Set("Content-Type", "application/sparql-results+json")
 	json.NewEncoder(w).Encode(out) //nolint:errcheck // client may be gone
+}
+
+// cacheDetail summarizes the trace's cache annotations for the
+// slow-query log: "cache result=hit" / "cache plan=miss" /
+// "cache result=miss plan=hit", or "" when neither cache was consulted.
+// The result-cache verdict sits on the trace root; the plan-cache
+// verdict on the (possibly nested) plan span.
+func cacheDetail(tr *obs.Trace) string {
+	out := ""
+	if v, ok := tr.Attr("resultCache"); ok {
+		out = "result=" + fmt.Sprint(v)
+	}
+	if v, ok := findAttr(tr, "planCache"); ok {
+		if out != "" {
+			out += " "
+		}
+		out += "plan=" + fmt.Sprint(v)
+	}
+	if out == "" {
+		return ""
+	}
+	return "cache " + out
+}
+
+// findAttr depth-first-searches the span tree for key.
+func findAttr(sp *obs.Span, key string) (any, bool) {
+	if v, ok := sp.Attr(key); ok {
+		return v, true
+	}
+	for _, c := range sp.Children() {
+		if v, ok := findAttr(c, key); ok {
+			return v, true
+		}
+	}
+	return nil, false
 }
 
 // writeQueryError maps a query failure to its HTTP status:

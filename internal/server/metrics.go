@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"hexastore/internal/obs"
+	"hexastore/internal/sparql"
 )
 
 // metricsInit lazily builds the per-server registry and its static
@@ -45,6 +46,44 @@ func (s *Server) metricsInit() {
 			runtime.ReadMemStats(&ms)
 			return float64(ms.HeapAlloc)
 		})
+	s.registerCacheMetrics()
+}
+
+// registerCacheMetrics publishes the planner's plan- and result-cache
+// counters. Func-backed against the live planner accessor, so in-place
+// stats refreshes and cache retuning are always reflected.
+func (s *Server) registerCacheMetrics() {
+	cs := func() sparql.CacheStats { return s.planner().CacheStats() }
+	s.reg.CounterFunc("hex_plan_cache_hits_total",
+		"Queries whose join order was served from the plan cache.",
+		func() float64 { return float64(cs().PlanHits) })
+	s.reg.CounterFunc("hex_plan_cache_misses_total",
+		"Queries planned from scratch (shape absent or statistics epoch stale).",
+		func() float64 { return float64(cs().PlanMisses) })
+	s.reg.CounterFunc("hex_plan_cache_evictions_total",
+		"Plan-cache entries evicted by the LRU capacity.",
+		func() float64 { return float64(cs().PlanEvictions) })
+	s.reg.GaugeFunc("hex_plan_cache_entries",
+		"Query shapes currently memoized in the plan cache.",
+		func() float64 { return float64(cs().PlanEntries) })
+	s.reg.CounterFunc("hex_result_cache_hits_total",
+		"Queries answered from the snapshot-epoch result cache.",
+		func() float64 { return float64(cs().ResultHits) })
+	s.reg.CounterFunc("hex_result_cache_misses_total",
+		"Cacheable queries evaluated because no current-epoch entry existed.",
+		func() float64 { return float64(cs().ResultMisses) })
+	s.reg.CounterFunc("hex_result_cache_evictions_total",
+		"Result-cache entries evicted by the byte cap.",
+		func() float64 { return float64(cs().ResultEvictions) })
+	s.reg.GaugeFunc("hex_result_cache_bytes",
+		"Estimated bytes of cached query results resident now.",
+		func() float64 { return float64(cs().ResultBytes) })
+	s.reg.GaugeFunc("hex_result_cache_entries",
+		"Query results resident in the result cache now.",
+		func() float64 { return float64(cs().ResultEntries) })
+	s.reg.CounterFunc("hex_cache_epoch_churn_total",
+		"Times a write (epoch change) purged the resident result cache.",
+		func() float64 { return float64(cs().EpochChurn) })
 }
 
 // registerGovernorMetrics points the governor families at the given

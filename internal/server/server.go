@@ -111,11 +111,29 @@ type Server struct {
 // New returns a Server over the in-memory store st.
 func New(st *core.Store) *Server { return NewGraph(graph.Memory(st)) }
 
-// NewGraph returns a Server over any Graph backend.
+// DefaultResultCacheBytes is the server's default result-cache budget.
+// Small enough to be invisible next to the indexes, large enough that a
+// hot read query's answer survives between repeats.
+const DefaultResultCacheBytes = 32 << 20
+
+// NewGraph returns a Server over any Graph backend. Both query caches
+// are on by default (plan cache at sparql.DefaultPlanCacheSize, result
+// cache at DefaultResultCacheBytes); SetPlanCacheSize and
+// SetResultCacheBytes retune or disable them.
 func NewGraph(g graph.Graph) *Server {
 	_, snapshots := g.(graph.Snapshotter)
-	return &Server{g: g, snapshots: snapshots, pl: sparql.NewPlanner(g)}
+	pl := sparql.NewPlanner(g)
+	pl.SetResultCacheBytes(DefaultResultCacheBytes)
+	return &Server{g: g, snapshots: snapshots, pl: pl}
 }
+
+// SetPlanCacheSize resizes the planner's query-shape plan cache
+// (entries; <= 0 disables it).
+func (s *Server) SetPlanCacheSize(n int) { s.planner().SetPlanCacheSize(n) }
+
+// SetResultCacheBytes resizes the planner's snapshot-epoch result cache
+// (bytes; <= 0 disables it).
+func (s *Server) SetResultCacheBytes(n int64) { s.planner().SetResultCacheBytes(n) }
 
 // rlock acquires the shared request lock (no-op on snapshot backends)
 // and returns the unlock.
@@ -207,11 +225,16 @@ func (s *Server) planner() *sparql.Planner {
 	return s.pl
 }
 
-// refreshPlanner rebuilds statistics after mutations. On memory-backed
-// graphs the rebuild reads index heads and is cheap, so it always runs.
-// On other backends it costs a full scan, so it is skipped until the
-// store has drifted ≥10% from the cached summary: stale statistics only
-// degrade pattern ordering, never result correctness.
+// refreshPlanner rebuilds statistics after mutations, in place: the
+// planner's Refresh bumps its stats epoch (invalidating memoized plans)
+// but keeps the cache structures and their hit/miss counters, so a
+// stats refresh never looks like a cache restart in /metrics. On
+// memory-backed graphs the rebuild reads index heads and is cheap, so
+// it always runs. On other backends it costs a full scan, so it is
+// skipped until the store has drifted ≥10% from the cached summary:
+// stale statistics only degrade pattern ordering, never result
+// correctness (and the result cache keys on the snapshot epoch, not on
+// statistics, so it invalidates on the write itself either way).
 func (s *Server) refreshPlanner() {
 	if _, ok := graph.Unwrap(s.g).(*core.Store); !ok {
 		built := s.planner().Stats().Triples
@@ -223,10 +246,7 @@ func (s *Server) refreshPlanner() {
 			return
 		}
 	}
-	pl := sparql.NewPlanner(s.g)
-	s.mu.Lock()
-	s.pl = pl
-	s.mu.Unlock()
+	s.planner().Refresh()
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -420,6 +440,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"distinctSubjects": sum.DistinctS,
 		"distinctPreds":    sum.DistinctP,
 		"distinctObjects":  sum.DistinctO,
+	}
+	// The query caches report their counters under one block (emitted
+	// for every backend, sharded included): plan-cache occupancy and
+	// hit/miss/eviction totals, result-cache bytes and totals, and how
+	// often a write invalidated the resident result epoch.
+	cs := s.planner().CacheStats()
+	out["cache"] = map[string]any{
+		"planCacheEnabled":     cs.PlanEnabled,
+		"planCacheEntries":     cs.PlanEntries,
+		"planCacheCapacity":    cs.PlanCapacity,
+		"planCacheHits":        cs.PlanHits,
+		"planCacheMisses":      cs.PlanMisses,
+		"planCacheEvictions":   cs.PlanEvictions,
+		"statsEpoch":           cs.StatsEpoch,
+		"resultCacheEnabled":   cs.ResultEnabled,
+		"resultCacheEntries":   cs.ResultEntries,
+		"resultCacheBytes":     cs.ResultBytes,
+		"resultCacheCapBytes":  cs.ResultCapBytes,
+		"resultCacheHits":      cs.ResultHits,
+		"resultCacheMisses":    cs.ResultMisses,
+		"resultCacheEvictions": cs.ResultEvictions,
+		"epochChurn":           cs.EpochChurn,
 	}
 	// The query governor reports its live and cumulative counters:
 	// active/queued now, and admitted/rejected/canceled/budget-killed/

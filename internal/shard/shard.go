@@ -214,6 +214,14 @@ func (c *Cluster) SortedPairs(s, p, o ID, fn func(a, b ID) bool) error {
 // view per query, so concurrent writes never tear a query's reads.
 func (c *Cluster) Snapshot() graph.Graph { return c.pin() }
 
+// Epoch returns the cluster's current epoch vector (see graph.Epocher).
+// Cache consumers must not use this directly — pin a Snapshot and read
+// the epoch from the pinned view instead; this accessor exists for
+// stats and introspection.
+func (c *Cluster) Epoch() string {
+	return c.pin().Epoch()
+}
+
 func (c *Cluster) pin() *view {
 	c.mu.RLock()
 	defer c.mu.RUnlock()

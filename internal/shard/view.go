@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"strings"
 	"sync"
 
 	"hexastore/internal/dictionary"
@@ -34,6 +35,26 @@ func (v *view) Dictionary() *dictionary.Dictionary { return v.c.dict }
 
 // Snapshot returns the view itself — it is already immutable.
 func (v *view) Snapshot() graph.Graph { return v }
+
+// Epoch implements graph.Epocher for the pinned view: the cluster epoch
+// is the vector of per-shard epochs, read from the pinned snapshots so
+// the token describes exactly the state this view serves. Any shard
+// without epoch support poisons the whole vector (returns ""), which
+// disables result caching rather than risking staleness.
+func (v *view) Epoch() string {
+	var b strings.Builder
+	for i, g := range v.shards {
+		e := graph.EpochOf(g)
+		if e == "" {
+			return ""
+		}
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(e)
+	}
+	return b.String()
+}
 
 func (v *view) Add(s, p, o ID) (bool, error)    { return false, ErrReadOnly }
 func (v *view) Remove(s, p, o ID) (bool, error) { return false, ErrReadOnly }

@@ -159,6 +159,13 @@ type batchExec struct {
 	branchSp *obs.Span
 	stepEsts []float64
 	curSp    *obs.Span
+
+	// stepHints, when non-nil, carries the planner's per-step access-path
+	// choices aligned with the order (memoized by the plan cache);
+	// curHint is the in-flight step's. Hints are advisory: they bias the
+	// merge-vs-probe choice of one-column filter steps, never the rows.
+	stepHints []stepHint
+	curHint   stepHint
 }
 
 // runBatch joins the ordered patterns into the binding table, applying
@@ -192,6 +199,10 @@ func (bx *batchExec) runBatch(pats []idPattern, order []int, stepFilters [][]Fil
 		bx.rowCap = -1
 		if k == len(order)-1 {
 			bx.rowCap = finalCap
+		}
+		bx.curHint = hintNone
+		if k < len(bx.stepHints) {
+			bx.curHint = bx.stepHints[k]
 		}
 		if bx.branchSp != nil {
 			sp := bx.branchSp.Child("step[" + pats[pi].pat.String() + "]")
@@ -306,14 +317,22 @@ func (bx *batchExec) filterStep(sp *stepSpec) error {
 		return nil
 
 	case sp.nCols == 1:
-		// One join column against two constants — the merge-join step:
-		// fetch the pattern's sorted candidate list once and intersect
-		// it with the column. On a block-compressed backend the list
-		// arrives as a zero-copy view of the packed blob and the merge
-		// skips whole blocks via the skip table; raw backends hand over
-		// a copied slice and take the slice gallop. A sorted column
-		// takes the linear merge; an unsorted one degrades to one
-		// binary probe per row against the single list.
+		// One join column against two constants. The planner's
+		// distinct-count model may have hinted that the candidate list
+		// dwarfs the binding table — then fetching it to merge is the
+		// wrong trade and the step probes the store once per row instead.
+		if bx.curHint == hintProbe {
+			bx.curSp.Set("kind", "probe")
+			bx.curSp.Set("access", "hinted")
+			return bx.probeFilter(sp)
+		}
+		// The merge-join step: fetch the pattern's sorted candidate list
+		// once and intersect it with the column. On a block-compressed
+		// backend the list arrives as a zero-copy view of the packed blob
+		// and the merge skips whole blocks via the skip table; raw
+		// backends hand over a copied slice and take the slice gallop. A
+		// sorted column takes the linear merge; an unsorted one degrades
+		// to one binary probe per row against the single list.
 		view, err := bx.candidateView(sp)
 		if err != nil {
 			return err
@@ -350,29 +369,37 @@ func (bx *batchExec) filterStep(sp *stepSpec) error {
 		// Two or more bound columns: per-row existence probe, which the
 		// store answers from the right index for any binding shape.
 		bx.curSp.Set("kind", "probe")
-		if bx.parallelOK(tbl.n) {
-			return bx.probeRowsParallel(sp)
-		}
-		keep := bx.keep[:0]
-		for r := 0; r < tbl.n; r++ {
-			if !bx.ev.tickOK() {
-				return bx.ev.ctxErr
-			}
-			if bx.rowCap >= 0 && len(keep) >= bx.rowCap {
-				break
-			}
-			ok, err := bx.src.Has(bx.subst(sp, 0, r), bx.subst(sp, 1, r), bx.subst(sp, 2, r))
-			if err != nil {
-				return err
-			}
-			if ok {
-				keep = append(keep, r)
-			}
-		}
-		tbl.compact(keep)
-		bx.keep = keep
-		return nil
+		return bx.probeFilter(sp)
 	}
+}
+
+// probeFilter keeps the rows whose substituted pattern exists in the
+// store: one indexed Has per row, partitioned across workers when the
+// table is large.
+func (bx *batchExec) probeFilter(sp *stepSpec) error {
+	tbl := &bx.tbl
+	if bx.parallelOK(tbl.n) {
+		return bx.probeRowsParallel(sp)
+	}
+	keep := bx.keep[:0]
+	for r := 0; r < tbl.n; r++ {
+		if !bx.ev.tickOK() {
+			return bx.ev.ctxErr
+		}
+		if bx.rowCap >= 0 && len(keep) >= bx.rowCap {
+			break
+		}
+		ok, err := bx.src.Has(bx.subst(sp, 0, r), bx.subst(sp, 1, r), bx.subst(sp, 2, r))
+		if err != nil {
+			return err
+		}
+		if ok {
+			keep = append(keep, r)
+		}
+	}
+	tbl.compact(keep)
+	bx.keep = keep
+	return nil
 }
 
 // candidateView returns the sorted candidate values of the single free

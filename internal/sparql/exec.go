@@ -149,8 +149,9 @@ func EvalOpts(ctx context.Context, g graph.Graph, q *Query, opt EvalOptions) (*R
 	return evalWith(ctx, g, q, nil, opt)
 }
 
-// evalWith is the shared core of EvalOpts and Planner.EvalOpts.
-func evalWith(ctx context.Context, g graph.Graph, q *Query, sum *stats.Summary, opt EvalOptions) (*Result, error) {
+// evalWith is the shared core of EvalOpts and Planner.EvalOpts. pl is
+// nil for the package-level entry points (no statistics, no caches).
+func evalWith(ctx context.Context, g graph.Graph, q *Query, pl *Planner, opt EvalOptions) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -178,13 +179,60 @@ func evalWith(ctx context.Context, g graph.Graph, q *Query, sum *stats.Summary, 
 	if pin != nil {
 		pin.Set("backend", fmt.Sprintf("%T", graph.Unwrap(g)))
 	}
+
+	// The repeated-query fast path. The shape key feeds both caches; the
+	// result cache additionally needs the content epoch, which MUST be
+	// read from the pinned snapshot (not the live graph): a write landing
+	// between an early epoch read and the pin could tag a stale answer
+	// with a fresh token. EXPLAIN / EXPLAIN ANALYZE and NoResultCache
+	// evaluations never consult the result cache — a cached row set with
+	// a fabricated trace would lie about what executed.
+	var (
+		plans    *planCache
+		results  *resultCache
+		shape    string
+		rkey     string
+		epoch    string
+		fillable bool
+	)
+	if pl != nil {
+		plans = pl.plans.Load()
+		results = pl.results.Load()
+	}
+	useResult := results != nil && q.Explain == ExplainNone && !opt.NoResultCache
+	if plans != nil || useResult {
+		var consts []rdf.Term
+		var outVars []string
+		shape, consts, outVars = shapeOf(q)
+		if useResult {
+			if epoch = graph.EpochOf(g); epoch != "" {
+				rkey = resultKey(shape, outVars, consts)
+				if res, ok := results.get(rkey, epoch); ok {
+					pl.resultHits.Add(1)
+					opt.Trace.Set("resultCache", "hit")
+					return res, nil
+				}
+				pl.resultMisses.Add(1)
+				opt.Trace.Set("resultCache", "miss")
+				fillable = true
+			}
+		}
+	}
+
 	// Backends whose single operations run long (the sharded cluster
 	// view) observe ctx inside one Match/AppendSortedList call.
 	g = graph.WithContext(ctx, g)
+	var sum *stats.Summary
+	if pl != nil {
+		sum = pl.sum.Load()
+	}
 	ev := &evaluator{
 		src:      g,
 		dict:     g.Dictionary(),
 		q:        q,
+		pl:       pl,
+		plans:    plans,
+		shape:    shape,
 		sum:      sum,
 		eng:      engineFor(g),
 		workers:  workers,
@@ -197,7 +245,25 @@ func evalWith(ctx context.Context, g graph.Graph, q *Query, sum *stats.Summary, 
 	if ctx.Done() != nil {
 		ev.ctx = ctx
 	}
-	return ev.run()
+	res, err := ev.run()
+	if err == nil && fillable {
+		// Cache fill. The retained bytes charge the query's meter first —
+		// a query already at its budget does not get to pin more memory
+		// process-wide; it just skips the fill (never fails over it).
+		size := resultFootprint(res)
+		ok := true
+		if ev.mem != nil {
+			if gerr := ev.mem.Grow(size); gerr != nil {
+				ok = false
+			} else {
+				defer ev.mem.Shrink(size)
+			}
+		}
+		if ok {
+			results.put(rkey, epoch, res, size)
+		}
+	}
+	return res, err
 }
 
 // engineFor returns an index-aware engine when g answers selectivity
@@ -221,6 +287,16 @@ type evaluator struct {
 	// sum, when non-nil, switches pattern ordering to the cost-based
 	// planner (see Planner).
 	sum *stats.Summary
+
+	// pl is the owning Planner (nil for package-level entry points);
+	// plans is its plan cache pinned for this evaluation, shape the
+	// query's canonical shape key, and branchIdx the index of the union
+	// branch currently planned — together they key the memoized join
+	// orders.
+	pl        *Planner
+	plans     *planCache
+	shape     string
+	branchIdx int
 
 	// workers is the intra-query parallelism budget (0 is normalized to
 	// 1 at run time).
@@ -481,12 +557,37 @@ func (ev *evaluator) runBranch(pats []idPattern, optionals [][]idPattern) error 
 			return nil
 		}
 	}
+	// Plan: a memoized join order for this shape and branch when the plan
+	// cache holds one built under the current statistics epoch, otherwise
+	// cost-based join ordering (with statistics) or the greedy
+	// most-bound-first heuristic (without).
+	branch := ev.branchIdx
+	ev.branchIdx++
 	var order []int
-	if ev.sum != nil {
-		order = planOrderStats(ev.sum, pats, nil)
-	} else {
-		order = planOrder(ev.eng, pats, nil)
+	var hints []stepHint
+	planCacheAttr := ""
+	if ev.plans != nil && ev.shape != "" {
+		var ok bool
+		order, hints, ok = ev.plans.get(ev.shape, branch, len(pats), ev.pl.statsEpoch.Load())
+		if ok {
+			ev.pl.planHits.Add(1)
+			planCacheAttr = "hit"
+		} else {
+			ev.pl.planMisses.Add(1)
+			planCacheAttr = "miss"
+		}
 	}
+	if order == nil {
+		if ev.sum != nil {
+			order, hints = planOrderJoin(ev.sum, pats, nil)
+		} else {
+			order = planOrder(ev.eng, pats, nil)
+		}
+		if planCacheAttr == "miss" {
+			ev.plans.put(ev.shape, branch, len(pats), ev.pl.statsEpoch.Load(), order, hints)
+		}
+	}
+	ev.batch.stepHints = hints
 
 	// Record the chosen plan — pattern order plus the per-step
 	// cardinality estimates the planner saw — and hand the branch span to
@@ -497,9 +598,12 @@ func (ev *evaluator) runBranch(pats []idPattern, optionals [][]idPattern) error 
 		plan := br.Child("plan")
 		planner := "greedy"
 		if ev.sum != nil {
-			planner = "stats"
+			planner = "cost"
 		}
 		plan.Set("planner", planner)
+		if planCacheAttr != "" {
+			plan.Set("planCache", planCacheAttr)
+		}
 		var ob strings.Builder
 		for si, pi := range order {
 			if si > 0 {
@@ -1013,36 +1117,38 @@ func resolvePos(p *idPattern, j int, binding map[string]core.ID) (core.ID, strin
 }
 
 // estimateSteps prices each step of the chosen order for the trace,
-// simulating the evolving bound-variable set: the stats summary's
-// uniformity estimate when cost-based planning is active, the engine's
-// index cardinality (core.Store.PatternCardinality under the hood)
-// otherwise; -1 when the backend answers neither without a scan.
+// simulating the evolving join: with statistics, the cost model's
+// estimated intermediate cardinality after each step (directly
+// comparable to the step's rowsOut actual in EXPLAIN ANALYZE); without,
+// the engine's index cardinality (core.Store.PatternCardinality under
+// the hood); -1 when the backend answers neither without a scan.
 func (ev *evaluator) estimateSteps(pats []idPattern, order []int) []float64 {
 	ests := make([]float64, len(order))
-	bound := map[string]bool{}
+	if ev.sum != nil {
+		js := newJoinState(ev.sum, nil)
+		for si, pi := range order {
+			ests[si] = js.cost(&pats[pi])
+			js.advance(&pats[pi])
+		}
+		return ests
+	}
 	for si, pi := range order {
 		p := &pats[pi]
-		switch {
-		case ev.sum != nil:
-			ests[si] = estimatePatternBound(ev.sum, p, bound)
-		case ev.eng != nil:
-			var qp query.Pattern
-			if p.pat.S.Kind == Const {
-				qp.S = p.ids[0]
-			}
-			if p.pat.P.Kind == Const {
-				qp.P = p.ids[1]
-			}
-			if p.pat.O.Kind == Const {
-				qp.O = p.ids[2]
-			}
-			ests[si] = float64(ev.eng.Selectivity(qp))
-		default:
+		if ev.eng == nil {
 			ests[si] = -1
+			continue
 		}
-		for _, v := range p.pat.Vars() {
-			bound[v] = true
+		var qp query.Pattern
+		if p.pat.S.Kind == Const {
+			qp.S = p.ids[0]
 		}
+		if p.pat.P.Kind == Const {
+			qp.P = p.ids[1]
+		}
+		if p.pat.O.Kind == Const {
+			qp.O = p.ids[2]
+		}
+		ests[si] = float64(ev.eng.Selectivity(qp))
 	}
 	return ests
 }

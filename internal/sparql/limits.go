@@ -59,6 +59,12 @@ type EvalOptions struct {
 	// and spilled bytes after the query pass their own.
 	Meter *govern.Meter
 
+	// NoResultCache bypasses the Planner's result cache for this
+	// evaluation (both lookup and fill). EXPLAIN queries bypass it
+	// implicitly; servers set it for ?explain=1 requests so a trace is
+	// never paired with cached rows it did not produce.
+	NoResultCache bool
+
 	// Trace, when non-nil, collects a per-query execution span tree:
 	// planning (pattern order, cardinality estimates), every batch step
 	// (rows in/out, candidate sizes, merge-vs-probe, workers, spill),
